@@ -1,0 +1,653 @@
+// Benchmarks regenerating every figure of the paper plus the quantitative
+// experiments E1–E9 of DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem .
+//
+// Figure benches (the paper has no tables; Figures 1–8 are its complete
+// evaluation surface) re-execute each figure's scenario end to end; the
+// experiment benches sweep protocols, cluster sizes, and workload sizes.
+// Custom metrics: `states/op` and `edges/op` report retained state-space
+// metadata per operation (experiments E1/E3).
+package jupiter_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"jupiter"
+	"jupiter/internal/css"
+	"jupiter/internal/dcss"
+	"jupiter/internal/list"
+	"jupiter/internal/opid"
+	"jupiter/internal/ot"
+	"jupiter/internal/sim"
+	"jupiter/internal/statespace"
+)
+
+func id(c int32, s uint64) opid.OpID {
+	return opid.OpID{Client: opid.ClientID(c), Seq: s}
+}
+
+// ------------------------------------------------------------- figures ----
+
+// BenchmarkFig1_OT measures a single OT commutative square: both transform
+// directions of Figure 1's o1 = Ins(f,1), o2 = Del(e,5).
+func BenchmarkFig1_OT(b *testing.B) {
+	base := list.FromString("efecte", 100)
+	e5, err := base.Get(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o1 := ot.Ins('f', 1, id(1, 1))
+	o2 := ot.Del(e5, 5, id(2, 1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p1, p2 := ot.TransformPair(o1, o2)
+		if p1.Kind == ot.KindNop || p2.Pos != 6 {
+			b.Fatal("bad transform")
+		}
+	}
+}
+
+// runFig2 executes the Figure 2 schedule (three pairwise-concurrent inserts,
+// server order o1 ⇒ o2 ⇒ o3) on a fresh cluster of the given protocol.
+func runFig2(b *testing.B, p jupiter.Protocol) {
+	b.Helper()
+	cl, err := jupiter.NewCluster(p, jupiter.Config{Clients: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for c := jupiter.ClientID(1); c <= 3; c++ {
+		if err := cl.GenerateIns(c, rune('a'+c), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := jupiter.Quiesce(cl); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := jupiter.CheckConverged(cl); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkFig2_Schedule measures the full Figure 2 schedule, per protocol.
+func BenchmarkFig2_Schedule(b *testing.B) {
+	for _, p := range []jupiter.Protocol{jupiter.CSS, jupiter.CSCW, jupiter.RGA} {
+		b.Run(string(p), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				runFig2(b, p)
+			}
+		})
+	}
+}
+
+// BenchmarkFig3_LeftmostOT measures Algorithm 1 itself: integrating the
+// late-arriving o3 into the prebuilt Figure 3 state-space (σ0 matching
+// state, leftmost path of length 3).
+func BenchmarkFig3_LeftmostOT(b *testing.B) {
+	o1 := ot.Ins('a', 0, id(1, 1))
+	o2 := ot.Ins('b', 0, id(2, 1))
+	o4 := ot.Ins('d', 0, id(1, 2))
+	o3 := ot.Ins('c', 0, id(3, 1))
+	ctx12 := opid.NewSet(o1.ID, o2.ID)
+	empty := opid.NewSet()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := statespace.New(nil)
+		if _, err := s.Integrate(o1, empty, 1); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Integrate(o2, empty, 2); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Integrate(o4, ctx12, 4); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Integrate(o3, empty, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4_CSSConstruction measures building Figure 4's shared space at
+// all four replicas (the full protocol run), reporting the retained states.
+func BenchmarkFig4_CSSConstruction(b *testing.B) {
+	b.ReportAllocs()
+	var states int
+	for i := 0; i < b.N; i++ {
+		cl, err := jupiter.NewCluster(jupiter.CSS, jupiter.Config{Clients: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for c := jupiter.ClientID(1); c <= 3; c++ {
+			if err := cl.GenerateIns(c, rune('a'+c), 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := jupiter.Quiesce(cl); err != nil {
+			b.Fatal(err)
+		}
+		states = cl.Stats()[0].States
+	}
+	b.ReportMetric(float64(states), "states")
+}
+
+// BenchmarkFig6_InvolvedSchedule measures the Figure 6 schedule (mixed
+// causality: o1; o2→o3; o1→o4) under both Jupiter protocols.
+func BenchmarkFig6_InvolvedSchedule(b *testing.B) {
+	run := func(b *testing.B, p jupiter.Protocol) {
+		cl, err := jupiter.NewCluster(p, jupiter.Config{Clients: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		step := func(err error) {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		step(cl.GenerateIns(1, 'a', 0))
+		_, err = cl.DeliverToServer(1)
+		step(err)
+		_, err = cl.DeliverToClient(3)
+		step(err)
+		step(cl.GenerateIns(2, 'b', 0))
+		step(cl.GenerateIns(2, 'c', 1))
+		step(cl.GenerateIns(3, 'd', 1))
+		step(jupiter.Quiesce(cl))
+		if _, err := jupiter.CheckConverged(cl); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range []jupiter.Protocol{jupiter.CSS, jupiter.CSCW} {
+		b.Run(string(p), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				run(b, p)
+			}
+		})
+	}
+}
+
+// fig7History produces the Figure 7 history once (the counterexample run).
+func fig7History(b *testing.B) *jupiter.History {
+	b.Helper()
+	cl, err := jupiter.NewCluster(jupiter.CSS, jupiter.Config{Clients: 3, Record: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	must := func(err error) {
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	must(cl.GenerateIns(1, 'x', 0))
+	must(jupiter.Quiesce(cl))
+	must(cl.GenerateDel(1, 0))
+	must(cl.GenerateIns(2, 'a', 0))
+	must(cl.GenerateIns(3, 'b', 1))
+	cl.Read(2)
+	cl.Read(3)
+	must(jupiter.Quiesce(cl))
+	for _, c := range cl.Clients() {
+		cl.Read(c)
+	}
+	return cl.History()
+}
+
+// BenchmarkFig7_StrongCheck measures detecting the strong-list violation in
+// the Figure 7 history (the checker must find the (a,x),(x,b),(b,a) cycle).
+func BenchmarkFig7_StrongCheck(b *testing.B) {
+	h := fig7History(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := jupiter.CheckStrong(h); err == nil {
+			b.Fatal("violation not detected")
+		}
+	}
+}
+
+// BenchmarkFig8_WeakCheck measures detecting the weak-list violation in the
+// Figure 8 history from the incorrect protocol.
+func BenchmarkFig8_WeakCheck(b *testing.B) {
+	initial := jupiter.FromString("abc", 100)
+	cl, err := jupiter.NewCluster(jupiter.Broken, jupiter.Config{Clients: 3, Initial: initial, Record: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	must := func(err error) {
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	must(cl.GenerateIns(1, 'x', 2))
+	must(cl.GenerateDel(2, 1))
+	must(cl.GenerateIns(3, 'y', 1))
+	_, err = cl.DeliverToServer(3)
+	must(err)
+	_, err = cl.DeliverToClient(1)
+	must(err)
+	_, err = cl.DeliverToClient(2)
+	must(err)
+	must(jupiter.Quiesce(cl))
+	cl.Read(1)
+	cl.Read(2)
+	h := cl.History()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := jupiter.CheckWeak(h); err == nil {
+			b.Fatal("violation not detected")
+		}
+	}
+}
+
+// --------------------------------------------------------- experiments ----
+
+// BenchmarkE2_Throughput sweeps protocol × cluster size over a fixed
+// per-client operation count, measuring whole-run wall time (generation,
+// serialization, transformation, delivery).
+func BenchmarkE2_Throughput(b *testing.B) {
+	// CSS retains its full state-space (no GC here — that is E3), and the
+	// space grows super-linearly with concurrency; 25 ops per client keeps
+	// the largest CSS point to seconds while preserving the scaling shape.
+	const opsPerClient = 25
+	for _, p := range []jupiter.Protocol{jupiter.CSS, jupiter.CSCW, jupiter.RGA, jupiter.Logoot, jupiter.TreeDoc, jupiter.WOOT} {
+		for _, n := range []int{2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/clients=%d", p, n), func(b *testing.B) {
+				b.ReportAllocs()
+				var st []jupiter.SpaceStat
+				for i := 0; i < b.N; i++ {
+					cl, err := jupiter.NewCluster(p, jupiter.Config{Clients: n})
+					if err != nil {
+						b.Fatal(err)
+					}
+					w := jupiter.Workload{Seed: int64(i + 1), OpsPerClient: opsPerClient, DeleteRatio: 0.3}
+					if err := jupiter.RunRandom(cl, w, false); err != nil {
+						b.Fatal(err)
+					}
+					st = cl.Stats()
+				}
+				totalOps := float64(n * opsPerClient)
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/totalOps/float64(b.N), "ns/op-applied")
+				if len(st) > 0 {
+					states := 0
+					for _, s := range st {
+						states += s.States
+					}
+					b.ReportMetric(float64(states)/totalOps, "states/op")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkE3_MetadataGC contrasts CSS metadata retention with and without
+// the garbage-collection extension: same workload, frontier advanced every
+// round vs never.
+func BenchmarkE3_MetadataGC(b *testing.B) {
+	const rounds, n = 20, 3
+	run := func(b *testing.B, gcEvery int) {
+		var retained int
+		for i := 0; i < b.N; i++ {
+			cl, err := jupiter.NewCluster(jupiter.CSS, jupiter.Config{Clients: n})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for round := 0; round < rounds; round++ {
+				for c := jupiter.ClientID(1); c <= n; c++ {
+					doc, err := cl.Document(c.String())
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := cl.GenerateIns(c, rune('a'+round%26), len(doc)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := jupiter.Quiesce(cl); err != nil {
+					b.Fatal(err)
+				}
+				if gcEvery > 0 && round%gcEvery == 0 {
+					if _, err := jupiter.AdvanceFrontier(cl); err != nil {
+						b.Fatal(err)
+					}
+					if err := jupiter.Quiesce(cl); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			retained = 0
+			for _, s := range cl.Stats() {
+				retained += s.States
+			}
+		}
+		b.ReportMetric(float64(retained), "retained-states")
+	}
+	b.Run("no-gc", func(b *testing.B) { run(b, 0) })
+	b.Run("gc-every-round", func(b *testing.B) { run(b, 1) })
+	b.Run("gc-every-5", func(b *testing.B) { run(b, 5) })
+}
+
+// BenchmarkE4_TransformSeq measures OT sequence transformation cost as a
+// function of the concurrent-operation chain length k.
+func BenchmarkE4_TransformSeq(b *testing.B) {
+	for _, k := range []int{1, 4, 16, 64, 256} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			seq := make([]ot.Op, k)
+			for i := range seq {
+				seq[i] = ot.Ins(rune('a'+i%26), i, id(2, uint64(i+1)))
+			}
+			o := ot.Ins('Z', 0, id(1, 1))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				oL, _ := ot.TransformSeq(o, seq)
+				if oL.Kind != ot.KindIns {
+					b.Fatal("bad transform")
+				}
+			}
+		})
+	}
+}
+
+// benchHistory builds a recorded history of roughly the given event count
+// under the given protocol.
+func benchHistory(b *testing.B, p jupiter.Protocol, events int) *jupiter.History {
+	b.Helper()
+	cl, err := jupiter.NewCluster(p, jupiter.Config{Clients: 3, Record: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := jupiter.Workload{Seed: 7, OpsPerClient: events / 6, DeleteRatio: 0.3}
+	if err := jupiter.RunRandom(cl, w, true); err != nil {
+		b.Fatal(err)
+	}
+	return cl.History()
+}
+
+// BenchmarkE5_Checkers measures specification-checking cost vs history size.
+// Convergence and the weak check run on CSS histories (both hold by
+// Theorems 6.7/8.2); the strong check runs on RGA histories, which are the
+// only ones guaranteed to satisfy it (a random Jupiter history may
+// legitimately violate the strong specification — that is Theorem 8.1).
+func BenchmarkE5_Checkers(b *testing.B) {
+	for _, events := range []int{60, 240, 960} {
+		hCSS := benchHistory(b, jupiter.CSS, events)
+		hRGA := benchHistory(b, jupiter.RGA, events)
+		checks := []struct {
+			name string
+			h    *jupiter.History
+			fn   func(*jupiter.History) error
+		}{
+			{"convergence", hCSS, jupiter.CheckConvergence},
+			{"weak", hCSS, jupiter.CheckWeak},
+			{"strong", hRGA, jupiter.CheckStrong},
+		}
+		for _, c := range checks {
+			b.Run(fmt.Sprintf("%s/events=%d", c.name, c.h.Len()), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := c.fn(c.h); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkE6_DocBackend is the document-backend ablation: random edits on
+// the slice-backed vs treap-backed document across sizes, looking for the
+// crossover.
+func BenchmarkE6_DocBackend(b *testing.B) {
+	for _, size := range []int{100, 1000, 10000, 100000} {
+		for _, backend := range []string{"slice", "tree"} {
+			b.Run(fmt.Sprintf("%s/size=%d", backend, size), func(b *testing.B) {
+				var d list.Doc
+				if backend == "slice" {
+					d = list.NewDocument()
+				} else {
+					d = list.NewTreeDocument()
+				}
+				var seq uint64
+				for i := 0; i < size; i++ {
+					seq++
+					if err := d.Insert(i, list.Elem{Val: 'x', ID: id(1, seq)}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				r := rand.New(rand.NewSource(1))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					// One delete + one insert keeps the size stable.
+					pos := r.Intn(d.Len())
+					if _, err := d.Delete(pos, opid.OpID{}); err != nil {
+						b.Fatal(err)
+					}
+					seq++
+					if err := d.Insert(r.Intn(d.Len()+1), list.Elem{Val: 'y', ID: id(1, seq)}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkE1_SpaceIdentity measures the Proposition 6.6 check itself:
+// fingerprinting all n+1 spaces of a quiesced CSS run and verifying they
+// agree (the "single shared space" property).
+func BenchmarkE1_SpaceIdentity(b *testing.B) {
+	cl, err := jupiter.NewCluster(jupiter.CSS, jupiter.Config{Clients: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := jupiter.RunRandom(cl, jupiter.Workload{Seed: 3, OpsPerClient: 20, DeleteRatio: 0.3}, false); err != nil {
+		b.Fatal(err)
+	}
+	spaces, ok := sim.SpacesOf(cl)
+	if !ok {
+		b.Fatal("not css")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ref := spaces[0].Fingerprint()
+		for _, sp := range spaces[1:] {
+			if sp.Fingerprint() != ref {
+				b.Fatal("Proposition 6.6 violated")
+			}
+		}
+	}
+}
+
+// BenchmarkAsyncRuntime measures the goroutine/channel runtime end to end.
+func BenchmarkAsyncRuntime(b *testing.B) {
+	for _, p := range []jupiter.Protocol{jupiter.CSS, jupiter.CSCW, jupiter.RGA, jupiter.Logoot} {
+		b.Run(string(p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := jupiter.RunAsync(p, jupiter.AsyncConfig{
+					Clients:      4,
+					OpsPerClient: 25,
+					Seed:         int64(i + 1),
+					DeleteRatio:  0.3,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE7_DistributedCSS measures the server-less CSS variant (the
+// paper's future-work extension): a full mesh of peers ordering operations
+// with Lamport timestamps + stability, same state-space machinery.
+func BenchmarkE7_DistributedCSS(b *testing.B) {
+	for _, n := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("peers=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			const opsPerPeer = 15
+			var states int
+			for i := 0; i < b.N; i++ {
+				cl, err := dcss.NewCluster(n, nil, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				r := rand.New(rand.NewSource(int64(i + 1)))
+				for k := 0; k < opsPerPeer; k++ {
+					for _, id := range cl.Peers() {
+						doc, err := cl.Document(id)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if err := cl.GenerateIns(id, rune('a'+k%26), r.Intn(len(doc)+1)); err != nil {
+							b.Fatal(err)
+						}
+					}
+					// Deliver a random subset each round to keep concurrency up.
+					for _, from := range cl.Peers() {
+						for _, to := range cl.Peers() {
+							if from != to && r.Intn(2) == 0 {
+								if _, err := cl.Deliver(from, to); err != nil {
+									b.Fatal(err)
+								}
+							}
+						}
+					}
+				}
+				if err := cl.Quiesce(); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := cl.CheckConverged(); err != nil {
+					b.Fatal(err)
+				}
+				p, _ := cl.Peer(1)
+				states = p.Space().NumStates()
+			}
+			b.ReportMetric(float64(states), "states")
+		})
+	}
+}
+
+// BenchmarkAblation_PriorityOrientation reruns the Figure 2 scenario with
+// both insert tie-break orientations, checking convergence is insensitive
+// to the choice (DESIGN.md ablation): the winner merely flips which order
+// ties land in, never whether replicas agree.
+func BenchmarkAblation_PriorityOrientation(b *testing.B) {
+	base := list.NewDocument()
+	for _, orient := range []string{"higher-wins", "lower-wins"} {
+		b.Run(orient, func(b *testing.B) {
+			flip := orient == "lower-wins"
+			for i := 0; i < b.N; i++ {
+				o1 := ot.Ins('a', 0, id(1, 1))
+				o2 := ot.Ins('b', 0, id(2, 1))
+				if flip {
+					o1.Pri, o2.Pri = -o1.Pri, -o2.Pri
+				}
+				if err := ot.CheckCP1(base, o1, o2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE8_ContextWireSize contrasts the two CSS wire formats: explicit
+// operation-ID-set contexts (theory-faithful) vs the two-counter compact
+// encoding (production Jupiter). The custom metric reports the cumulative
+// context payload in 8-byte words per protocol run; behavior is identical
+// (verified by TestCompactContextsEquivalent).
+func BenchmarkE8_ContextWireSize(b *testing.B) {
+	const clients, rounds = 4, 30
+	run := func(b *testing.B, compact bool) {
+		var words int
+		for i := 0; i < b.N; i++ {
+			srv := css.NewServer(clientIDs(clients), nil, nil)
+			var cls []*css.Client
+			for _, id := range clientIDs(clients) {
+				cl := css.NewClient(id, nil, nil)
+				if compact {
+					cl.UseCompactContexts()
+				}
+				cls = append(cls, cl)
+			}
+			if compact {
+				srv.UseCompactContexts()
+			}
+			words = 0
+			for round := 0; round < rounds; round++ {
+				for k, cl := range cls {
+					msg, err := cl.GenerateIns(rune('a'+round%26), len(cl.Document())/2)
+					if err != nil {
+						b.Fatal(err)
+					}
+					words += ctxWords(msg.Ctx, msg.Compact != nil)
+					outs, err := srv.Receive(msg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, out := range outs {
+						if out.Msg.Kind == css.MsgBroadcast {
+							words += ctxWords(out.Msg.Ctx, out.Msg.Compact != nil)
+						}
+						if err := cls[out.To-1].Receive(out.Msg); err != nil {
+							b.Fatal(err)
+						}
+					}
+					_ = k
+				}
+			}
+		}
+		b.ReportMetric(float64(words), "ctx-words")
+	}
+	b.Run("explicit", func(b *testing.B) { run(b, false) })
+	b.Run("compact", func(b *testing.B) { run(b, true) })
+}
+
+// ctxWords models the wire cost of a context in 8-byte words.
+func ctxWords(ctx opid.Set, compact bool) int {
+	if compact {
+		return 3 // origin + remote-count + own-seq
+	}
+	return 2 * len(ctx) // (client, seq) per id
+}
+
+// clientIDs returns 1..n.
+func clientIDs(n int) []opid.ClientID {
+	out := make([]opid.ClientID, n)
+	for i := range out {
+		out[i] = opid.ClientID(i + 1)
+	}
+	return out
+}
+
+// BenchmarkE9_WorkloadProfiles contrasts position profiles under the CSS
+// protocol: metadata growth depends on CONCURRENCY, not positions, so
+// states/op should be stable across profiles while transform work varies.
+func BenchmarkE9_WorkloadProfiles(b *testing.B) {
+	profiles := []sim.Profile{sim.ProfileUniform, sim.ProfileAppend, sim.ProfileTyping, sim.ProfileHotspot}
+	for _, prof := range profiles {
+		b.Run(string(prof), func(b *testing.B) {
+			b.ReportAllocs()
+			var states int
+			for i := 0; i < b.N; i++ {
+				cl, err := jupiter.NewCluster(jupiter.CSS, jupiter.Config{Clients: 4})
+				if err != nil {
+					b.Fatal(err)
+				}
+				w := jupiter.Workload{Seed: int64(i + 1), OpsPerClient: 20, DeleteRatio: 0.3, Profile: prof}
+				if err := jupiter.RunRandom(cl, w, false); err != nil {
+					b.Fatal(err)
+				}
+				states = 0
+				for _, s := range cl.Stats() {
+					states += s.States
+				}
+			}
+			b.ReportMetric(float64(states)/80, "states/op")
+		})
+	}
+}

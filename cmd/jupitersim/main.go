@@ -1,0 +1,215 @@
+// Command jupitersim runs a simulated collaborative-editing session with a
+// chosen protocol and reports convergence, specification-check results, and
+// metadata statistics.
+//
+// Examples:
+//
+//	jupitersim -protocol css -clients 4 -ops 50 -seed 7
+//	jupitersim -protocol cscw -clients 8 -ops 100 -check=false
+//	jupitersim -protocol css -async -clients 4 -ops 200
+//	jupitersim -protocol broken -clients 3 -ops 10      # watch the checkers fire
+//	jupitersim -protocol css -clients 3 -ops 20 -json hist.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"jupiter"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "jupitersim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("jupitersim", flag.ContinueOnError)
+	var (
+		protocol    = fs.String("protocol", "css", "protocol: css | cscw | rga | broken")
+		clients     = fs.Int("clients", 3, "number of clients")
+		ops         = fs.Int("ops", 20, "operations per client")
+		seed        = fs.Int64("seed", 1, "workload seed")
+		deleteRatio = fs.Float64("delete-ratio", 0.3, "probability an operation is a delete")
+		async       = fs.Bool("async", false, "run the goroutine/channel runtime instead of the deterministic one")
+		mesh        = fs.Bool("mesh", false, "run the distributed (server-less) CSS protocol on a peer mesh")
+		check       = fs.Bool("check", true, "run the specification checkers")
+		gc          = fs.Bool("gc", false, "advance the state-space GC frontier after the run (css only)")
+		jsonOut     = fs.String("json", "", "write the recorded history as JSON to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	p := jupiter.Protocol(*protocol)
+	if *mesh {
+		p = "dcss"
+	}
+	fmt.Fprintf(out, "protocol=%s clients=%d ops/client=%d seed=%d delete-ratio=%.2f async=%v\n",
+		p, *clients, *ops, *seed, *deleteRatio, *async)
+
+	if *mesh {
+		res, err := jupiter.RunMeshAsync(jupiter.MeshAsyncConfig{
+			Peers:       *clients,
+			OpsPerPeer:  *ops,
+			Seed:        *seed,
+			DeleteRatio: *deleteRatio,
+			Record:      true,
+		})
+		if err != nil {
+			return err
+		}
+		var names []string
+		for name := range res.Docs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		converged := true
+		ref := res.Docs[names[0]]
+		for _, name := range names[1:] {
+			if jupiter.Render(res.Docs[name]) != jupiter.Render(ref) {
+				converged = false
+			}
+		}
+		fmt.Fprintf(out, "converged=%v final=%q (len %d)\n", converged, jupiter.Render(ref), len(ref))
+		fmt.Fprintf(out, "history: %d do events\n", res.History.Len())
+		if *check {
+			report := func(name string, err error) {
+				if err == nil {
+					fmt.Fprintf(out, "spec %-12s PASS\n", name)
+					return
+				}
+				fmt.Fprintf(out, "spec %-12s FAIL: %v\n", name, err)
+			}
+			report("convergence", jupiter.CheckConvergence(res.History))
+			report("weak-list", jupiter.CheckWeak(res.History))
+			report("strong-list", jupiter.CheckStrong(res.History))
+		}
+		fmt.Fprintln(out, "metadata:")
+		for name, states := range res.States {
+			fmt.Fprintf(out, "  %-8s space states=%d\n", name, states)
+		}
+		if *jsonOut != "" {
+			data, err := json.MarshalIndent(res.History, "", "  ")
+			if err != nil {
+				return fmt.Errorf("marshal history: %w", err)
+			}
+			if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+				return fmt.Errorf("write history: %w", err)
+			}
+			fmt.Fprintf(out, "history written to %s\n", *jsonOut)
+		}
+		return nil
+	}
+
+	var (
+		hist  *jupiter.History
+		stats []jupiter.SpaceStat
+		final string
+	)
+	if *async {
+		res, err := jupiter.RunAsync(p, jupiter.AsyncConfig{
+			Clients:      *clients,
+			OpsPerClient: *ops,
+			Seed:         *seed,
+			DeleteRatio:  *deleteRatio,
+			Record:       true,
+		})
+		if err != nil {
+			return err
+		}
+		hist = res.History
+		stats = res.Stats
+		var names []string
+		for name := range res.Docs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		converged := true
+		ref := res.Docs[names[0]]
+		for _, name := range names[1:] {
+			if jupiter.Render(res.Docs[name]) != jupiter.Render(ref) {
+				converged = false
+			}
+		}
+		final = jupiter.Render(ref)
+		fmt.Fprintf(out, "converged=%v final=%q (len %d)\n", converged, final, len(ref))
+	} else {
+		cl, err := jupiter.NewCluster(p, jupiter.Config{Clients: *clients, Record: true})
+		if err != nil {
+			return err
+		}
+		w := jupiter.Workload{Seed: *seed, OpsPerClient: *ops, DeleteRatio: *deleteRatio}
+		if err := jupiter.RunRandom(cl, w, true); err != nil {
+			if p != jupiter.Broken {
+				return err
+			}
+			// The incorrect protocol can wedge itself mid-run (that is the
+			// point of shipping it); report and keep analyzing whatever
+			// history was recorded.
+			fmt.Fprintf(out, "execution error (the broken protocol living up to its name): %v\n", err)
+		}
+		doc, err := jupiter.CheckConverged(cl)
+		if err != nil {
+			fmt.Fprintf(out, "converged=false: %v\n", err)
+		} else {
+			final = jupiter.Render(doc)
+			fmt.Fprintf(out, "converged=true final=%q (len %d)\n", final, len(doc))
+		}
+		if *gc {
+			if ok, err := jupiter.AdvanceFrontier(cl); err != nil {
+				return err
+			} else if ok {
+				if err := jupiter.Quiesce(cl); err != nil {
+					return err
+				}
+				fmt.Fprintln(out, "gc: frontier advanced and spaces compacted")
+			} else {
+				fmt.Fprintln(out, "gc: not supported by this protocol")
+			}
+		}
+		hist = cl.History()
+		stats = cl.Stats()
+	}
+
+	fmt.Fprintf(out, "history: %d do events\n", hist.Len())
+
+	if *check {
+		report := func(name string, err error) {
+			if err == nil {
+				fmt.Fprintf(out, "spec %-12s PASS\n", name)
+				return
+			}
+			fmt.Fprintf(out, "spec %-12s FAIL: %v\n", name, err)
+		}
+		report("convergence", jupiter.CheckConvergence(hist))
+		report("weak-list", jupiter.CheckWeak(hist))
+		report("strong-list", jupiter.CheckStrong(hist))
+	}
+
+	if len(stats) > 0 {
+		fmt.Fprintln(out, "metadata:")
+		for _, s := range stats {
+			fmt.Fprintf(out, "  %-8s %-8s states=%-6d edges=%-6d bytes=%d\n",
+				s.Replica, s.Name, s.States, s.Edges, s.Bytes)
+		}
+	}
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(hist, "", "  ")
+		if err != nil {
+			return fmt.Errorf("marshal history: %w", err)
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			return fmt.Errorf("write history: %w", err)
+		}
+		fmt.Fprintf(out, "history written to %s\n", *jsonOut)
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDeterministic(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-protocol", "css", "-clients", "3", "-ops", "5", "-seed", "2"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"converged=true", "spec convergence  PASS", "spec weak-list    PASS", "metadata:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAsyncFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-protocol", "rga", "-async", "-clients", "2", "-ops", "4"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "converged=true") {
+		t.Errorf("async run did not converge:\n%s", b.String())
+	}
+}
+
+func TestRunBrokenReportsFailures(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-protocol", "broken", "-clients", "3", "-ops", "6", "-seed", "3"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// The broken protocol diverges on essentially every concurrent workload.
+	if !strings.Contains(out, "FAIL") && !strings.Contains(out, "converged=false") {
+		t.Errorf("broken protocol run reported no problems:\n%s", out)
+	}
+}
+
+func TestRunGCFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-protocol", "css", "-clients", "2", "-ops", "5", "-gc"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "gc: frontier advanced") {
+		t.Errorf("gc output missing:\n%s", b.String())
+	}
+	b.Reset()
+	if err := run([]string{"-protocol", "rga", "-clients", "2", "-ops", "5", "-gc"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "gc: not supported") {
+		t.Errorf("rga gc output missing:\n%s", b.String())
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "hist.json")
+	var b strings.Builder
+	if err := run([]string{"-protocol", "css", "-clients", "2", "-ops", "3", "-json", path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"events"`) {
+		t.Errorf("history file malformed: %s", data[:min(len(data), 200)])
+	}
+}
+
+func TestRunBadProtocol(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-protocol", "nope"}, &b); err == nil {
+		t.Error("unknown protocol must error")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestRunMeshFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-mesh", "-clients", "3", "-ops", "5"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "protocol=dcss") || !strings.Contains(out, "converged=true") {
+		t.Errorf("mesh output:\n%s", out)
+	}
+}

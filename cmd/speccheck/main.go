@@ -1,0 +1,103 @@
+// Command speccheck reads a recorded history (JSON, as written by
+// jupitersim -json) and checks it against the three replicated-list
+// specifications. Exit status 0 means every requested specification holds;
+// 1 means at least one violation; 2 means the input could not be read.
+//
+// Examples:
+//
+//	jupitersim -protocol broken -clients 3 -ops 10 -json hist.json
+//	speccheck hist.json
+//	speccheck -spec weak hist.json
+//	cat hist.json | speccheck -
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"jupiter"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("speccheck", flag.ContinueOnError)
+	specName := fs.String("spec", "all", "specification to check: convergence | weak | strong | all")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(errOut, "usage: speccheck [-spec name] <history.json | ->")
+		return 2
+	}
+
+	var data []byte
+	var err error
+	if fs.Arg(0) == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(fs.Arg(0))
+	}
+	if err != nil {
+		fmt.Fprintln(errOut, "speccheck:", err)
+		return 2
+	}
+
+	var h jupiter.History
+	if err := json.Unmarshal(data, &h); err != nil {
+		fmt.Fprintln(errOut, "speccheck: parse:", err)
+		return 2
+	}
+	if err := h.WellFormed(); err != nil {
+		fmt.Fprintln(errOut, "speccheck: malformed history:", err)
+		return 2
+	}
+	fmt.Fprintf(out, "history: %d do events, %d seed elements\n", h.Len(), len(h.Seed))
+
+	type check struct {
+		name string
+		fn   func(*jupiter.History) error
+	}
+	all := []check{
+		{"convergence", jupiter.CheckConvergence},
+		{"weak", jupiter.CheckWeak},
+		{"strong", jupiter.CheckStrong},
+	}
+	var selected []check
+	for _, c := range all {
+		if *specName == "all" || *specName == c.name {
+			selected = append(selected, c)
+		}
+	}
+	if len(selected) == 0 {
+		fmt.Fprintf(errOut, "speccheck: unknown spec %q\n", *specName)
+		return 2
+	}
+
+	failed := 0
+	for _, c := range selected {
+		if err := c.fn(&h); err != nil {
+			failed++
+			fmt.Fprintf(out, "%-12s FAIL\n", c.name)
+			if v, ok := jupiter.AsViolation(err); ok {
+				fmt.Fprintf(out, "  %s\n", v.Reason)
+				for _, e := range v.Events {
+					fmt.Fprintf(out, "  %s\n", e.String())
+				}
+			} else {
+				fmt.Fprintf(out, "  %v\n", err)
+			}
+			continue
+		}
+		fmt.Fprintf(out, "%-12s PASS\n", c.name)
+	}
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"jupiter"
+)
+
+// writeHistory records a history with the given protocol and writes it to a
+// temp file, returning the path.
+func writeHistory(t *testing.T, p jupiter.Protocol) string {
+	t.Helper()
+	cl, err := jupiter.NewCluster(p, jupiter.Config{Clients: 3, Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jupiter.RunRandom(cl, jupiter.Workload{Seed: 4, OpsPerClient: 5, DeleteRatio: 0.3}, true); err != nil {
+		// The broken protocol can fail mid-run on some seeds; that is fine,
+		// whatever history was recorded is still checkable.
+		t.Logf("run: %v", err)
+	}
+	data, err := json.Marshal(cl.History())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "hist.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckPassingHistory(t *testing.T) {
+	path := writeHistory(t, jupiter.CSS)
+	var out, errOut strings.Builder
+	code := run([]string{path}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, out:\n%s\nerr:\n%s", code, out.String(), errOut.String())
+	}
+	for _, want := range []string{"convergence  PASS", "weak         PASS"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("missing %q in:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestCheckSingleSpec(t *testing.T) {
+	path := writeHistory(t, jupiter.CSS)
+	var out, errOut strings.Builder
+	code := run([]string{"-spec", "weak", path}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if strings.Contains(out.String(), "convergence") {
+		t.Errorf("only weak was requested:\n%s", out.String())
+	}
+}
+
+func TestCheckFailingHistory(t *testing.T) {
+	// Hand-build a weak-violating history: two reads with opposite orders.
+	hist := `{"events":[
+	  {"replica":"c1","op":{"kind":"ins","val":"a","pos":0,"id":{"client":1,"seq":1},"pri":1},
+	   "returned":[{"val":"a","id":{"client":1,"seq":1}}],"visible":[]},
+	  {"replica":"c2","op":{"kind":"ins","val":"x","pos":0,"id":{"client":2,"seq":1},"pri":2},
+	   "returned":[{"val":"x","id":{"client":2,"seq":1}}],"visible":[]},
+	  {"replica":"c1","op":{"kind":"read","pos":0,"id":{"client":-99,"seq":1}},
+	   "returned":[{"val":"a","id":{"client":1,"seq":1}},{"val":"x","id":{"client":2,"seq":1}}],
+	   "visible":[{"client":1,"seq":1},{"client":2,"seq":1}]},
+	  {"replica":"c2","op":{"kind":"read","pos":0,"id":{"client":-99,"seq":2}},
+	   "returned":[{"val":"x","id":{"client":2,"seq":1}},{"val":"a","id":{"client":1,"seq":1}}],
+	   "visible":[{"client":1,"seq":1},{"client":2,"seq":1}]}
+	]}`
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(hist), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	code := run([]string{path}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; out:\n%s\nerr:\n%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Errorf("missing FAIL:\n%s", out.String())
+	}
+}
+
+func TestCheckUsageErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if code := run([]string{"/nonexistent/file.json"}, &out, &errOut); code != 2 {
+		t.Errorf("missing file: exit %d, want 2", code)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{bad}, &out, &errOut); code != 2 {
+		t.Errorf("bad json: exit %d, want 2", code)
+	}
+	if code := run([]string{"-spec", "bogus", bad}, &out, &errOut); code != 2 {
+		t.Errorf("unknown spec: exit %d, want 2", code)
+	}
+}

@@ -1,0 +1,147 @@
+// Command ssviz renders the n-ary ordered state-space produced by the CSS
+// protocol for one of the paper's scenarios, as indented text or Graphviz
+// dot.
+//
+// Scenarios:
+//
+//	fig3  — Example 6.1 / Figure 3: Algorithm 1 along the leftmost transitions
+//	fig4  — Figure 2's schedule / Figure 4: three pairwise-concurrent ops
+//	fig6  — Figure 6: the more involved CSCW'14 schedule
+//	fig7  — Figure 7: the strong-list-specification counterexample
+//
+// Examples:
+//
+//	ssviz -scenario fig7
+//	ssviz -scenario fig4 -dot | dot -Tpng > fig4.png
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"jupiter/internal/list"
+	"jupiter/internal/opid"
+	"jupiter/internal/sim"
+	"jupiter/internal/statespace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ssviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ssviz", flag.ContinueOnError)
+	scenario := fs.String("scenario", "fig4", "scenario: fig3 | fig4 | fig6 | fig7")
+	dot := fs.Bool("dot", false, "emit Graphviz dot instead of text")
+	replica := fs.String("replica", "server", "whose state-space to render (server, c1, c2, ...)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cl, err := sim.NewCluster(sim.CSS, sim.Config{
+		Clients:      3,
+		Record:       true,
+		SpaceOptions: []statespace.Option{statespace.WithDocs()},
+	})
+	if err != nil {
+		return err
+	}
+	if err := buildScenario(cl, *scenario); err != nil {
+		return err
+	}
+
+	spaces, _ := sim.SpacesOf(cl)
+	names := []string{"server", "c1", "c2", "c3"}
+	var space *statespace.Space
+	for i, n := range names {
+		if n == *replica {
+			space = spaces[i]
+		}
+	}
+	if space == nil {
+		return fmt.Errorf("unknown replica %q", *replica)
+	}
+
+	fmt.Fprintf(out, "scenario %s, %s's state-space: %d states, %d edges\n",
+		*scenario, *replica, space.NumStates(), space.NumEdges())
+	if *dot {
+		fmt.Fprint(out, space.Dot())
+	} else {
+		fmt.Fprint(out, space.Render())
+	}
+
+	doc, err := cl.Document(*replica)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "document at %s: %q\n", *replica, list.Render(doc))
+	return nil
+}
+
+func buildScenario(cl sim.Cluster, name string) error {
+	c1, c2, c3 := opid.ClientID(1), opid.ClientID(2), opid.ClientID(3)
+	step := func(errs ...error) error {
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	recvServer := func(c opid.ClientID) error {
+		_, err := cl.DeliverToServer(c)
+		return err
+	}
+	recvClient := func(c opid.ClientID) error {
+		_, err := cl.DeliverToClient(c)
+		return err
+	}
+	switch name {
+	case "fig3", "fig4":
+		// Three pairwise-concurrent single-character inserts (Figure 2's
+		// schedule). fig3's structure is the same integration pattern.
+		if err := step(
+			cl.GenerateIns(c1, 'a', 0),
+			cl.GenerateIns(c2, 'b', 0),
+			cl.GenerateIns(c3, 'c', 0),
+			recvServer(c1), recvServer(c2), recvServer(c3),
+		); err != nil {
+			return err
+		}
+	case "fig6":
+		if err := step(
+			cl.GenerateIns(c1, 'a', 0),
+			recvServer(c1),
+			recvClient(c3),
+			cl.GenerateIns(c2, 'b', 0),
+			cl.GenerateIns(c2, 'c', 1),
+			cl.GenerateIns(c3, 'd', 1),
+			recvServer(c2), recvServer(c2), recvServer(c3),
+		); err != nil {
+			return err
+		}
+	case "fig7":
+		if err := step(cl.GenerateIns(c1, 'x', 0), recvServer(c1)); err != nil {
+			return err
+		}
+		if err := sim.Quiesce(cl); err != nil {
+			return err
+		}
+		if err := step(
+			cl.GenerateDel(c1, 0),
+			cl.GenerateIns(c2, 'a', 0),
+			cl.GenerateIns(c3, 'b', 1),
+			recvServer(c1), recvServer(c2), recvServer(c3),
+		); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown scenario %q", name)
+	}
+	return sim.Quiesce(cl)
+}

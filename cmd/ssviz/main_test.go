@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScenarios(t *testing.T) {
+	for _, sc := range []string{"fig3", "fig4", "fig6", "fig7"} {
+		var b strings.Builder
+		if err := run([]string{"-scenario", sc}, &b); err != nil {
+			t.Fatalf("%s: %v", sc, err)
+		}
+		out := b.String()
+		if !strings.Contains(out, "state-space") || !strings.Contains(out, "document at server") {
+			t.Errorf("%s output malformed:\n%s", sc, out)
+		}
+	}
+}
+
+func TestDotOutput(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-scenario", "fig4", "-dot"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "digraph statespace") {
+		t.Errorf("missing dot header:\n%s", b.String())
+	}
+}
+
+func TestClientReplica(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-scenario", "fig7", "-replica", "c2"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "c2's state-space") {
+		t.Errorf("replica selection broken:\n%s", b.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-scenario", "nope"}, &b); err == nil {
+		t.Error("unknown scenario must error")
+	}
+	if err := run([]string{"-replica", "c9"}, &b); err == nil {
+		t.Error("unknown replica must error")
+	}
+}

@@ -1,0 +1,87 @@
+package jupiter_test
+
+import (
+	"fmt"
+
+	"jupiter"
+)
+
+// The Figure 1 scenario through the public API: two users edit "efecte"
+// concurrently and converge on "effect".
+func Example() {
+	initial := jupiter.FromString("efecte", 100)
+	cl, err := jupiter.NewCluster(jupiter.CSS, jupiter.Config{Clients: 2, Initial: initial, Record: true})
+	if err != nil {
+		panic(err)
+	}
+	_ = cl.GenerateIns(1, 'f', 1) // user 1: Ins(f, 1)
+	_ = cl.GenerateDel(2, 5)      // user 2: Del(e, 5), concurrently
+	_ = jupiter.Quiesce(cl)
+
+	doc, _ := jupiter.CheckConverged(cl)
+	fmt.Println(jupiter.Render(doc))
+	fmt.Println(jupiter.CheckWeak(cl.History()))
+	// Output:
+	// effect
+	// <nil>
+}
+
+// Checking a history against the three specifications.
+func ExampleCheckStrong() {
+	cl, _ := jupiter.NewCluster(jupiter.CSS, jupiter.Config{Clients: 3, Record: true})
+
+	// The Figure 7 counterexample: delete x while inserting around it.
+	_ = cl.GenerateIns(1, 'x', 0)
+	_ = jupiter.Quiesce(cl)
+	_ = cl.GenerateDel(1, 0)
+	_ = cl.GenerateIns(2, 'a', 0)
+	_ = cl.GenerateIns(3, 'b', 1)
+	cl.Read(2) // "ax"
+	cl.Read(3) // "xb"
+	_ = jupiter.Quiesce(cl)
+	for _, c := range cl.Clients() {
+		cl.Read(c) // "ba"
+	}
+
+	h := cl.History()
+	fmt.Println("weak:  ", jupiter.CheckWeak(h))
+	_, isViolation := jupiter.AsViolation(jupiter.CheckStrong(h))
+	fmt.Println("strong violated:", isViolation)
+	// Output:
+	// weak:   <nil>
+	// strong violated: true
+}
+
+// Editing with carets that survive concurrent edits.
+func ExampleNewEditorSession() {
+	session, _ := jupiter.NewEditorSession(2, nil)
+	alice, _ := session.Editor(1)
+	bob, _ := session.Editor(2)
+
+	_, _ = alice.TypeString("world")
+	_ = session.Sync()
+
+	bob.MoveTo(0) // bob's caret before 'w'
+	_, _ = alice.TypeString("!")
+	bob2, _ := session.Editor(2)
+	_, _ = bob2.TypeString("hello ")
+	_ = session.Sync()
+
+	text, _ := session.Converged()
+	fmt.Println(text)
+	// Output:
+	// hello world!
+}
+
+// Server-less collaboration on a peer mesh.
+func ExampleNewMesh() {
+	mesh, _ := jupiter.NewMesh(3, nil, false)
+	_ = mesh.GenerateIns(1, 'g', 0)
+	_ = mesh.GenerateIns(2, 'o', 0) // concurrent: peer 2 has not seen 'g'
+	_ = mesh.Quiesce()
+
+	doc, _ := mesh.CheckConverged()
+	fmt.Println(len(doc))
+	// Output:
+	// 2
+}

@@ -1,0 +1,82 @@
+// Collab: a busy collaborative-editing session. Six users hammer on a
+// shared document at once — every replica runs in its own goroutine,
+// connected to the central server by FIFO channels, exactly the
+// client/server architecture of Section 4.4 of the paper. The example runs
+// the same workload under the CSS protocol, the classical CSCW protocol,
+// and the RGA CRDT baseline, then compares their convergence and metadata
+// footprints.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"jupiter"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		clients = 6
+		ops     = 40
+		seed    = 2024
+	)
+	fmt.Printf("%d concurrent editors, %d operations each (seed %d)\n\n", clients, ops, seed)
+
+	for _, p := range []jupiter.Protocol{jupiter.CSS, jupiter.CSCW, jupiter.RGA} {
+		res, err := jupiter.RunAsync(p, jupiter.AsyncConfig{
+			Clients:      clients,
+			OpsPerClient: ops,
+			Seed:         seed,
+			DeleteRatio:  0.35,
+			Record:       true,
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+
+		// Every replica (server + clients) must hold the same document.
+		names := make([]string, 0, len(res.Docs))
+		for name := range res.Docs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		final := jupiter.Render(res.Docs[names[0]])
+		converged := true
+		for _, name := range names {
+			if jupiter.Render(res.Docs[name]) != final {
+				converged = false
+			}
+		}
+
+		weak := "PASS"
+		if err := jupiter.CheckWeak(res.History); err != nil {
+			weak = "FAIL"
+		}
+		strong := "PASS"
+		if err := jupiter.CheckStrong(res.History); err != nil {
+			strong = "FAIL"
+		}
+
+		states, edges := 0, 0
+		for _, s := range res.Stats {
+			states += s.States
+			edges += s.Edges
+		}
+
+		fmt.Printf("%-5s converged=%-5v weak=%s strong=%s  doc-len=%d  total-metadata: %d states / %d edges across %d structures\n",
+			p, converged, weak, strong, len(res.Docs[names[0]]), states, edges, len(res.Stats))
+	}
+
+	fmt.Println("\nNote: each protocol run uses its own goroutine interleaving, so the final")
+	fmt.Println("documents differ across protocols — what matters is that every run converges")
+	fmt.Println("internally and satisfies its specifications. Under IDENTICAL deterministic")
+	fmt.Println("schedules CSS and CSCW agree step for step (Theorem 7.1; see the test suite).")
+	return nil
+}

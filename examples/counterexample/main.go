@@ -1,0 +1,145 @@
+// Counterexample: the two negative results of the paper, reproduced end to
+// end.
+//
+// Part 1 (Figure 7, Theorem 8.1): Jupiter does NOT satisfy the strong list
+// specification. A client deletes 'x' while two others insert 'a' before it
+// and 'b' after it; the intermediate views "ax" and "xb" together with the
+// final "ba" force a cyclic list order — no single total order over {a,x,b}
+// explains all three lists.
+//
+// Part 2 (Figure 8, Example 8.1): an INCORRECT OT protocol (no server
+// serialization, naive tie-breaking) diverges outright, violating both
+// convergence and the weak list specification. The same checkers that pass
+// Jupiter's histories catch it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jupiter"
+)
+
+func main() {
+	if err := figure7(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	if err := figure8(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func figure7() error {
+	fmt.Println("=== Figure 7: Jupiter violates the STRONG list specification ===")
+	cl, err := jupiter.NewCluster(jupiter.CSS, jupiter.Config{Clients: 3, Record: true})
+	if err != nil {
+		return err
+	}
+
+	// Everyone first agrees the document is "x".
+	if err := cl.GenerateIns(1, 'x', 0); err != nil {
+		return err
+	}
+	if err := jupiter.Quiesce(cl); err != nil {
+		return err
+	}
+
+	// Three concurrent operations.
+	if err := cl.GenerateDel(1, 0); err != nil { // c1: delete x
+		return err
+	}
+	if err := cl.GenerateIns(2, 'a', 0); err != nil { // c2: a before x
+		return err
+	}
+	if err := cl.GenerateIns(3, 'b', 1); err != nil { // c3: b after x
+		return err
+	}
+
+	d2, _ := cl.Document("c2")
+	d3, _ := cl.Document("c3")
+	fmt.Printf("local views: c2 sees %q, c3 sees %q\n", jupiter.Render(d2), jupiter.Render(d3))
+	cl.Read(2)
+	cl.Read(3)
+
+	if err := jupiter.Quiesce(cl); err != nil {
+		return err
+	}
+	doc, err := jupiter.CheckConverged(cl)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("final (everyone): %q\n", jupiter.Render(doc))
+	for _, c := range cl.Clients() {
+		cl.Read(c)
+	}
+
+	h := cl.History()
+	fmt.Printf("convergence: %v\n", passFail(jupiter.CheckConvergence(h)))
+	fmt.Printf("weak list:   %v\n", passFail(jupiter.CheckWeak(h)))
+	err = jupiter.CheckStrong(h)
+	fmt.Printf("strong list: %v\n", passFail(err))
+	if v, ok := jupiter.AsViolation(err); ok {
+		fmt.Printf("  why: %s\n", v.Reason)
+		fmt.Println("  the list order needs (a,x) from \"ax\", (x,b) from \"xb\", (b,a) from \"ba\" — a cycle.")
+	}
+	return nil
+}
+
+func figure8() error {
+	fmt.Println("=== Figure 8: an incorrect OT protocol caught by the checkers ===")
+	initial := jupiter.FromString("abc", 100)
+	cl, err := jupiter.NewCluster(jupiter.Broken, jupiter.Config{Clients: 3, Initial: initial, Record: true})
+	if err != nil {
+		return err
+	}
+
+	// o1 = Ins(x,2) at c1, o2 = Del(b,1) at c2, o3 = Ins(y,1) at c3 —
+	// pairwise concurrent on "abc".
+	if err := cl.GenerateIns(1, 'x', 2); err != nil {
+		return err
+	}
+	if err := cl.GenerateDel(2, 1); err != nil {
+		return err
+	}
+	if err := cl.GenerateIns(3, 'y', 1); err != nil {
+		return err
+	}
+	// Deliver o3 first so both c1 and c2 transform the later arrivals
+	// against it — in different orders, which is the bug.
+	if _, err := cl.DeliverToServer(3); err != nil {
+		return err
+	}
+	if _, err := cl.DeliverToClient(1); err != nil {
+		return err
+	}
+	if _, err := cl.DeliverToClient(2); err != nil {
+		return err
+	}
+	if err := jupiter.Quiesce(cl); err != nil {
+		return err
+	}
+
+	d1, _ := cl.Document("c1")
+	d2, _ := cl.Document("c2")
+	fmt.Printf("c1 ends with %q, c2 ends with %q — divergence!\n",
+		jupiter.Render(d1), jupiter.Render(d2))
+	cl.Read(1)
+	cl.Read(2)
+
+	h := cl.History()
+	fmt.Printf("convergence: %v\n", passFail(jupiter.CheckConvergence(h)))
+	err = jupiter.CheckWeak(h)
+	fmt.Printf("weak list:   %v\n", passFail(err))
+	if v, ok := jupiter.AsViolation(err); ok {
+		fmt.Printf("  why: %s\n", v.Reason)
+	}
+	return nil
+}
+
+func passFail(err error) string {
+	if err == nil {
+		return "PASS"
+	}
+	return "FAIL"
+}

@@ -1,0 +1,87 @@
+// Editor: the adoption-facing layer — carets and selections that survive
+// concurrent editing. Two users edit one document; each keeps a caret, and
+// the library keeps every caret attached to the text around it while remote
+// operations rewrite positions (the same inclusion-transformation idea the
+// Jupiter protocol applies to operations, applied to cursor positions).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jupiter"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	session, err := jupiter.NewEditorSession(2, nil)
+	if err != nil {
+		return err
+	}
+	alice, _ := session.Editor(1)
+	bob, _ := session.Editor(2)
+
+	// Alice drafts a sentence and everyone syncs.
+	if _, err := alice.TypeString("the protocol works"); err != nil {
+		return err
+	}
+	if err := session.Sync(); err != nil {
+		return err
+	}
+	show := func(when string) {
+		fmt.Printf("%-28s alice: %q caret=%d | bob: %q caret=%d\n",
+			when, alice.Text(), alice.Caret(), bob.Text(), bob.Caret())
+	}
+	show("after alice drafts:")
+
+	// Bob puts his caret before "works" (position 13) and starts a word,
+	// while Alice concurrently rewrites the beginning.
+	bob.MoveTo(13)
+	if _, err := bob.TypeString("really "); err != nil {
+		return err
+	}
+	alice.MoveTo(0)
+	if _, err := alice.TypeString("Yes, "); err != nil {
+		return err
+	}
+	show("concurrent, before sync:")
+
+	if err := session.Sync(); err != nil {
+		return err
+	}
+	show("after sync:")
+
+	text, err := session.Converged()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nconverged on %q\n", text)
+	fmt.Println("note both carets moved with their surrounding text, not their indices.")
+
+	// Selections transform too: bob selects "really " and deletes it while
+	// alice appends.
+	if err := bob.Select(18, 25); err != nil {
+		return err
+	}
+	if _, err := bob.DeleteSelection(); err != nil {
+		return err
+	}
+	alice.MoveTo(alice.Len())
+	if _, err := alice.Type('!'); err != nil {
+		return err
+	}
+	if err := session.Sync(); err != nil {
+		return err
+	}
+	text, err = session.Converged()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("after bob's selection delete + alice's '!': %q\n", text)
+	return nil
+}

@@ -1,0 +1,3 @@
+module jupiter
+
+go 1.22

@@ -1,0 +1,167 @@
+package broken_test
+
+import (
+	"testing"
+
+	"jupiter/internal/broken"
+	"jupiter/internal/list"
+	"jupiter/internal/opid"
+	"jupiter/internal/ot"
+)
+
+func id(c int32, s uint64) opid.OpID {
+	return opid.OpID{Client: opid.ClientID(c), Seq: s}
+}
+
+// TestNaiveTransformBreaksCP1 demonstrates the specific flaw: for two
+// concurrent inserts at the same position, NaiveTransform leaves both
+// unchanged, so the two application orders produce different lists.
+func TestNaiveTransformBreaksCP1(t *testing.T) {
+	doc := list.NewDocument()
+	o1 := ot.Ins('a', 0, id(1, 1))
+	o2 := ot.Ins('b', 0, id(2, 1))
+
+	d1 := doc.Clone()
+	if err := ot.Apply(d1, o1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ot.Apply(d1, broken.NaiveTransform(o2, o1)); err != nil {
+		t.Fatal(err)
+	}
+	d2 := doc.Clone()
+	if err := ot.Apply(d2, o2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ot.Apply(d2, broken.NaiveTransform(o1, o2)); err != nil {
+		t.Fatal(err)
+	}
+	if d1.String() == d2.String() {
+		t.Fatalf("NaiveTransform unexpectedly satisfied CP1: both %q", d1.String())
+	}
+	// The correct transform converges on the identical input.
+	if err := ot.CheckCP1(doc, o1, o2); err != nil {
+		t.Fatalf("the correct transform must satisfy CP1: %v", err)
+	}
+}
+
+// TestNaiveTransformDelegates: away from the flawed tie case, NaiveTransform
+// behaves like the correct transform.
+func TestNaiveTransformDelegates(t *testing.T) {
+	o1 := ot.Ins('a', 3, id(1, 1))
+	o2 := ot.Del(list.Elem{Val: 'x', ID: id(9, 1)}, 1, id(2, 1))
+	if got, want := broken.NaiveTransform(o1, o2), ot.Transform(o1, o2); got != want {
+		t.Errorf("NaiveTransform = %v, want %v", got, want)
+	}
+}
+
+// TestExample81ExecutedForms replays Example 8.1 step by step at the replica
+// level and checks every executed (possibly transformed) operation form
+// against the paper's Figure 8 labels.
+func TestExample81ExecutedForms(t *testing.T) {
+	initial := list.FromString("abc", 100)
+	cl1 := broken.NewClient(1, initial, nil)
+	cl2 := broken.NewClient(2, initial, nil)
+	cl3 := broken.NewClient(3, initial, nil)
+
+	m1, err := cl1.GenerateIns('x', 2) // o1 = Ins(x,2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := cl2.GenerateDel(1) // o2 = Del(b,1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3, err := cl3.GenerateIns('y', 1) // o3 = Ins(y,1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// C1 receives o3 then o2.
+	if err := cl1.Receive(m3); err != nil {
+		t.Fatal(err)
+	}
+	if got := list.Render(cl1.Document()); got != "aybxc" {
+		t.Fatalf("C1 after o3{1}: %q, want %q", got, "aybxc")
+	}
+	if err := cl1.Receive(m2); err != nil {
+		t.Fatal(err)
+	}
+	if got := list.Render(cl1.Document()); got != "ayxc" {
+		t.Fatalf("C1 final: %q, want %q", got, "ayxc")
+	}
+
+	// C2 receives o3 then o1.
+	if err := cl2.Receive(m3); err != nil {
+		t.Fatal(err)
+	}
+	if got := list.Render(cl2.Document()); got != "ayc" {
+		t.Fatalf("C2 after o3{2}: %q, want %q", got, "ayc")
+	}
+	if err := cl2.Receive(m1); err != nil {
+		t.Fatal(err)
+	}
+	if got := list.Render(cl2.Document()); got != "axyc" {
+		t.Fatalf("C2 final: %q, want %q", got, "axyc")
+	}
+
+	// Executed forms match Figure 8's path labels.
+	f1 := cl1.ExecutedForms()
+	if len(f1) != 3 {
+		t.Fatalf("C1 executed %d ops", len(f1))
+	}
+	if f1[0].String() != "Ins(x,2)@c1:1" ||
+		f1[1].String() != "Ins(y,1)@c3:1" || // o3{1}
+		f1[2].String() != "Del(b,2)@c2:1" { // o2{1,3}
+		t.Errorf("C1 forms = %v", f1)
+	}
+	f2 := cl2.ExecutedForms()
+	if f2[0].String() != "Del(b,1)@c2:1" ||
+		f2[1].String() != "Ins(y,1)@c3:1" || // o3{2}
+		f2[2].String() != "Ins(x,1)@c1:1" { // o1{2,3} — the naive tie keeps pos 1
+		t.Errorf("C2 forms = %v", f2)
+	}
+
+	// The weak list specification's state-compatibility view: C1 and C2
+	// final lists share x and y in opposite orders.
+	if list.Compatible(cl1.Document(), cl2.Document()) {
+		t.Error("final states should be incompatible (Example 8.4)")
+	}
+}
+
+func TestBrokenClientErrors(t *testing.T) {
+	cl := broken.NewClient(1, nil, nil)
+	if _, err := cl.GenerateDel(0); err == nil {
+		t.Error("delete from empty document must error")
+	}
+	// Receiving an inapplicable op surfaces the document error.
+	bad := broken.Msg{From: 2, Op: ot.Ins('z', 42, id(2, 1)), Ctx: opid.NewSet()}
+	if err := cl.Receive(bad); err == nil {
+		t.Error("out-of-range remote op must error")
+	}
+}
+
+func TestRelayServer(t *testing.T) {
+	srv := broken.NewServer([]opid.ClientID{1, 2, 3})
+	outs, err := srv.Receive(broken.Msg{From: 2, Op: ot.Ins('a', 0, id(2, 1)), Ctx: opid.NewSet()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 2 {
+		t.Fatalf("forwards = %d, want 2", len(outs))
+	}
+	for _, o := range outs {
+		if o.To == 2 {
+			t.Error("must not echo to originator")
+		}
+	}
+}
+
+func TestBrokenRead(t *testing.T) {
+	cl := broken.NewClient(1, list.FromString("hi", 50), nil)
+	if got := list.Render(cl.Read()); got != "hi" {
+		t.Fatalf("Read = %q", got)
+	}
+	if cl.ID() != 1 {
+		t.Fatal("ID mismatch")
+	}
+}

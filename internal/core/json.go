@@ -1,0 +1,175 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"jupiter/internal/list"
+	"jupiter/internal/opid"
+	"jupiter/internal/ot"
+)
+
+// The wire representation of histories. cmd/speccheck consumes this format,
+// and cmd/jupitersim can emit it, so recorded executions can be archived and
+// re-checked offline.
+
+type opIDJSON struct {
+	Client int32  `json:"client"`
+	Seq    uint64 `json:"seq"`
+}
+
+type elemJSON struct {
+	Val string   `json:"val"`
+	ID  opIDJSON `json:"id"`
+}
+
+type opJSON struct {
+	Kind string    `json:"kind"` // "ins", "del", "nop", "read"
+	Val  string    `json:"val,omitempty"`
+	Elem *elemJSON `json:"elem,omitempty"`
+	Pos  int       `json:"pos"`
+	ID   opIDJSON  `json:"id"`
+	Pri  int32     `json:"pri"`
+}
+
+type eventJSON struct {
+	Replica  string     `json:"replica"`
+	Op       opJSON     `json:"op"`
+	Returned []elemJSON `json:"returned"`
+	Visible  []opIDJSON `json:"visible"`
+}
+
+type historyJSON struct {
+	Seed   []elemJSON  `json:"seed,omitempty"`
+	Events []eventJSON `json:"events"`
+}
+
+func idToJSON(id opid.OpID) opIDJSON {
+	return opIDJSON{Client: int32(id.Client), Seq: id.Seq}
+}
+
+func idFromJSON(j opIDJSON) opid.OpID {
+	return opid.OpID{Client: opid.ClientID(j.Client), Seq: j.Seq}
+}
+
+func elemToJSON(e list.Elem) elemJSON {
+	return elemJSON{Val: string(e.Val), ID: idToJSON(e.ID)}
+}
+
+func elemFromJSON(j elemJSON) (list.Elem, error) {
+	r := []rune(j.Val)
+	if len(r) != 1 {
+		return list.Elem{}, fmt.Errorf("history json: element value %q is not a single rune", j.Val)
+	}
+	return list.Elem{Val: r[0], ID: idFromJSON(j.ID)}, nil
+}
+
+func opToJSON(o ot.Op) opJSON {
+	j := opJSON{Pos: o.Pos, ID: idToJSON(o.ID), Pri: o.Pri}
+	switch o.Kind {
+	case ot.KindIns:
+		j.Kind = "ins"
+		j.Val = string(o.Elem.Val)
+	case ot.KindDel:
+		j.Kind = "del"
+		e := elemToJSON(o.Elem)
+		j.Elem = &e
+	case ot.KindNop:
+		j.Kind = "nop"
+	case ot.KindRead:
+		j.Kind = "read"
+	}
+	return j
+}
+
+func opFromJSON(j opJSON) (ot.Op, error) {
+	id := idFromJSON(j.ID)
+	switch j.Kind {
+	case "ins":
+		r := []rune(j.Val)
+		if len(r) != 1 {
+			return ot.Op{}, fmt.Errorf("history json: insert value %q is not a single rune", j.Val)
+		}
+		o := ot.Ins(r[0], j.Pos, id)
+		o.Pri = j.Pri
+		return o, nil
+	case "del":
+		if j.Elem == nil {
+			return ot.Op{}, fmt.Errorf("history json: delete without element")
+		}
+		e, err := elemFromJSON(*j.Elem)
+		if err != nil {
+			return ot.Op{}, err
+		}
+		o := ot.Del(e, j.Pos, id)
+		o.Pri = j.Pri
+		return o, nil
+	case "nop":
+		return ot.Nop(id), nil
+	case "read":
+		return ot.Read(id), nil
+	default:
+		return ot.Op{}, fmt.Errorf("history json: unknown op kind %q", j.Kind)
+	}
+}
+
+// MarshalJSON implements json.Marshaler.
+func (h *History) MarshalJSON() ([]byte, error) {
+	out := historyJSON{Events: make([]eventJSON, 0, len(h.Events))}
+	for _, e := range h.Seed {
+		out.Seed = append(out.Seed, elemToJSON(e))
+	}
+	for _, e := range h.Events {
+		ev := eventJSON{
+			Replica:  e.Replica,
+			Op:       opToJSON(e.Op),
+			Returned: make([]elemJSON, 0, len(e.Returned)),
+			Visible:  make([]opIDJSON, 0, len(e.Visible)),
+		}
+		for _, el := range e.Returned {
+			ev.Returned = append(ev.Returned, elemToJSON(el))
+		}
+		for _, id := range e.Visible.Sorted() {
+			ev.Visible = append(ev.Visible, idToJSON(id))
+		}
+		out.Events = append(out.Events, ev)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (h *History) UnmarshalJSON(data []byte) error {
+	var in historyJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("history json: %w", err)
+	}
+	h.Events = nil
+	h.Seed = nil
+	for _, ej := range in.Seed {
+		e, err := elemFromJSON(ej)
+		if err != nil {
+			return err
+		}
+		h.Seed = append(h.Seed, e)
+	}
+	for _, ev := range in.Events {
+		op, err := opFromJSON(ev.Op)
+		if err != nil {
+			return err
+		}
+		returned := make([]list.Elem, 0, len(ev.Returned))
+		for _, ej := range ev.Returned {
+			e, err := elemFromJSON(ej)
+			if err != nil {
+				return err
+			}
+			returned = append(returned, e)
+		}
+		visible := opid.NewSet()
+		for _, ij := range ev.Visible {
+			visible = visible.Add(idFromJSON(ij))
+		}
+		h.Append(ev.Replica, op, returned, visible)
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+
+	"jupiter/internal/opid"
+)
+
+// StepKind enumerates the three kinds of scheduler steps that drive a
+// client/server execution. A Schedule (Definition 4.7) is "an execution with
+// the arguments of each event erased": it fixes WHEN each replica generates
+// or processes, while the protocol under test determines WHAT happens.
+type StepKind uint8
+
+// Scheduler step kinds.
+const (
+	// StepGenerate makes a client invoke its next scripted user operation
+	// (a do event followed by a send to the server).
+	StepGenerate StepKind = iota + 1
+	// StepServer makes the server receive and process the next pending
+	// message from the given client's FIFO channel.
+	StepServer
+	// StepClient makes the given client receive and process the next pending
+	// message on its FIFO channel from the server.
+	StepClient
+	// StepRead makes a client (or the server, with Client < 0) perform a
+	// read, recording a do(Read, w) event.
+	StepRead
+)
+
+// String implements fmt.Stringer.
+func (k StepKind) String() string {
+	switch k {
+	case StepGenerate:
+		return "generate"
+	case StepServer:
+		return "server-recv"
+	case StepClient:
+		return "client-recv"
+	case StepRead:
+		return "read"
+	default:
+		return fmt.Sprintf("StepKind(%d)", uint8(k))
+	}
+}
+
+// Step is one scheduler step.
+type Step struct {
+	Kind   StepKind
+	Client opid.ClientID // which client generates/receives/reads; for StepServer, whose channel the server services
+}
+
+// Schedule is a deterministic interleaving of generation and delivery steps.
+// Running the same Schedule against two protocols is how the Equivalence
+// Theorem (Theorem 7.1) is checked: "the behaviors of corresponding replicas
+// ... are the same under the same schedule".
+type Schedule []Step
+
+// Generate appends a generation step for client c and returns the schedule.
+func (s Schedule) Generate(c opid.ClientID) Schedule {
+	return append(s, Step{Kind: StepGenerate, Client: c})
+}
+
+// ServerRecv appends a server-receive step servicing client c's channel.
+func (s Schedule) ServerRecv(c opid.ClientID) Schedule {
+	return append(s, Step{Kind: StepServer, Client: c})
+}
+
+// ClientRecv appends a client-receive step for client c.
+func (s Schedule) ClientRecv(c opid.ClientID) Schedule {
+	return append(s, Step{Kind: StepClient, Client: c})
+}
+
+// Read appends a read step for client c.
+func (s Schedule) Read(c opid.ClientID) Schedule {
+	return append(s, Step{Kind: StepRead, Client: c})
+}

@@ -1,0 +1,369 @@
+package cscw_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"jupiter/internal/cscw"
+	"jupiter/internal/list"
+	"jupiter/internal/opid"
+	"jupiter/internal/ot"
+	"jupiter/internal/sim"
+	"jupiter/internal/spec"
+)
+
+func docString(t *testing.T, cl sim.Cluster, replica string) string {
+	t.Helper()
+	d, err := cl.Document(replica)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return list.Render(d)
+}
+
+func newCluster(t *testing.T, p sim.Protocol, n int, initial list.Doc) sim.Cluster {
+	t.Helper()
+	cl, err := sim.NewCluster(p, sim.Config{Clients: n, Initial: initial, Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+// TestFigure1ThroughCSCW runs the Figure 1 scenario through the full CSCW
+// protocol: concurrent Ins(f,1) and Del(e,5) on "efecte" converge to
+// "effect" at both clients and the server.
+func TestFigure1ThroughCSCW(t *testing.T) {
+	cl := newCluster(t, sim.CSCW, 2, list.FromString("efecte", 100))
+	if err := cl.GenerateIns(1, 'f', 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.GenerateDel(2, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Quiesce(cl); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := sim.CheckConverged(cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := list.Render(doc); got != "effect" {
+		t.Fatalf("converged to %q, want %q", got, "effect")
+	}
+}
+
+// TestFigure2ScheduleCSCW runs the Figure 2 schedule (three concurrent
+// inserts) through CSCW and checks c3's intermediate views match the ones
+// the CSS protocol produced in the css package tests — the per-step
+// agreement that Theorem 7.1 asserts.
+func TestFigure2ScheduleCSCW(t *testing.T) {
+	cl := newCluster(t, sim.CSCW, 3, nil)
+	c1, c2, c3 := opid.ClientID(1), opid.ClientID(2), opid.ClientID(3)
+
+	for i, step := range []struct {
+		c opid.ClientID
+		v rune
+	}{{c1, 'a'}, {c2, 'b'}, {c3, 'c'}} {
+		if err := cl.GenerateIns(step.c, step.v, 0); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	if got := docString(t, cl, "c3"); got != "c" {
+		t.Fatalf("c3 = %q, want %q", got, "c")
+	}
+	for _, c := range []opid.ClientID{c1, c2, c3} {
+		if _, err := cl.DeliverToServer(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := docString(t, cl, "server"); got != "cba" {
+		t.Fatalf("server = %q, want %q", got, "cba")
+	}
+	if _, err := cl.DeliverToClient(c3); err != nil {
+		t.Fatal(err)
+	}
+	if got := docString(t, cl, "c3"); got != "ca" {
+		t.Fatalf("c3 after o1 = %q, want %q", got, "ca")
+	}
+	if _, err := cl.DeliverToClient(c3); err != nil {
+		t.Fatal(err)
+	}
+	if got := docString(t, cl, "c3"); got != "cba" {
+		t.Fatalf("c3 after o2 = %q, want %q", got, "cba")
+	}
+	if err := sim.Quiesce(cl); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.CheckConverged(cl); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDSSBookkeeping checks the 2n 2D state-space accounting the paper
+// contrasts with the CSS protocol's single space: a 3-client CSCW cluster
+// maintains 3 server-side spaces and 1 per client.
+func TestDSSBookkeeping(t *testing.T) {
+	cl := newCluster(t, sim.CSCW, 3, nil)
+	for c := opid.ClientID(1); c <= 3; c++ {
+		if err := cl.GenerateIns(c, rune('a'+c), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sim.Quiesce(cl); err != nil {
+		t.Fatal(err)
+	}
+	stats := cl.Stats()
+	if len(stats) != 6 {
+		t.Fatalf("got %d state-spaces, want 2n = 6", len(stats))
+	}
+	server, client := 0, 0
+	for _, s := range stats {
+		if s.Replica == opid.ServerName {
+			server++
+		} else {
+			client++
+		}
+		if s.States < 2 {
+			t.Errorf("space %s/%s suspiciously small: %+v", s.Replica, s.Name, s)
+		}
+	}
+	if server != 3 || client != 3 {
+		t.Errorf("server/client spaces = %d/%d, want 3/3", server, client)
+	}
+}
+
+// TestAckOutOfOrderRejected: acknowledgements must arrive for the oldest
+// pending operation first.
+func TestAckOutOfOrderRejected(t *testing.T) {
+	c := cscw.NewClient(1, nil, nil)
+	if _, err := c.GenerateIns('a', 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GenerateIns('b', 1); err != nil {
+		t.Fatal(err)
+	}
+	err := c.Receive(cscw.ServerMsg{Kind: cscw.MsgAck, AckID: opid.OpID{Client: 1, Seq: 2}})
+	if err == nil {
+		t.Error("out-of-order ack must be rejected")
+	}
+	// Ack with empty pending.
+	c2 := cscw.NewClient(2, nil, nil)
+	if err := c2.Receive(cscw.ServerMsg{Kind: cscw.MsgAck, AckID: opid.OpID{Client: 2, Seq: 1}}); err == nil {
+		t.Error("ack with no pending ops must be rejected")
+	}
+}
+
+// schedule is a reproducible random schedule script shared by the
+// equivalence tests: a list of actions applied identically to two clusters.
+type schedAction struct {
+	kind int // 0 = generate, 1 = deliver-to-server, 2 = deliver-to-client
+	c    opid.ClientID
+	ins  bool
+	val  rune
+	pos  int // for inserts: fraction of doc length is recomputed per cluster
+	frac float64
+}
+
+// buildRandomSchedule produces a causally valid action script. Positions
+// are stored as fractions so that both clusters (which by Theorem 7.1 hold
+// identical documents at every step) resolve them to the same index.
+func buildRandomSchedule(r *rand.Rand, n, opsPerClient int) []schedAction {
+	var acts []schedAction
+	remaining := make(map[opid.ClientID]int)
+	for i := 1; i <= n; i++ {
+		remaining[opid.ClientID(i)] = opsPerClient
+	}
+	inFlightToServer := make(map[opid.ClientID]int)
+	inFlightToClient := make(map[opid.ClientID]int)
+	total := n * opsPerClient
+	done := 0
+	for {
+		var choices []schedAction
+		for i := 1; i <= n; i++ {
+			c := opid.ClientID(i)
+			if remaining[c] > 0 {
+				choices = append(choices, schedAction{kind: 0, c: c})
+			}
+			if inFlightToServer[c] > 0 {
+				choices = append(choices, schedAction{kind: 1, c: c})
+			}
+			if inFlightToClient[c] > 0 {
+				choices = append(choices, schedAction{kind: 2, c: c})
+			}
+		}
+		if len(choices) == 0 {
+			break
+		}
+		a := choices[r.Intn(len(choices))]
+		switch a.kind {
+		case 0:
+			a.ins = r.Float64() < 0.7
+			a.val = rune('a' + done%26)
+			a.frac = r.Float64()
+			remaining[a.c]--
+			inFlightToServer[a.c]++
+			done++
+		case 1:
+			inFlightToServer[a.c]--
+			for i := 1; i <= n; i++ {
+				inFlightToClient[opid.ClientID(i)]++
+			}
+		case 2:
+			inFlightToClient[a.c]--
+		}
+		acts = append(acts, a)
+	}
+	_ = total
+	return acts
+}
+
+// applyAction applies one schedule action to a cluster.
+func applyAction(cl sim.Cluster, a schedAction) error {
+	switch a.kind {
+	case 0:
+		doc, err := cl.Document(a.c.String())
+		if err != nil {
+			return err
+		}
+		n := len(doc)
+		if a.ins || n == 0 {
+			return cl.GenerateIns(a.c, a.val, int(a.frac*float64(n+1))%(n+1))
+		}
+		return cl.GenerateDel(a.c, int(a.frac*float64(n))%n)
+	case 1:
+		_, err := cl.DeliverToServer(a.c)
+		return err
+	case 2:
+		_, err := cl.DeliverToClient(a.c)
+		return err
+	}
+	return fmt.Errorf("bad action %+v", a)
+}
+
+// TestEquivalenceTheorem checks Theorem 7.1 over many random schedules: the
+// behaviors of corresponding replicas in CSS and CSCW are the same — after
+// EVERY schedule step, every replica holds the same document under both
+// protocols.
+func TestEquivalenceTheorem(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(3)
+		acts := buildRandomSchedule(r, n, 3+r.Intn(4))
+
+		cssCl := newCluster(t, sim.CSS, n, nil)
+		cscwCl := newCluster(t, sim.CSCW, n, nil)
+
+		replicas := []string{opid.ServerName}
+		for i := 1; i <= n; i++ {
+			replicas = append(replicas, opid.ClientID(i).String())
+		}
+
+		for step, a := range acts {
+			if err := applyAction(cssCl, a); err != nil {
+				t.Fatalf("seed %d step %d css: %v", seed, step, err)
+			}
+			if err := applyAction(cscwCl, a); err != nil {
+				t.Fatalf("seed %d step %d cscw: %v", seed, step, err)
+			}
+			for _, rep := range replicas {
+				d1, err := cssCl.Document(rep)
+				if err != nil {
+					t.Fatal(err)
+				}
+				d2, err := cscwCl.Document(rep)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !list.ElemsEqual(d1, d2) {
+					t.Fatalf("seed %d step %d (%+v): %s diverged: css=%q cscw=%q",
+						seed, step, a, rep, list.Render(d1), list.Render(d2))
+				}
+			}
+		}
+
+		// Both converge, and both histories satisfy convergence + weak.
+		for _, cl := range []sim.Cluster{cssCl, cscwCl} {
+			if err := sim.Quiesce(cl); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if _, err := sim.CheckConverged(cl); err != nil {
+				t.Fatalf("seed %d %s: %v", seed, cl.Protocol(), err)
+			}
+			for _, c := range cl.Clients() {
+				cl.Read(c)
+			}
+			cl.ReadServer()
+			h := cl.History()
+			if err := h.WellFormed(); err != nil {
+				t.Fatalf("seed %d %s: %v", seed, cl.Protocol(), err)
+			}
+			if err := spec.CheckConvergence(h); err != nil {
+				t.Fatalf("seed %d %s: %v", seed, cl.Protocol(), err)
+			}
+			if err := spec.CheckWeak(h); err != nil {
+				t.Fatalf("seed %d %s: %v", seed, cl.Protocol(), err)
+			}
+		}
+
+		// Final documents agree across the protocols.
+		f1, _ := cssCl.Document(opid.ServerName)
+		f2, _ := cscwCl.Document(opid.ServerName)
+		if !list.ElemsEqual(f1, f2) {
+			t.Fatalf("seed %d: final docs differ: %q vs %q", seed, list.Render(f1), list.Render(f2))
+		}
+	}
+}
+
+// TestServerRejectsNonPrefixContext: the FIFO channel assumption means a
+// client's context always covers a prefix of what the server sent it; a
+// hole in the middle is a protocol violation the server must reject.
+func TestServerRejectsNonPrefixContext(t *testing.T) {
+	ids := []opid.ClientID{1, 2}
+	srv := cscw.NewServer(ids, nil, nil)
+	c2 := cscw.NewClient(2, nil, nil)
+
+	// Two ops from c2 reach the server, filling c1's `against` list.
+	m1, err := c2.GenerateIns('a', 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Receive(m1); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := c2.GenerateIns('b', 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Receive(m2); err != nil {
+		t.Fatal(err)
+	}
+
+	// A forged message from c1 claiming to have seen op2 but not op1.
+	forged := cscw.ClientMsg{
+		From: 1,
+		Op:   ot.Ins('x', 0, opid.OpID{Client: 1, Seq: 1}),
+		Ctx:  opid.NewSet(m2.Op.ID),
+	}
+	if _, err := srv.Receive(forged); err == nil {
+		t.Fatal("non-prefix context must be rejected")
+	}
+}
+
+// TestServerUnknownClient: messages from unregistered clients are rejected.
+func TestServerUnknownClient(t *testing.T) {
+	srv := cscw.NewServer([]opid.ClientID{1}, nil, nil)
+	msg := cscw.ClientMsg{From: 9, Op: ot.Ins('x', 0, opid.OpID{Client: 9, Seq: 1}), Ctx: opid.NewSet()}
+	if _, err := srv.Receive(msg); err == nil {
+		t.Fatal("unknown client must be rejected")
+	}
+}
+
+// TestClientUnknownMsgKind: unknown server message kinds are rejected.
+func TestClientUnknownMsgKind(t *testing.T) {
+	c := cscw.NewClient(1, nil, nil)
+	if err := c.Receive(cscw.ServerMsg{Kind: 42}); err == nil {
+		t.Fatal("unknown kind must be rejected")
+	}
+}

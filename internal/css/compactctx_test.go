@@ -1,0 +1,99 @@
+package css_test
+
+import (
+	"testing"
+
+	"jupiter/internal/list"
+	"jupiter/internal/opid"
+	"jupiter/internal/sim"
+	"jupiter/internal/spec"
+	"jupiter/internal/statespace"
+)
+
+// TestCompactContextsEquivalent runs identical random workloads through the
+// explicit and compact wire formats and checks the replicas behave
+// identically: same documents after quiescence, same state-space structure,
+// same history events.
+func TestCompactContextsEquivalent(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		mk := func(compact bool) sim.Cluster {
+			cl, err := sim.NewCluster(sim.CSS, sim.Config{
+				Clients:         3,
+				Record:          true,
+				CompactContexts: compact,
+				SpaceOptions:    []statespace.Option{statespace.WithDocs()},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return cl
+		}
+		explicit := mk(false)
+		compact := mk(true)
+		w := sim.Workload{Seed: seed, OpsPerClient: 7, DeleteRatio: 0.3}
+		if err := sim.RunRandom(explicit, w, false); err != nil {
+			t.Fatalf("seed %d explicit: %v", seed, err)
+		}
+		if err := sim.RunRandom(compact, w, false); err != nil {
+			t.Fatalf("seed %d compact: %v", seed, err)
+		}
+		for _, r := range []string{"server", "c1", "c2", "c3"} {
+			d1, err := explicit.Document(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d2, err := compact.Document(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !list.ElemsEqual(d1, d2) {
+				t.Fatalf("seed %d: %s differs: %q vs %q", seed, r, list.Render(d1), list.Render(d2))
+			}
+		}
+		s1, _ := sim.SpacesOf(explicit)
+		s2, _ := sim.SpacesOf(compact)
+		for i := range s1 {
+			if s1[i].Render() != s2[i].Render() {
+				t.Fatalf("seed %d: space %d differs between wire formats", seed, i)
+			}
+		}
+		if err := spec.CheckWeak(compact.History()); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestCompactContextsWithGC: the compact wire format coexists with the
+// frontier GC extension.
+func TestCompactContextsWithGC(t *testing.T) {
+	cl, err := sim.NewCluster(sim.CSS, sim.Config{Clients: 3, Record: true, CompactContexts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 6; round++ {
+		for c := opid.ClientID(1); c <= 3; c++ {
+			doc, err := cl.Document(c.String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cl.GenerateIns(c, rune('a'+round), len(doc)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sim.Quiesce(cl); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sim.AdvanceFrontier(cl); err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.Quiesce(cl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sim.CheckConverged(cl); err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.CheckWeak(cl.History()); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,160 @@
+package css_test
+
+import (
+	"testing"
+
+	"jupiter/internal/css"
+	"jupiter/internal/opid"
+)
+
+// TestStableFrontierComputation drives the server directly and checks the
+// frontier is exactly the longest prefix of the serialization order every
+// client is known to have processed.
+func TestStableFrontierComputation(t *testing.T) {
+	ids := []opid.ClientID{1, 2}
+	srv := css.NewServer(ids, nil, nil)
+	c1 := css.NewClient(1, nil, nil)
+	c2 := css.NewClient(2, nil, nil)
+
+	feed := func(t *testing.T, from *css.Client, msg css.ClientMsg) {
+		t.Helper()
+		outs, err := srv.Receive(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range outs {
+			var cl *css.Client
+			if o.To == 1 {
+				cl = c1
+			} else {
+				cl = c2
+			}
+			if err := cl.Receive(o.Msg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_ = from
+	}
+
+	// c1 generates op1; the server serializes it; both clients see it
+	// (broadcast/ack delivered synchronously above).
+	m1, err := c1.GenerateIns('a', 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, c1, m1)
+
+	// The server has no EVIDENCE yet that c2 processed op1 (evidence only
+	// arrives in message contexts).
+	if f := srv.StableFrontier(); len(f) != 0 {
+		t.Fatalf("frontier = %s, want empty (no reports yet)", f)
+	}
+
+	// c2 generates op2 with op1 in its context: now op1 is known-processed
+	// by c2; and c1 processed op1 at generation (its own op counts).
+	m2, err := c2.GenerateIns('b', 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m2.Ctx.Contains(m1.Op.ID) {
+		t.Fatal("c2's context should contain op1")
+	}
+	feed(t, c2, m2)
+
+	f := srv.StableFrontier()
+	if len(f) != 1 || !f.Contains(m1.Op.ID) {
+		t.Fatalf("frontier = %s, want {op1}", f)
+	}
+
+	// Advancing twice: second time is a no-op with no messages.
+	outs, err := srv.AdvanceFrontier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 2 {
+		t.Fatalf("frontier messages = %d, want 2", len(outs))
+	}
+	for _, o := range outs {
+		if o.Msg.Kind != css.MsgFrontier {
+			t.Fatalf("unexpected message kind %v", o.Msg.Kind)
+		}
+	}
+	outs, err = srv.AdvanceFrontier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs != nil {
+		t.Fatalf("second advance should be a no-op, got %d messages", len(outs))
+	}
+}
+
+// TestClientReceivesFrontier: a client compacts on MsgFrontier and keeps
+// operating.
+func TestClientReceivesFrontier(t *testing.T) {
+	ids := []opid.ClientID{1, 2}
+	srv := css.NewServer(ids, nil, nil)
+	c1 := css.NewClient(1, nil, nil)
+	c2 := css.NewClient(2, nil, nil)
+
+	pump := func(t *testing.T, msg css.ClientMsg) {
+		t.Helper()
+		outs, err := srv.Receive(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range outs {
+			cl := c1
+			if o.To == 2 {
+				cl = c2
+			}
+			if err := cl.Receive(o.Msg); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	m1, err := c1.GenerateIns('a', 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pump(t, m1)
+	m2, err := c2.GenerateIns('b', 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pump(t, m2)
+	m3, err := c1.GenerateIns('c', 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pump(t, m3)
+
+	before1 := c1.Space().NumStates()
+	outs, err := srv.AdvanceFrontier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range outs {
+		cl := c1
+		if o.To == 2 {
+			cl = c2
+		}
+		if err := cl.Receive(o.Msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c1.Space().NumStates() >= before1 {
+		t.Fatalf("c1 space did not shrink: %d -> %d", before1, c1.Space().NumStates())
+	}
+
+	// Still operational after compaction.
+	m4, err := c2.GenerateIns('d', 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pump(t, m4)
+	d1, d2, ds := c1.Document(), c2.Document(), srv.Document()
+	if len(d1) != 4 || len(d2) != 4 || len(ds) != 4 {
+		t.Fatalf("docs after post-GC edit: %d/%d/%d elements", len(d1), len(d2), len(ds))
+	}
+}

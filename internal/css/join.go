@@ -1,0 +1,112 @@
+package css
+
+import (
+	"fmt"
+
+	"jupiter/internal/core"
+	"jupiter/internal/list"
+	"jupiter/internal/opid"
+	"jupiter/internal/statespace"
+)
+
+// Late join.
+//
+// A client that joins an ongoing session cannot start from the empty
+// document: operation contexts reference history it never saw. The join
+// protocol roots the newcomer at the server's STABILITY FRONTIER — the
+// prefix of the serialization order every existing client has provably
+// processed — and replays the (short) suffix of operations serialized after
+// it:
+//
+//  1. the server maintains, alongside the frontier (see AdvanceFrontier),
+//     the frontier document (the list value at the frontier state, advanced
+//     along the leftmost path, Lemma 6.4) and a replay log of the
+//     broadcasts for every operation past the frontier;
+//  2. Snapshot() captures frontier identifiers, frontier document, and the
+//     replay log;
+//  3. NewClientFromSnapshot roots a fresh state-space at the frontier
+//     (statespace.NewAt) and replays the suffix through the ordinary
+//     Receive path, arriving at the server's current state;
+//  4. AddClient registers the newcomer for future redirections.
+//
+// Safety is the CompactTo contract: every in-flight and future operation
+// has a context at or above the frontier, so the newcomer's rooted space
+// always contains the matching states it needs.
+
+// Snapshot is the state a late joiner needs.
+type Snapshot struct {
+	// FrontierIDs is the serialization-order prefix the snapshot is rooted
+	// at (every existing replica has processed these).
+	FrontierIDs []opid.OpID
+	// FrontierDoc is the list value at the frontier.
+	FrontierDoc []list.Elem
+	// Replay carries the broadcasts for every operation serialized after
+	// the frontier, in order.
+	Replay []ServerMsg
+}
+
+// Snapshot captures the current join snapshot. Call AdvanceFrontier first
+// to keep the replay suffix short.
+func (s *Server) Snapshot() *Snapshot {
+	snap := &Snapshot{
+		FrontierIDs: make([]opid.OpID, len(s.frontierOps)),
+		FrontierDoc: append([]list.Elem(nil), s.frontierDoc.Elems()...),
+		Replay:      make([]ServerMsg, len(s.replay)),
+	}
+	copy(snap.FrontierIDs, s.frontierOps)
+	copy(snap.Replay, s.replay)
+	return snap
+}
+
+// AddClient registers a new client for future redirections and
+// acknowledgements. The client should be constructed from a Snapshot taken
+// before any further operations are serialized (single-threaded harnesses
+// call Snapshot and AddClient back to back).
+func (s *Server) AddClient(id opid.ClientID) error {
+	for _, c := range s.clients {
+		if c == id {
+			return fmt.Errorf("server: client %s already registered", id)
+		}
+	}
+	s.clients = append(s.clients, id)
+	// The joiner has processed everything up to the snapshot point.
+	known := opid.NewSet(s.frontierOps...)
+	for _, m := range s.replay {
+		known = known.Add(m.Op.ID)
+	}
+	s.known[id] = known
+	return nil
+}
+
+// NewClientFromSnapshot constructs a client that joins mid-session from a
+// server snapshot. The returned client is fully caught up with the
+// snapshot point; register it with Server.AddClient before it generates.
+func NewClientFromSnapshot(id opid.ClientID, snap *Snapshot, rec core.Recorder, opts ...statespace.Option) (*Client, error) {
+	root := opid.NewSet(snap.FrontierIDs...)
+	doc := list.NewDocument()
+	for i, e := range snap.FrontierDoc {
+		if err := doc.Insert(i, e); err != nil {
+			return nil, fmt.Errorf("join: rebuild frontier doc: %w", err)
+		}
+	}
+	c := &Client{
+		replica: replica{
+			name:      id.String(),
+			space:     statespace.NewAt(root, doc, opts...),
+			doc:       doc.Clone(),
+			processed: root.Clone(),
+			rec:       rec,
+		},
+		id: id,
+	}
+	for _, opID := range snap.FrontierIDs {
+		c.order.appendEntry(opID, opID.Client)
+		c.broadcasts++
+	}
+	for _, m := range snap.Replay {
+		if err := c.Receive(m); err != nil {
+			return nil, fmt.Errorf("join: replay: %w", err)
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,233 @@
+package css_test
+
+import (
+	"testing"
+
+	"jupiter/internal/css"
+	"jupiter/internal/list"
+	"jupiter/internal/opid"
+	"jupiter/internal/ot"
+)
+
+// joinRig is a manual harness whose client set can grow mid-session.
+type joinRig struct {
+	t        *testing.T
+	srv      *css.Server
+	clients  map[opid.ClientID]*css.Client
+	toClient map[opid.ClientID][]css.ServerMsg
+}
+
+func newJoinRig(t *testing.T, n int) *joinRig {
+	t.Helper()
+	ids := make([]opid.ClientID, n)
+	for i := range ids {
+		ids[i] = opid.ClientID(i + 1)
+	}
+	r := &joinRig{
+		t:        t,
+		srv:      css.NewServer(ids, nil, nil),
+		clients:  make(map[opid.ClientID]*css.Client),
+		toClient: make(map[opid.ClientID][]css.ServerMsg),
+	}
+	for _, id := range ids {
+		r.clients[id] = css.NewClient(id, nil, nil)
+	}
+	return r
+}
+
+func (r *joinRig) send(msg css.ClientMsg) {
+	r.t.Helper()
+	outs, err := r.srv.Receive(msg)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	for _, o := range outs {
+		r.toClient[o.To] = append(r.toClient[o.To], o.Msg)
+	}
+}
+
+func (r *joinRig) fan(outs []css.Addressed) {
+	for _, o := range outs {
+		r.toClient[o.To] = append(r.toClient[o.To], o.Msg)
+	}
+}
+
+func (r *joinRig) pump() {
+	r.t.Helper()
+	for {
+		progress := false
+		for id, q := range r.toClient {
+			for _, m := range q {
+				if err := r.clients[id].Receive(m); err != nil {
+					r.t.Fatal(err)
+				}
+				progress = true
+			}
+			r.toClient[id] = nil
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+func (r *joinRig) typeAt(id opid.ClientID, val rune, pos int) {
+	r.t.Helper()
+	msg, err := r.clients[id].GenerateIns(val, pos)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	r.send(msg)
+}
+
+func (r *joinRig) converged() string {
+	r.t.Helper()
+	ref := list.Render(r.srv.Document())
+	for id, c := range r.clients {
+		if got := list.Render(c.Document()); got != ref {
+			r.t.Fatalf("%s holds %q, server %q", id, got, ref)
+		}
+	}
+	return ref
+}
+
+// TestLateJoinAtQuiescence: a third client joins after a quiesced, frontier-
+// advanced session and participates normally.
+func TestLateJoinAtQuiescence(t *testing.T) {
+	r := newJoinRig(t, 2)
+	r.typeAt(1, 'h', 0)
+	r.pump()
+	r.typeAt(2, 'i', 1)
+	r.pump()
+	// One more exchanged round carries the "everyone is caught up" evidence.
+	r.typeAt(1, '!', 2)
+	r.pump()
+	outs, err := r.srv.AdvanceFrontier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.fan(outs)
+	r.pump()
+
+	snap := r.srv.Snapshot()
+	if len(snap.FrontierIDs) == 0 {
+		t.Fatal("frontier empty; snapshot would replay everything")
+	}
+	joiner, err := css.NewClientFromSnapshot(3, snap, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.srv.AddClient(3); err != nil {
+		t.Fatal(err)
+	}
+	r.clients[3] = joiner
+
+	if got := list.Render(joiner.Document()); got != r.converged() {
+		t.Fatalf("joiner doc %q, want %q", got, r.converged())
+	}
+
+	// The joiner edits; everyone converges.
+	r.typeAt(3, '?', 3)
+	// Concurrent edit from an old client.
+	r.typeAt(1, '>', 0)
+	r.pump()
+	if got := r.converged(); len(got) != 5 {
+		t.Fatalf("final doc %q", got)
+	}
+}
+
+// TestLateJoinWithReplay: the snapshot is taken while the frontier lags the
+// serialization order, so the joiner must replay the suffix.
+func TestLateJoinWithReplay(t *testing.T) {
+	r := newJoinRig(t, 2)
+	r.typeAt(1, 'a', 0)
+	r.typeAt(2, 'b', 0)
+	r.pump()
+	// No AdvanceFrontier: the frontier is empty, everything is replay.
+	snap := r.srv.Snapshot()
+	if len(snap.FrontierIDs) != 0 || len(snap.Replay) != 2 {
+		t.Fatalf("snapshot shape: frontier=%d replay=%d", len(snap.FrontierIDs), len(snap.Replay))
+	}
+	joiner, err := css.NewClientFromSnapshot(3, snap, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.srv.AddClient(3); err != nil {
+		t.Fatal(err)
+	}
+	r.clients[3] = joiner
+	if got := list.Render(joiner.Document()); got != r.converged() {
+		t.Fatalf("joiner %q, want %q", got, r.converged())
+	}
+	r.typeAt(3, 'c', 2)
+	r.pump()
+	r.converged()
+}
+
+// TestLateJoinMixedFrontierAndReplay: frontier covers a prefix, replay the
+// rest; the joiner still lands exactly on the server state.
+func TestLateJoinMixedFrontierAndReplay(t *testing.T) {
+	r := newJoinRig(t, 2)
+	for i, ch := range "abcd" {
+		r.typeAt(opid.ClientID(1+i%2), ch, i)
+		r.pump()
+	}
+	outs, err := r.srv.AdvanceFrontier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.fan(outs)
+	r.pump()
+	// More traffic past the frontier, deliberately NOT frontier-advanced.
+	r.typeAt(1, 'e', 4)
+	r.pump()
+	r.typeAt(2, 'f', 5)
+	r.pump()
+
+	snap := r.srv.Snapshot()
+	if len(snap.FrontierIDs) == 0 || len(snap.Replay) == 0 {
+		t.Fatalf("want mixed snapshot, got frontier=%d replay=%d", len(snap.FrontierIDs), len(snap.Replay))
+	}
+	joiner, err := css.NewClientFromSnapshot(3, snap, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.srv.AddClient(3); err != nil {
+		t.Fatal(err)
+	}
+	r.clients[3] = joiner
+	if got := list.Render(joiner.Document()); got != "abcdef" {
+		t.Fatalf("joiner %q", got)
+	}
+	// Joiner deletes; old clients keep typing concurrently.
+	msg, err := joiner.GenerateDel(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.send(msg)
+	r.typeAt(1, 'z', 0)
+	r.pump()
+	r.converged()
+}
+
+func TestAddClientDuplicate(t *testing.T) {
+	srv := css.NewServer([]opid.ClientID{1}, nil, nil)
+	if err := srv.AddClient(1); err == nil {
+		t.Fatal("duplicate client registration must error")
+	}
+}
+
+func TestJoinSnapshotIsolation(t *testing.T) {
+	// Mutating a snapshot must not corrupt the server.
+	r := newJoinRig(t, 2)
+	r.typeAt(1, 'x', 0)
+	r.pump()
+	snap := r.srv.Snapshot()
+	if len(snap.Replay) > 0 {
+		snap.Replay[0].Op = ot.Ins('!', 9, opid.OpID{Client: 9, Seq: 9})
+	}
+	snap2 := r.srv.Snapshot()
+	if len(snap2.Replay) > 0 && snap2.Replay[0].Op.Elem.Val == '!' {
+		t.Fatal("snapshot shares backing storage with the server")
+	}
+}

@@ -1,0 +1,117 @@
+package css_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"jupiter/internal/css"
+	"jupiter/internal/opid"
+)
+
+// TestLemma65ServerOTSequence checks Lemmas 5.1/6.5 directly on the
+// server's audited integrations: the operation sequence L with which an
+// operation o transforms at the server consists of EXACTLY the operations
+// that are (a) totally ordered before o and (b) concurrent with o — and L
+// itself is in total order.
+func TestLemma65ServerOTSequence(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		ids := []opid.ClientID{1, 2, 3}
+		srv := css.NewServer(ids, nil, nil)
+		srv.Space().EnableAudit()
+		clients := map[opid.ClientID]*css.Client{}
+		for _, id := range ids {
+			clients[id] = css.NewClient(id, nil, nil)
+		}
+		toServer := map[opid.ClientID][]css.ClientMsg{}
+		toClient := map[opid.ClientID][]css.ServerMsg{}
+
+		// A random interleaving of generates and deliveries.
+		remaining := map[opid.ClientID]int{1: 6, 2: 6, 3: 6}
+		for {
+			type act struct {
+				kind int
+				c    opid.ClientID
+			}
+			var acts []act
+			for _, c := range ids {
+				if remaining[c] > 0 {
+					acts = append(acts, act{0, c})
+				}
+				if len(toServer[c]) > 0 {
+					acts = append(acts, act{1, c})
+				}
+				if len(toClient[c]) > 0 {
+					acts = append(acts, act{2, c})
+				}
+			}
+			if len(acts) == 0 {
+				break
+			}
+			a := acts[r.Intn(len(acts))]
+			switch a.kind {
+			case 0:
+				cl := clients[a.c]
+				n := len(cl.Document())
+				var msg css.ClientMsg
+				var err error
+				if n > 0 && r.Float64() < 0.3 {
+					msg, err = cl.GenerateDel(r.Intn(n))
+				} else {
+					msg, err = cl.GenerateIns(rune('a'+r.Intn(26)), r.Intn(n+1))
+				}
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				toServer[a.c] = append(toServer[a.c], msg)
+				remaining[a.c]--
+			case 1:
+				msg := toServer[a.c][0]
+				toServer[a.c] = toServer[a.c][1:]
+				outs, err := srv.Receive(msg)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				for _, o := range outs {
+					toClient[o.To] = append(toClient[o.To], o.Msg)
+				}
+			case 2:
+				msg := toClient[a.c][0]
+				toClient[a.c] = toClient[a.c][1:]
+				if err := clients[a.c].Receive(msg); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+		}
+
+		// The lemma, per audited integration at the server. Serialization
+		// order = audit order; total order position = entry index. For entry
+		// k with context C: L must equal {ops at indexes < k} \ C, in index
+		// order. ("Totally before" = smaller serialization index; an op
+		// outside the context of a later-serialized op is concurrent with
+		// it: the generator had not processed it, and it cannot have
+		// processed the later op.)
+		log := srv.Space().AuditLog()
+		for k, entry := range log {
+			wantSeq := make([]opid.OpID, 0, k)
+			for j := 0; j < k; j++ {
+				if !entry.Ctx.Contains(log[j].Op.ID) {
+					wantSeq = append(wantSeq, log[j].Op.ID)
+				}
+			}
+			if len(wantSeq) != len(entry.Path) {
+				t.Fatalf("seed %d op #%d (%s): L has %d ops, want %d\nL=%v\nwant=%v",
+					seed, k, entry.Op, len(entry.Path), len(wantSeq), entry.Path, wantSeq)
+			}
+			for i := range wantSeq {
+				if entry.Path[i] != wantSeq[i] {
+					t.Fatalf("seed %d op #%d: L[%d] = %s, want %s (total order violated)",
+						seed, k, i, entry.Path[i], wantSeq[i])
+				}
+			}
+		}
+		if len(log) != 18 {
+			t.Fatalf("seed %d: audited %d integrations, want 18", seed, len(log))
+		}
+	}
+}

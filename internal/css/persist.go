@@ -1,0 +1,110 @@
+package css
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"jupiter/internal/core"
+	"jupiter/internal/list"
+	"jupiter/internal/opid"
+	"jupiter/internal/statespace"
+)
+
+// Client persistence — suspend/resume and crash recovery.
+//
+// Unlike a late join (join.go), which adopts the server's state and loses
+// anything unacknowledged, Save/RestoreClient round-trips the client's OWN
+// replica state: document, processed set, state-space (including pending
+// transitions awaiting acknowledgement), sequence counters, and the
+// serialization-order log. A restored client continues exactly where the
+// saved one stopped; the transport is assumed to retain undelivered
+// messages (the FIFO-channel model — reconnect semantics with resend and
+// deduplication are transport concerns outside this package).
+
+type elemStateJSON struct {
+	Val string `json:"val"`
+	C   int32  `json:"c"`
+	S   uint64 `json:"s"`
+}
+
+type orderEntryJSON struct {
+	C      int32  `json:"c"`
+	S      uint64 `json:"s"`
+	Origin int32  `json:"origin"`
+}
+
+type clientStateJSON struct {
+	ID         int32             `json:"id"`
+	Doc        []elemStateJSON   `json:"doc"`
+	Processed  []elemStateJSON   `json:"processed"` // Val unused
+	NextSeq    uint64            `json:"nextSeq"`
+	ReadSeq    uint64            `json:"readSeq"`
+	Broadcasts int               `json:"broadcasts"`
+	Compact    bool              `json:"compact"`
+	Order      []orderEntryJSON  `json:"order"`
+	Space      *statespace.Space `json:"space"`
+}
+
+// Save serializes the client's full replica state.
+func (c *Client) Save() ([]byte, error) {
+	st := clientStateJSON{
+		ID:         int32(c.id),
+		NextSeq:    c.nextSeq,
+		ReadSeq:    c.readSeq,
+		Broadcasts: c.broadcasts,
+		Compact:    c.compact,
+		Space:      c.space,
+	}
+	for _, e := range c.doc.Elems() {
+		st.Doc = append(st.Doc, elemStateJSON{Val: string(e.Val), C: int32(e.ID.Client), S: e.ID.Seq})
+	}
+	for _, id := range c.processed.Sorted() {
+		st.Processed = append(st.Processed, elemStateJSON{C: int32(id.Client), S: id.Seq})
+	}
+	for _, e := range c.order.entries {
+		st.Order = append(st.Order, orderEntryJSON{C: int32(e.id.Client), S: e.id.Seq, Origin: int32(e.origin)})
+	}
+	return json.Marshal(st)
+}
+
+// RestoreClient reconstructs a client from Save's output. rec may be nil;
+// an editor or execution observer must be re-attached by the caller.
+func RestoreClient(data []byte, rec core.Recorder) (*Client, error) {
+	var st clientStateJSON
+	st.Space = statespace.New(nil)
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("css: restore: %w", err)
+	}
+	doc := list.NewDocument()
+	for i, e := range st.Doc {
+		r := []rune(e.Val)
+		if len(r) != 1 {
+			return nil, fmt.Errorf("css: restore: bad element value %q", e.Val)
+		}
+		if err := doc.Insert(i, list.Elem{Val: r[0], ID: opid.OpID{Client: opid.ClientID(e.C), Seq: e.S}}); err != nil {
+			return nil, fmt.Errorf("css: restore: %w", err)
+		}
+	}
+	processed := opid.NewSet()
+	for _, e := range st.Processed {
+		processed = processed.Add(opid.OpID{Client: opid.ClientID(e.C), Seq: e.S})
+	}
+	c := &Client{
+		replica: replica{
+			name:      opid.ClientID(st.ID).String(),
+			space:     st.Space,
+			doc:       doc,
+			processed: processed,
+			rec:       rec,
+			compact:   st.Compact,
+		},
+		id:         opid.ClientID(st.ID),
+		nextSeq:    st.NextSeq,
+		readSeq:    st.ReadSeq,
+		broadcasts: st.Broadcasts,
+	}
+	for _, e := range st.Order {
+		c.order.appendEntry(opid.OpID{Client: opid.ClientID(e.C), Seq: e.S}, opid.ClientID(e.Origin))
+	}
+	return c, nil
+}

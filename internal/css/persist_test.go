@@ -1,0 +1,182 @@
+package css_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"jupiter/internal/css"
+	"jupiter/internal/list"
+	"jupiter/internal/opid"
+	"jupiter/internal/statespace"
+)
+
+// TestSaveRestoreMidSession suspends a client with PENDING (unacknowledged)
+// operations and in-flight remote traffic, restores it, and finishes the
+// session: everything converges and the restored space is structurally
+// identical to the saved one.
+func TestSaveRestoreMidSession(t *testing.T) {
+	r := newJoinRig(t, 2)
+
+	// Build some shared history.
+	r.typeAt(1, 'a', 0)
+	r.pump()
+	r.typeAt(2, 'b', 1)
+	r.pump()
+
+	// c2 generates two ops that stay UNACKNOWLEDGED (not delivered to the
+	// server yet), while c1's next op is already queued toward c2.
+	m1, err := r.clients[2].GenerateIns('X', 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := r.clients[2].GenerateIns('Y', 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.typeAt(1, 'z', 2) // queued broadcast for c2
+
+	savedRender := r.clients[2].Space().Render()
+	data, err := r.clients[2].Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := css.RestoreClient(data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.ID() != 2 {
+		t.Fatalf("restored id %v", restored.ID())
+	}
+	if got := restored.Space().Render(); got != savedRender {
+		t.Fatalf("space differs after restore:\n%s\nvs\n%s", got, savedRender)
+	}
+	if got, want := list.Render(restored.Document()), list.Render(r.clients[2].Document()); got != want {
+		t.Fatalf("doc %q, want %q", got, want)
+	}
+
+	// Swap the restored client in and finish the session: deliver its
+	// pending ops to the server, then drain everything.
+	r.clients[2] = restored
+	r.send(m1)
+	r.send(m2)
+	r.pump()
+	final := r.converged()
+	if len(final) != 5 {
+		t.Fatalf("final %q, want 5 elements", final)
+	}
+
+	// The restored client keeps working.
+	r.typeAt(2, '!', 0)
+	r.pump()
+	r.converged()
+}
+
+// TestSaveRestoreWithCompactContexts round-trips a compact-context client.
+func TestSaveRestoreWithCompactContexts(t *testing.T) {
+	ids := []opid.ClientID{1, 2}
+	srv := css.NewServer(ids, nil, nil)
+	srv.UseCompactContexts()
+	c1 := css.NewClient(1, nil, nil)
+	c1.UseCompactContexts()
+	c2 := css.NewClient(2, nil, nil)
+	c2.UseCompactContexts()
+
+	pump := func(m css.ClientMsg) {
+		t.Helper()
+		outs, err := srv.Receive(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range outs {
+			target := c1
+			if o.To == 2 {
+				target = c2
+			}
+			if err := target.Receive(o.Msg); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	m, err := c1.GenerateIns('a', 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pump(m)
+	m, err = c2.GenerateIns('b', 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pump(m)
+
+	data, err := c2.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := css.RestoreClient(data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 = restored
+
+	// The restored client still speaks compact contexts correctly.
+	m, err = c2.GenerateIns('c', 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Compact == nil || m.Ctx != nil {
+		t.Fatal("restored client lost compact mode")
+	}
+	pump(m)
+	if got := list.Render(srv.Document()); got != "abc" {
+		t.Fatalf("server %q", got)
+	}
+	if got := list.Render(c1.Document()); got != "abc" {
+		t.Fatalf("c1 %q", got)
+	}
+}
+
+// TestSpaceJSONRoundTrip round-trips a state-space with pending keys and
+// checks renders and order keys survive.
+func TestSpaceJSONRoundTrip(t *testing.T) {
+	cl := css.NewClient(7, list.FromString("hi", 50), nil)
+	if _, err := cl.GenerateIns('x', 1); err != nil {
+		t.Fatal(err)
+	}
+	sp := cl.Space()
+
+	data, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := statespace.New(nil)
+	if err := json.Unmarshal(data, back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Render() != sp.Render() {
+		t.Fatalf("render differs:\n%s\nvs\n%s", back.Render(), sp.Render())
+	}
+	id := opid.OpID{Client: 7, Seq: 1}
+	k, ok := back.OrderKeyOf(id)
+	if !ok || k != statespace.PendingKey {
+		t.Fatalf("pending key lost: %v %v", k, ok)
+	}
+	// Promotion still works on the reloaded space.
+	if err := back.Promote(id, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpaceJSONErrors(t *testing.T) {
+	cases := []string{
+		`{`,
+		`{"states":{"bad":{"ops":[{"client":1,"seq":1}]}},"initial":"bad","final":"bad"}`,
+		`{"states":{},"initial":"x","final":"x"}`,
+	}
+	for i, c := range cases {
+		s := statespace.New(nil)
+		if err := json.Unmarshal([]byte(c), s); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package css_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"jupiter/internal/core"
+	"jupiter/internal/css"
+	"jupiter/internal/editor"
+	"jupiter/internal/list"
+	"jupiter/internal/opid"
+	"jupiter/internal/spec"
+)
+
+// TestSoakEverythingTogether is the kitchen-sink integration test: editors
+// (carets + selections) over compact-context clients, periodic frontier GC,
+// and a late joiner — run for many rounds with randomized interleaving,
+// checking convergence, the specifications, caret sanity, and metadata
+// shrinkage throughout.
+func TestSoakEverythingTogether(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	hist := &core.History{}
+
+	ids := []opid.ClientID{1, 2}
+	srv := css.NewServer(ids, nil, hist)
+	srv.UseCompactContexts()
+	editors := map[opid.ClientID]*editor.Editor{}
+	toClient := map[opid.ClientID][]css.ServerMsg{}
+	for _, id := range ids {
+		cl := css.NewClient(id, nil, hist)
+		cl.UseCompactContexts()
+		editors[id] = editor.New(cl)
+	}
+
+	send := func(msgs []css.ClientMsg) {
+		t.Helper()
+		for _, m := range msgs {
+			outs, err := srv.Receive(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, o := range outs {
+				toClient[o.To] = append(toClient[o.To], o.Msg)
+			}
+		}
+	}
+	pump := func() {
+		t.Helper()
+		for {
+			progress := false
+			for id, q := range toClient {
+				for _, m := range q {
+					if err := editors[id].Receive(m); err != nil {
+						t.Fatal(err)
+					}
+					progress = true
+				}
+				toClient[id] = nil
+			}
+			if !progress {
+				return
+			}
+		}
+	}
+	converged := func() string {
+		t.Helper()
+		ref := list.Render(srv.Document())
+		for id, e := range editors {
+			if got := e.Text(); got != ref {
+				t.Fatalf("%s shows %q, server %q", id, got, ref)
+			}
+			if e.Caret() < 0 || e.Caret() > e.Len() {
+				t.Fatalf("%s caret %d out of range (len %d)", id, e.Caret(), e.Len())
+			}
+		}
+		return ref
+	}
+
+	editRound := func() {
+		for id, e := range editors {
+			_ = id
+			e.MoveTo(r.Intn(e.Len() + 1))
+			for k := 0; k < 1+r.Intn(3); k++ {
+				if e.Len() > 0 && r.Float64() < 0.3 {
+					if _, _, err := e.Backspace(); err != nil {
+						t.Fatal(err)
+					}
+				} else {
+					if _, err := e.Type(rune('a' + r.Intn(26))); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			send(e.TakeOutbox())
+			if r.Intn(2) == 0 {
+				pump()
+			}
+		}
+		pump()
+	}
+
+	var joined bool
+	var maxStates int
+	for round := 0; round < 40; round++ {
+		editRound()
+		converged()
+
+		st := srv.Space().NumStates()
+		if st > maxStates {
+			maxStates = st
+		}
+
+		// Periodic GC.
+		if round%5 == 4 {
+			outs, err := srv.AdvanceFrontier()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, o := range outs {
+				toClient[o.To] = append(toClient[o.To], o.Msg)
+			}
+			pump()
+		}
+
+		// A third editor joins mid-soak.
+		if round == 20 && !joined {
+			snap := srv.Snapshot()
+			cl, err := css.NewClientFromSnapshot(3, snap, hist)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cl.UseCompactContexts()
+			if err := srv.AddClient(3); err != nil {
+				t.Fatal(err)
+			}
+			editors[3] = editor.New(cl)
+			ids = append(ids, 3)
+			joined = true
+			converged()
+		}
+	}
+
+	// Final GC should leave the spaces small relative to the soak's peak.
+	outs, err := srv.AdvanceFrontier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range outs {
+		toClient[o.To] = append(toClient[o.To], o.Msg)
+	}
+	pump()
+	finalStates := srv.Space().NumStates()
+	if finalStates > maxStates {
+		t.Fatalf("GC never shrank the space: final %d, peak %d", finalStates, maxStates)
+	}
+
+	final := converged()
+	if len(final) == 0 {
+		t.Log("soak deleted everything — legal but unusual")
+	}
+	for id := range editors {
+		editors[id].Client().Read()
+	}
+	srv.Read()
+	if err := hist.WellFormed(); err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.CheckConvergence(hist); err != nil {
+		t.Error(err)
+	}
+	if err := spec.CheckWeak(hist); err != nil {
+		t.Error(err)
+	}
+}

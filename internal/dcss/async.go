@@ -1,0 +1,202 @@
+package dcss
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"jupiter/internal/core"
+	"jupiter/internal/list"
+	"jupiter/internal/opid"
+)
+
+// AsyncConfig configures RunAsync.
+type AsyncConfig struct {
+	Peers       int
+	OpsPerPeer  int
+	Seed        int64
+	DeleteRatio float64
+	Initial     list.Doc
+	Record      bool
+}
+
+// AsyncResult is the outcome of a concurrent mesh run.
+type AsyncResult struct {
+	Docs    map[string][]list.Elem
+	History *core.History
+	States  map[string]int // retained state-space sizes per peer
+}
+
+// RunAsync runs the distributed CSS protocol with one goroutine per peer on
+// a full mesh of buffered FIFO channels. The run has two phases, mirroring
+// TIBOT's interval structure:
+//
+//  1. every peer generates its quota, interleaved with receiving the other
+//     peers' operations (n-1 per operation in flight);
+//  2. once a peer has generated everything and received every other peer's
+//     operations, it broadcasts one flush and then consumes the other
+//     peers' flushes, which makes every queued operation stable.
+//
+// Channel capacities cover the whole run (ops + one flush per peer), so no
+// send ever blocks and the run cannot deadlock.
+func RunAsync(cfg AsyncConfig) (*AsyncResult, error) {
+	n := cfg.Peers
+	if n < 1 || cfg.OpsPerPeer < 0 {
+		return nil, fmt.Errorf("dcss: bad async config %+v", cfg)
+	}
+	ids := make([]opid.ClientID, n)
+	for i := range ids {
+		ids[i] = opid.ClientID(i + 1)
+	}
+	var hist *core.History
+	var rec core.Recorder
+	if cfg.Record {
+		hist = &core.History{}
+		if cfg.Initial != nil {
+			hist.Seed = cfg.Initial.Elems()
+		}
+		rec = &core.LockedRecorder{R: hist}
+	}
+	peers := make([]*Peer, n)
+	for i, id := range ids {
+		peers[i] = NewPeer(id, ids, cfg.Initial, rec)
+	}
+
+	capacity := (n - 1) * (cfg.OpsPerPeer + 1)
+	inbox := make([]chan Msg, n)
+	for i := range inbox {
+		inbox[i] = make(chan Msg, capacity)
+	}
+	broadcast := func(from int, m Msg) {
+		for i := range inbox {
+			if i != from {
+				inbox[i] <- m // buffered: never blocks
+			}
+		}
+	}
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		stopOnce.Do(func() { close(stop) })
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p := peers[i]
+			r := rand.New(rand.NewSource(cfg.Seed + int64(i)*104729))
+			expectedOps := (n - 1) * cfg.OpsPerPeer
+			gen, recvOps, recvFlush := 0, 0, 0
+
+			recv := func(block bool) bool {
+				if block {
+					select {
+					case m := <-inbox[i]:
+						if err := p.Receive(m); err != nil {
+							fail(fmt.Errorf("peer %d: %w", i+1, err))
+							return false
+						}
+						if m.Kind == MsgOp {
+							recvOps++
+						} else {
+							recvFlush++
+						}
+						return true
+					case <-stop:
+						return false
+					}
+				}
+				select {
+				case m := <-inbox[i]:
+					if err := p.Receive(m); err != nil {
+						fail(fmt.Errorf("peer %d: %w", i+1, err))
+						return false
+					}
+					if m.Kind == MsgOp {
+						recvOps++
+					} else {
+						recvFlush++
+					}
+					return true
+				case <-stop:
+					return false
+				default:
+					return true
+				}
+			}
+
+			// Phase 1: generate + receive.
+			for gen < cfg.OpsPerPeer || recvOps < expectedOps {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if !recv(gen >= cfg.OpsPerPeer) {
+					return
+				}
+				if gen < cfg.OpsPerPeer {
+					docLen := len(p.Document())
+					var m Msg
+					var err error
+					if docLen > 0 && r.Float64() < cfg.DeleteRatio {
+						m, err = p.GenerateDel(r.Intn(docLen))
+					} else {
+						m, err = p.GenerateIns(rune('a'+(i*cfg.OpsPerPeer+gen)%26), r.Intn(docLen+1))
+					}
+					if err != nil {
+						fail(fmt.Errorf("peer %d: %w", i+1, err))
+						return
+					}
+					gen++
+					broadcast(i, m)
+				}
+			}
+			// Phase 2: flush and drain.
+			fm, err := p.Flush()
+			if err != nil {
+				fail(fmt.Errorf("peer %d: %w", i+1, err))
+				return
+			}
+			broadcast(i, fm)
+			for recvFlush < n-1 {
+				if !recv(true) {
+					return
+				}
+			}
+			if p.QueueLen() != 0 {
+				fail(fmt.Errorf("peer %d: %d operations still unstable after flush round", i+1, p.QueueLen()))
+			}
+		}(i)
+	}
+	wg.Wait()
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+
+	res := &AsyncResult{
+		Docs:    make(map[string][]list.Elem, n),
+		History: hist,
+		States:  make(map[string]int, n),
+	}
+	for i, p := range peers {
+		res.Docs[ids[i].String()] = p.Document()
+		res.States[ids[i].String()] = p.Space().NumStates()
+	}
+	return res, nil
+}

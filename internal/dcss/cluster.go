@@ -1,0 +1,204 @@
+package dcss
+
+import (
+	"fmt"
+
+	"jupiter/internal/core"
+	"jupiter/internal/list"
+	"jupiter/internal/opid"
+	"jupiter/internal/statespace"
+)
+
+// Cluster is a full mesh of distributed-CSS peers with FIFO links, stepped
+// deterministically (the mesh analogue of sim.Cluster, which models the
+// centralized star).
+type Cluster struct {
+	ids   []opid.ClientID
+	peers map[opid.ClientID]*Peer
+	// links[from][to] is the FIFO queue of messages from one peer to
+	// another.
+	links map[opid.ClientID]map[opid.ClientID][]Msg
+	hist  *core.History
+}
+
+// NewCluster builds an n-peer mesh. When record is true, a history is kept.
+func NewCluster(n int, initial list.Doc, record bool, opts ...statespace.Option) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dcss: need at least 1 peer, got %d", n)
+	}
+	ids := make([]opid.ClientID, n)
+	for i := range ids {
+		ids[i] = opid.ClientID(i + 1)
+	}
+	var hist *core.History
+	var rec core.Recorder
+	if record {
+		hist = &core.History{}
+		if initial != nil {
+			hist.Seed = initial.Elems()
+		}
+		rec = hist
+	}
+	c := &Cluster{
+		ids:   ids,
+		peers: make(map[opid.ClientID]*Peer, n),
+		links: make(map[opid.ClientID]map[opid.ClientID][]Msg, n),
+		hist:  hist,
+	}
+	for _, id := range ids {
+		c.peers[id] = NewPeer(id, ids, initial, rec, opts...)
+		c.links[id] = make(map[opid.ClientID][]Msg, n-1)
+	}
+	return c, nil
+}
+
+// Peers returns the peer identifiers.
+func (c *Cluster) Peers() []opid.ClientID {
+	return append([]opid.ClientID(nil), c.ids...)
+}
+
+// Peer returns the replica with the given id.
+func (c *Cluster) Peer(id opid.ClientID) (*Peer, bool) {
+	p, ok := c.peers[id]
+	return p, ok
+}
+
+// History returns the recorded history (nil when recording is off).
+func (c *Cluster) History() *core.History { return c.hist }
+
+// broadcast enqueues m from its origin to every other peer.
+func (c *Cluster) broadcast(m Msg) {
+	for _, to := range c.ids {
+		if to == m.From {
+			continue
+		}
+		c.links[m.From][to] = append(c.links[m.From][to], m)
+	}
+}
+
+// GenerateIns makes peer id invoke Ins(val, pos).
+func (c *Cluster) GenerateIns(id opid.ClientID, val rune, pos int) error {
+	p, ok := c.peers[id]
+	if !ok {
+		return fmt.Errorf("dcss: unknown peer %s", id)
+	}
+	m, err := p.GenerateIns(val, pos)
+	if err != nil {
+		return err
+	}
+	c.broadcast(m)
+	return nil
+}
+
+// GenerateDel makes peer id delete at pos.
+func (c *Cluster) GenerateDel(id opid.ClientID, pos int) error {
+	p, ok := c.peers[id]
+	if !ok {
+		return fmt.Errorf("dcss: unknown peer %s", id)
+	}
+	m, err := p.GenerateDel(pos)
+	if err != nil {
+		return err
+	}
+	c.broadcast(m)
+	return nil
+}
+
+// Deliver passes the next message on the from→to link; it reports whether a
+// message was pending.
+func (c *Cluster) Deliver(from, to opid.ClientID) (bool, error) {
+	q := c.links[from][to]
+	if len(q) == 0 {
+		return false, nil
+	}
+	m := q[0]
+	c.links[from][to] = q[1:]
+	return true, c.peers[to].Receive(m)
+}
+
+// Pending returns the number of in-flight messages on the from→to link.
+func (c *Cluster) Pending(from, to opid.ClientID) int {
+	return len(c.links[from][to])
+}
+
+// FlushAll makes every peer broadcast a flush message (advancing the
+// stability horizon everywhere once delivered).
+func (c *Cluster) FlushAll() error {
+	for _, id := range c.ids {
+		m, err := c.peers[id].Flush()
+		if err != nil {
+			return err
+		}
+		c.broadcast(m)
+	}
+	return nil
+}
+
+// Quiesce delivers every in-flight message and issues flush rounds until
+// every link and every stability queue is empty.
+func (c *Cluster) Quiesce() error {
+	for round := 0; ; round++ {
+		if round > 4+len(c.ids) {
+			return fmt.Errorf("dcss: quiesce did not converge after %d rounds", round)
+		}
+		for {
+			progress := false
+			for _, from := range c.ids {
+				for _, to := range c.ids {
+					if from == to {
+						continue
+					}
+					ok, err := c.Deliver(from, to)
+					if err != nil {
+						return err
+					}
+					progress = progress || ok
+				}
+			}
+			if !progress {
+				break
+			}
+		}
+		queued := 0
+		for _, id := range c.ids {
+			queued += c.peers[id].QueueLen()
+		}
+		if queued == 0 {
+			return nil
+		}
+		if err := c.FlushAll(); err != nil {
+			return err
+		}
+	}
+}
+
+// Read records a do(Read, w) event at peer id.
+func (c *Cluster) Read(id opid.ClientID) []list.Elem {
+	return c.peers[id].Read()
+}
+
+// Document returns the current list at peer id.
+func (c *Cluster) Document(id opid.ClientID) ([]list.Elem, error) {
+	p, ok := c.peers[id]
+	if !ok {
+		return nil, fmt.Errorf("dcss: unknown peer %s", id)
+	}
+	return p.Document(), nil
+}
+
+// CheckConverged verifies every peer holds the identical document.
+func (c *Cluster) CheckConverged() ([]list.Elem, error) {
+	var ref []list.Elem
+	for i, id := range c.ids {
+		doc := c.peers[id].Document()
+		if i == 0 {
+			ref = doc
+			continue
+		}
+		if !list.ElemsEqual(ref, doc) {
+			return nil, fmt.Errorf("dcss: divergence: %s holds %q, %s holds %q",
+				c.ids[0], list.Render(ref), id, list.Render(doc))
+		}
+	}
+	return ref, nil
+}

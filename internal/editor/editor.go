@@ -1,0 +1,203 @@
+// Package editor is the adoption-facing layer of the library: a text-editor
+// session bound to a CSS Jupiter client, with caret and selection tracking
+// across concurrent remote edits.
+//
+// The paper's model stops at the replicated list; an actual collaborative
+// editor additionally needs each user's caret to stay attached to the text
+// around it while remote operations rewrite positions. Editor subscribes to
+// the client's executed-operation stream and adjusts the caret and
+// selection with the element-tracking transforms of internal/ot
+// (TransformCursor / TransformSelection).
+//
+// An Editor is single-owner, like the replica it wraps: drive it from one
+// goroutine (the same discipline the simulation runtimes follow).
+package editor
+
+import (
+	"fmt"
+
+	"jupiter/internal/css"
+	"jupiter/internal/list"
+	"jupiter/internal/opid"
+	"jupiter/internal/ot"
+)
+
+// Editor is an editing session over a CSS client.
+type Editor struct {
+	client            *css.Client
+	caret             int
+	selAnchor, selEnd int // selection [anchor, end); equal = no selection
+	outbox            []css.ClientMsg
+}
+
+// New binds an editor to the client. It registers the client's execution
+// observer; bind at most one Editor per client, before any traffic.
+func New(client *css.Client) *Editor {
+	e := &Editor{client: client}
+	client.OnExecute(e.observe)
+	return e
+}
+
+// observe adjusts caret and selection for every executed operation. Local
+// operations were issued through the Editor itself, which has already
+// placed the caret where the user expects it (after typed text), so only
+// remote executions transform the caret.
+func (e *Editor) observe(op ot.Op, local bool) {
+	if local {
+		return
+	}
+	e.caret = ot.TransformCursor(e.caret, op)
+	if e.selAnchor != e.selEnd {
+		e.selAnchor, e.selEnd = ot.TransformSelection(e.selAnchor, e.selEnd, op)
+	}
+}
+
+// Client returns the underlying CSS client (for wiring into a harness).
+func (e *Editor) Client() *css.Client { return e.client }
+
+// Text returns the current document text.
+func (e *Editor) Text() string { return list.Render(e.client.Document()) }
+
+// Len returns the document length in elements.
+func (e *Editor) Len() int { return len(e.client.Document()) }
+
+// Caret returns the caret index.
+func (e *Editor) Caret() int { return e.caret }
+
+// Selection returns the current selection range; start == end means none.
+func (e *Editor) Selection() (start, end int) { return e.selAnchor, e.selEnd }
+
+// MoveTo places the caret, clamping into [0, Len()], and clears any
+// selection.
+func (e *Editor) MoveTo(pos int) {
+	if pos < 0 {
+		pos = 0
+	}
+	if n := e.Len(); pos > n {
+		pos = n
+	}
+	e.caret = pos
+	e.selAnchor, e.selEnd = 0, 0
+}
+
+// Left moves the caret one position left (clamped).
+func (e *Editor) Left() { e.MoveTo(e.caret - 1) }
+
+// Right moves the caret one position right (clamped).
+func (e *Editor) Right() { e.MoveTo(e.caret + 1) }
+
+// Select sets the selection to [start, end) (clamped, start ≤ end) and
+// parks the caret at its end.
+func (e *Editor) Select(start, end int) error {
+	n := e.Len()
+	if start < 0 || end < start || end > n {
+		return fmt.Errorf("editor: bad selection [%d,%d) on length %d", start, end, n)
+	}
+	e.selAnchor, e.selEnd = start, end
+	e.caret = end
+	return nil
+}
+
+// Type inserts r at the caret and advances it, returning the message to
+// send to the server. The message is also buffered in the outbox (see
+// TakeOutbox / Session).
+func (e *Editor) Type(r rune) (css.ClientMsg, error) {
+	msg, err := e.client.GenerateIns(r, e.caret)
+	if err != nil {
+		return css.ClientMsg{}, err
+	}
+	e.caret++
+	e.selAnchor, e.selEnd = 0, 0
+	e.outbox = append(e.outbox, msg)
+	return msg, nil
+}
+
+// TakeOutbox returns and clears the buffered outgoing messages.
+func (e *Editor) TakeOutbox() []css.ClientMsg {
+	out := e.outbox
+	e.outbox = nil
+	return out
+}
+
+// TypeString types each rune of s in order, returning one message per rune.
+func (e *Editor) TypeString(s string) ([]css.ClientMsg, error) {
+	msgs := make([]css.ClientMsg, 0, len(s))
+	for _, r := range s {
+		m, err := e.Type(r)
+		if err != nil {
+			return msgs, err
+		}
+		msgs = append(msgs, m)
+	}
+	return msgs, nil
+}
+
+// Backspace deletes the element before the caret. It reports false (and no
+// message) when the caret is at the start.
+func (e *Editor) Backspace() (css.ClientMsg, bool, error) {
+	if e.caret == 0 {
+		return css.ClientMsg{}, false, nil
+	}
+	msg, err := e.client.GenerateDel(e.caret - 1)
+	if err != nil {
+		return css.ClientMsg{}, false, err
+	}
+	e.caret--
+	e.selAnchor, e.selEnd = 0, 0
+	e.outbox = append(e.outbox, msg)
+	return msg, true, nil
+}
+
+// DeleteForward deletes the element at the caret. It reports false when the
+// caret is at the end.
+func (e *Editor) DeleteForward() (css.ClientMsg, bool, error) {
+	if e.caret >= e.Len() {
+		return css.ClientMsg{}, false, nil
+	}
+	msg, err := e.client.GenerateDel(e.caret)
+	if err != nil {
+		return css.ClientMsg{}, false, err
+	}
+	e.selAnchor, e.selEnd = 0, 0
+	e.outbox = append(e.outbox, msg)
+	return msg, true, nil
+}
+
+// DeleteSelection deletes the selected range, returning one message per
+// removed element. The caret lands at the (former) selection start.
+func (e *Editor) DeleteSelection() ([]css.ClientMsg, error) {
+	if e.selAnchor == e.selEnd {
+		return nil, nil
+	}
+	start, end := e.selAnchor, e.selEnd
+	msgs := make([]css.ClientMsg, 0, end-start)
+	for k := end - 1; k >= start; k-- {
+		msg, err := e.client.GenerateDel(k)
+		if err != nil {
+			return msgs, err
+		}
+		msgs = append(msgs, msg)
+		e.outbox = append(e.outbox, msg)
+	}
+	e.caret = start
+	e.selAnchor, e.selEnd = 0, 0
+	return msgs, nil
+}
+
+// Receive feeds a server message to the underlying client; the registered
+// observer keeps caret and selection aligned.
+func (e *Editor) Receive(m css.ServerMsg) error {
+	return e.client.Receive(m)
+}
+
+// ElementAtCaret returns the element immediately after the caret, if any.
+func (e *Editor) ElementAtCaret() (list.Elem, bool) {
+	doc := e.client.Document()
+	if e.caret >= len(doc) {
+		return list.Elem{}, false
+	}
+	return doc[e.caret], true
+}
+
+// ID returns the underlying client's identifier.
+func (e *Editor) ID() opid.ClientID { return e.client.ID() }

@@ -1,0 +1,333 @@
+package editor_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"jupiter/internal/css"
+	"jupiter/internal/editor"
+	"jupiter/internal/opid"
+)
+
+// rig is a two-editor test harness over one CSS server with manual pumps.
+type rig struct {
+	t        *testing.T
+	srv      *css.Server
+	editors  map[opid.ClientID]*editor.Editor
+	toClient map[opid.ClientID][]css.ServerMsg
+}
+
+func newRig(t *testing.T, n int) *rig {
+	t.Helper()
+	ids := make([]opid.ClientID, n)
+	for i := range ids {
+		ids[i] = opid.ClientID(i + 1)
+	}
+	r := &rig{
+		t:        t,
+		srv:      css.NewServer(ids, nil, nil),
+		editors:  make(map[opid.ClientID]*editor.Editor, n),
+		toClient: make(map[opid.ClientID][]css.ServerMsg, n),
+	}
+	for _, id := range ids {
+		r.editors[id] = editor.New(css.NewClient(id, nil, nil))
+	}
+	return r
+}
+
+// send pushes a client message through the server, queueing the fanout.
+func (r *rig) send(msgs ...css.ClientMsg) {
+	r.t.Helper()
+	for _, m := range msgs {
+		outs, err := r.srv.Receive(m)
+		if err != nil {
+			r.t.Fatal(err)
+		}
+		for _, o := range outs {
+			r.toClient[o.To] = append(r.toClient[o.To], o.Msg)
+		}
+	}
+}
+
+// pump delivers every queued server message.
+func (r *rig) pump() {
+	r.t.Helper()
+	for {
+		progress := false
+		for id, q := range r.toClient {
+			for _, m := range q {
+				if err := r.editors[id].Receive(m); err != nil {
+					r.t.Fatal(err)
+				}
+				progress = true
+			}
+			r.toClient[id] = nil
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+func TestTypingMovesOwnCaret(t *testing.T) {
+	r := newRig(t, 2)
+	e1 := r.editors[1]
+	msgs, err := e1.TypeString("hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.Text() != "hello" || e1.Caret() != 5 {
+		t.Fatalf("text %q caret %d", e1.Text(), e1.Caret())
+	}
+	r.send(msgs...)
+	r.pump()
+	if got := r.editors[2].Text(); got != "hello" {
+		t.Fatalf("peer text %q", got)
+	}
+}
+
+func TestRemoteInsertBeforeCaretShiftsIt(t *testing.T) {
+	r := newRig(t, 2)
+	e1, e2 := r.editors[1], r.editors[2]
+
+	m1, err := e1.TypeString("world")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.send(m1...)
+	r.pump()
+
+	// e2 parks its caret before 'w' (position 0 end? place at 2: between o/r).
+	e2.MoveTo(2)
+	target, ok := e2.ElementAtCaret()
+	if !ok {
+		t.Fatal("no element at caret")
+	}
+
+	// e1 types at the start; e2's caret must stay before the same element.
+	e1.MoveTo(0)
+	m2, err := e1.TypeString(">> ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.send(m2...)
+	r.pump()
+
+	if got := e2.Text(); got != ">> world" {
+		t.Fatalf("e2 text %q", got)
+	}
+	if e2.Caret() != 5 {
+		t.Fatalf("e2 caret = %d, want 5", e2.Caret())
+	}
+	now, ok := e2.ElementAtCaret()
+	if !ok || now.ID != target.ID {
+		t.Fatalf("caret slid off its element")
+	}
+}
+
+func TestBackspaceAndDeleteForward(t *testing.T) {
+	r := newRig(t, 1)
+	e := r.editors[1]
+	if _, err := e.TypeString("abc"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := e.Backspace(); err != nil || !ok {
+		t.Fatalf("backspace: %v %v", ok, err)
+	}
+	if e.Text() != "ab" || e.Caret() != 2 {
+		t.Fatalf("text %q caret %d", e.Text(), e.Caret())
+	}
+	e.MoveTo(0)
+	if _, ok, err := e.Backspace(); err != nil || ok {
+		t.Fatalf("backspace at start must be a no-op: %v %v", ok, err)
+	}
+	if _, ok, err := e.DeleteForward(); err != nil || !ok {
+		t.Fatal("delete forward failed")
+	}
+	if e.Text() != "b" || e.Caret() != 0 {
+		t.Fatalf("text %q caret %d", e.Text(), e.Caret())
+	}
+	e.MoveTo(99)
+	if e.Caret() != 1 {
+		t.Fatalf("MoveTo must clamp, caret %d", e.Caret())
+	}
+	if _, ok, err := e.DeleteForward(); err != nil || ok {
+		t.Fatal("delete forward at end must be a no-op")
+	}
+}
+
+func TestSelectionAcrossRemoteEdits(t *testing.T) {
+	r := newRig(t, 2)
+	e1, e2 := r.editors[1], r.editors[2]
+	m, err := e1.TypeString("abcdef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.send(m...)
+	r.pump()
+
+	// e2 selects "cde" = [2,5).
+	if err := e2.Select(2, 5); err != nil {
+		t.Fatal(err)
+	}
+	// e1 inserts at 0 and deletes inside the selection.
+	e1.MoveTo(0)
+	mi, err := e1.Type('X')
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.send(mi)
+	e1.MoveTo(4) // in "Xabcdef", position of 'd'
+	md, ok, err := e1.DeleteForward()
+	if err != nil || !ok {
+		t.Fatal("delete failed")
+	}
+	r.send(md)
+	r.pump()
+
+	if got := e2.Text(); got != "Xabcef" {
+		t.Fatalf("e2 text %q", got)
+	}
+	s, en := e2.Selection()
+	// Original [2,5) shifts right for X → [3,6), shrinks for the delete of
+	// 'd' (inside) → [3,5): "ce".
+	if s != 3 || en != 5 {
+		t.Fatalf("selection = [%d,%d), want [3,5)", s, en)
+	}
+	if err := e2.Select(1, 99); err == nil {
+		t.Error("out-of-range selection must error")
+	}
+}
+
+func TestDeleteSelection(t *testing.T) {
+	r := newRig(t, 2)
+	e1 := r.editors[1]
+	if m, err := e1.TypeString("hello world"); err != nil {
+		t.Fatal(err)
+	} else {
+		r.send(m...)
+	}
+	if err := e1.Select(5, 11); err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := e1.DeleteSelection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 6 {
+		t.Fatalf("messages = %d, want 6", len(msgs))
+	}
+	if e1.Text() != "hello" || e1.Caret() != 5 {
+		t.Fatalf("text %q caret %d", e1.Text(), e1.Caret())
+	}
+	r.send(msgs...)
+	r.pump()
+	if got := r.editors[2].Text(); got != "hello" {
+		t.Fatalf("peer text %q", got)
+	}
+	// Deleting an empty selection is a no-op.
+	if msgs, err := e1.DeleteSelection(); err != nil || msgs != nil {
+		t.Fatal("empty selection delete must be a no-op")
+	}
+}
+
+// TestConcurrentEditorsConverge hammers two editors with interleaved typing
+// and deletions, with the network pumped at random points, and checks both
+// end identical with in-range carets.
+func TestConcurrentEditorsConverge(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		rnd := rand.New(rand.NewSource(seed))
+		r := newRig(t, 2)
+		e1, e2 := r.editors[1], r.editors[2]
+		for step := 0; step < 60; step++ {
+			e := e1
+			if rnd.Intn(2) == 0 {
+				e = e2
+			}
+			e.MoveTo(rnd.Intn(e.Len() + 1))
+			var msg css.ClientMsg
+			var ok bool
+			var err error
+			if e.Len() > 0 && rnd.Float64() < 0.3 {
+				msg, ok, err = e.Backspace()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					continue
+				}
+			} else {
+				msg, err = e.Type(rune('a' + step%26))
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			r.send(msg)
+			if rnd.Intn(3) == 0 {
+				r.pump()
+			}
+		}
+		r.pump()
+		if e1.Text() != e2.Text() {
+			t.Fatalf("seed %d: diverged: %q vs %q", seed, e1.Text(), e2.Text())
+		}
+		for i, e := range []*editor.Editor{e1, e2} {
+			if e.Caret() < 0 || e.Caret() > e.Len() {
+				t.Fatalf("seed %d: editor %d caret %d out of range (len %d)", seed, i+1, e.Caret(), e.Len())
+			}
+		}
+	}
+}
+
+func TestSession(t *testing.T) {
+	s, err := editor.NewSession(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, _ := s.Editor(1)
+	e2, _ := s.Editor(2)
+	e3, _ := s.Editor(3)
+
+	if _, err := e1.TypeString("shared"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	text, err := s.Converged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text != "shared" {
+		t.Fatalf("converged text %q", text)
+	}
+
+	// Concurrent edits before the next sync.
+	e2.MoveTo(0)
+	if _, err := e2.Type('#'); err != nil {
+		t.Fatal(err)
+	}
+	e3.MoveTo(e3.Len())
+	if _, err := e3.Type('!'); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	text, err = s.Converged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text != "#shared!" {
+		t.Fatalf("converged text %q", text)
+	}
+	if len(s.Editors()) != 3 {
+		t.Fatal("Editors() wrong")
+	}
+	if _, ok := s.Editor(9); ok {
+		t.Fatal("unknown editor id must not resolve")
+	}
+	if _, err := editor.NewSession(0, nil); err == nil {
+		t.Fatal("zero editors must be rejected")
+	}
+}

@@ -1,0 +1,100 @@
+package editor
+
+import (
+	"fmt"
+
+	"jupiter/internal/css"
+	"jupiter/internal/list"
+	"jupiter/internal/opid"
+)
+
+// Session is the batteries-included way to run several editors against one
+// CSS server in-process: it owns the server, the editors, and the FIFO
+// queues between them. Single-threaded, like everything the editors wrap.
+type Session struct {
+	server   *css.Server
+	editors  map[opid.ClientID]*Editor
+	ids      []opid.ClientID
+	toClient map[opid.ClientID][]css.ServerMsg
+}
+
+// NewSession creates a session with n editors over an optional initial
+// document.
+func NewSession(n int, initial list.Doc) (*Session, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("editor: need at least 1 editor, got %d", n)
+	}
+	ids := make([]opid.ClientID, n)
+	for i := range ids {
+		ids[i] = opid.ClientID(i + 1)
+	}
+	s := &Session{
+		server:   css.NewServer(ids, initial, nil),
+		editors:  make(map[opid.ClientID]*Editor, n),
+		ids:      ids,
+		toClient: make(map[opid.ClientID][]css.ServerMsg, n),
+	}
+	for _, id := range ids {
+		s.editors[id] = New(css.NewClient(id, initial, nil))
+	}
+	return s, nil
+}
+
+// Editor returns the editor for the given client id (1-based).
+func (s *Session) Editor(id opid.ClientID) (*Editor, bool) {
+	e, ok := s.editors[id]
+	return e, ok
+}
+
+// Editors returns the editors in id order.
+func (s *Session) Editors() []*Editor {
+	out := make([]*Editor, 0, len(s.ids))
+	for _, id := range s.ids {
+		out = append(out, s.editors[id])
+	}
+	return out
+}
+
+// Sync flushes every editor's outbox through the server and delivers all
+// resulting messages, repeating until the whole session is quiet.
+func (s *Session) Sync() error {
+	for {
+		progress := false
+		for _, id := range s.ids {
+			for _, msg := range s.editors[id].TakeOutbox() {
+				outs, err := s.server.Receive(msg)
+				if err != nil {
+					return err
+				}
+				for _, o := range outs {
+					s.toClient[o.To] = append(s.toClient[o.To], o.Msg)
+				}
+				progress = true
+			}
+		}
+		for _, id := range s.ids {
+			for _, m := range s.toClient[id] {
+				if err := s.editors[id].Receive(m); err != nil {
+					return err
+				}
+				progress = true
+			}
+			s.toClient[id] = nil
+		}
+		if !progress {
+			return nil
+		}
+	}
+}
+
+// Converged reports whether every editor (and the server) shows the same
+// text, returning it.
+func (s *Session) Converged() (string, error) {
+	ref := list.Render(s.server.Document())
+	for _, id := range s.ids {
+		if got := s.editors[id].Text(); got != ref {
+			return "", fmt.Errorf("editor: %s shows %q, server shows %q", id, got, ref)
+		}
+	}
+	return ref, nil
+}

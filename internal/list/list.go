@@ -1,0 +1,221 @@
+// Package list implements the replicated list object's local document
+// representation: a sequence of uniquely-identified elements supporting
+// position-addressed insertion, deletion, and reads (Section 3.1 of the
+// paper).
+//
+// Two interchangeable backends are provided:
+//
+//   - Document: a simple slice-backed sequence. O(n) edits, minimal constant
+//     factors; the right choice for the short documents of collaborative
+//     editing sessions and for the paper's figure-scale scenarios.
+//   - TreeDocument (tree.go): a deterministic treap keyed by implicit index.
+//     O(log n) edits; the right choice for very large documents. The two are
+//     compared in the E6 ablation benchmark.
+//
+// Both implement the Doc interface and behave identically; property tests
+// cross-check them against each other.
+package list
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"jupiter/internal/opid"
+)
+
+// Elem is one element of the replicated list. Elements are unique across the
+// whole execution: ID is the identifier of the insert operation that created
+// the element (Section 3.1).
+type Elem struct {
+	Val rune      // user-visible payload (a character, for text editing)
+	ID  opid.OpID // identity of the insertion that produced this element
+}
+
+// String renders the element's payload.
+func (e Elem) String() string { return string(e.Val) }
+
+// Errors reported by document edits. A correct Jupiter protocol never
+// produces an out-of-range transformed operation, so these errors surface
+// protocol bugs rather than user mistakes.
+var (
+	// ErrPosOutOfRange reports an insert or delete position outside the
+	// document bounds.
+	ErrPosOutOfRange = errors.New("list: position out of range")
+	// ErrElemMismatch reports a delete whose target element identity does not
+	// match the element found at the position. The paper's Del(a, p) carries
+	// both the element and the position (footnote 2); checking them against
+	// each other catches mis-transformed operations early.
+	ErrElemMismatch = errors.New("list: element at position does not match")
+	// ErrDuplicateElem reports inserting an element whose ID is already
+	// present, violating the uniqueness assumption of Section 3.1.
+	ErrDuplicateElem = errors.New("list: duplicate element")
+)
+
+// Doc is the interface shared by the document backends.
+type Doc interface {
+	// Insert places e at position pos (0-based); existing elements at pos and
+	// beyond shift right. pos must be in [0, Len()].
+	Insert(pos int, e Elem) error
+	// Delete removes the element at pos, verifying that its identity matches
+	// id (unless id is the zero OpID, in which case the check is skipped).
+	Delete(pos int, id opid.OpID) (Elem, error)
+	// Len returns the number of elements.
+	Len() int
+	// Elems returns a copy of the elements in order.
+	Elems() []Elem
+	// Get returns the element at pos.
+	Get(pos int) (Elem, error)
+	// IndexOf returns the current position of the element with the given ID,
+	// or -1 if it is not present.
+	IndexOf(id opid.OpID) int
+	// String renders the payloads in order, e.g. "effect".
+	String() string
+	// Clone returns an independent deep copy.
+	Clone() Doc
+}
+
+// Document is the slice-backed Doc implementation. The zero value is an
+// empty, ready-to-use document.
+type Document struct {
+	elems []Elem
+}
+
+var _ Doc = (*Document)(nil)
+
+// NewDocument returns an empty slice-backed document.
+func NewDocument() *Document {
+	return &Document{}
+}
+
+// FromString builds a document whose elements are the runes of s, each given
+// a unique ID under the pseudo-client `seed`. It is a convenience for tests
+// and examples that start from a non-empty list such as "efecte" (Fig. 1).
+func FromString(s string, seed opid.ClientID) *Document {
+	d := NewDocument()
+	seq := uint64(0)
+	for _, r := range s {
+		seq++
+		d.elems = append(d.elems, Elem{Val: r, ID: opid.OpID{Client: seed, Seq: seq}})
+	}
+	return d
+}
+
+// Insert implements Doc.
+func (d *Document) Insert(pos int, e Elem) error {
+	if pos < 0 || pos > len(d.elems) {
+		return fmt.Errorf("%w: insert at %d, len %d", ErrPosOutOfRange, pos, len(d.elems))
+	}
+	if !e.ID.Zero() && d.IndexOf(e.ID) >= 0 {
+		return fmt.Errorf("%w: %s", ErrDuplicateElem, e.ID)
+	}
+	d.elems = append(d.elems, Elem{})
+	copy(d.elems[pos+1:], d.elems[pos:])
+	d.elems[pos] = e
+	return nil
+}
+
+// Delete implements Doc.
+func (d *Document) Delete(pos int, id opid.OpID) (Elem, error) {
+	if pos < 0 || pos >= len(d.elems) {
+		return Elem{}, fmt.Errorf("%w: delete at %d, len %d", ErrPosOutOfRange, pos, len(d.elems))
+	}
+	e := d.elems[pos]
+	if !id.Zero() && e.ID != id {
+		return Elem{}, fmt.Errorf("%w: want %s, found %s at %d", ErrElemMismatch, id, e.ID, pos)
+	}
+	d.elems = append(d.elems[:pos], d.elems[pos+1:]...)
+	return e, nil
+}
+
+// Len implements Doc.
+func (d *Document) Len() int { return len(d.elems) }
+
+// Elems implements Doc.
+func (d *Document) Elems() []Elem {
+	out := make([]Elem, len(d.elems))
+	copy(out, d.elems)
+	return out
+}
+
+// Get implements Doc.
+func (d *Document) Get(pos int) (Elem, error) {
+	if pos < 0 || pos >= len(d.elems) {
+		return Elem{}, fmt.Errorf("%w: get at %d, len %d", ErrPosOutOfRange, pos, len(d.elems))
+	}
+	return d.elems[pos], nil
+}
+
+// IndexOf implements Doc.
+func (d *Document) IndexOf(id opid.OpID) int {
+	for i, e := range d.elems {
+		if e.ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// String implements Doc.
+func (d *Document) String() string {
+	var b strings.Builder
+	b.Grow(len(d.elems))
+	for _, e := range d.elems {
+		b.WriteRune(e.Val)
+	}
+	return b.String()
+}
+
+// Clone implements Doc.
+func (d *Document) Clone() Doc {
+	return &Document{elems: d.Elems()}
+}
+
+// Render converts an element slice to its payload string; it is the
+// stand-alone counterpart of Doc.String for recorded histories.
+func Render(elems []Elem) string {
+	var b strings.Builder
+	b.Grow(len(elems))
+	for _, e := range elems {
+		b.WriteRune(e.Val)
+	}
+	return b.String()
+}
+
+// ElemsEqual reports whether two element sequences are identical (same
+// identities in the same order).
+func ElemsEqual(a, b []Elem) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Compatible reports whether two element sequences are compatible
+// (Definition 8.2 of the paper): for any two elements common to both, their
+// relative order is the same. Pairwise compatibility of all returned lists
+// is equivalent to irreflexivity of the list order (Lemma 8.3), which is the
+// crux of the weak list specification proof.
+func Compatible(w1, w2 []Elem) bool {
+	pos := make(map[opid.OpID]int, len(w1))
+	for i, e := range w1 {
+		pos[e.ID] = i
+	}
+	last := -1
+	for _, e := range w2 {
+		p, ok := pos[e.ID]
+		if !ok {
+			continue
+		}
+		if p <= last {
+			return false
+		}
+		last = p
+	}
+	return true
+}

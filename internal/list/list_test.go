@@ -1,0 +1,288 @@
+package list
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"jupiter/internal/opid"
+)
+
+func id(c int32, s uint64) opid.OpID {
+	return opid.OpID{Client: opid.ClientID(c), Seq: s}
+}
+
+// backends returns a fresh instance of every Doc implementation.
+func backends() map[string]Doc {
+	return map[string]Doc{
+		"slice": NewDocument(),
+		"tree":  NewTreeDocument(),
+	}
+}
+
+func TestInsertDeleteBasics(t *testing.T) {
+	for name, d := range backends() {
+		t.Run(name, func(t *testing.T) {
+			if err := d.Insert(0, Elem{Val: 'a', ID: id(1, 1)}); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Insert(1, Elem{Val: 'c', ID: id(1, 2)}); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Insert(1, Elem{Val: 'b', ID: id(1, 3)}); err != nil {
+				t.Fatal(err)
+			}
+			if got := d.String(); got != "abc" {
+				t.Fatalf("String() = %q, want %q", got, "abc")
+			}
+			if d.Len() != 3 {
+				t.Fatalf("Len() = %d, want 3", d.Len())
+			}
+
+			e, err := d.Delete(1, id(1, 3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e.Val != 'b' {
+				t.Fatalf("deleted %q, want 'b'", e.Val)
+			}
+			if got := d.String(); got != "ac" {
+				t.Fatalf("after delete: %q, want %q", got, "ac")
+			}
+		})
+	}
+}
+
+func TestInsertOutOfRange(t *testing.T) {
+	for name, d := range backends() {
+		t.Run(name, func(t *testing.T) {
+			if err := d.Insert(1, Elem{Val: 'x', ID: id(1, 1)}); !errors.Is(err, ErrPosOutOfRange) {
+				t.Errorf("Insert(1) on empty doc: err = %v, want ErrPosOutOfRange", err)
+			}
+			if err := d.Insert(-1, Elem{Val: 'x', ID: id(1, 1)}); !errors.Is(err, ErrPosOutOfRange) {
+				t.Errorf("Insert(-1): err = %v, want ErrPosOutOfRange", err)
+			}
+		})
+	}
+}
+
+func TestDeleteErrors(t *testing.T) {
+	for name, d := range backends() {
+		t.Run(name, func(t *testing.T) {
+			if _, err := d.Delete(0, id(1, 1)); !errors.Is(err, ErrPosOutOfRange) {
+				t.Errorf("Delete on empty doc: err = %v, want ErrPosOutOfRange", err)
+			}
+			if err := d.Insert(0, Elem{Val: 'a', ID: id(1, 1)}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := d.Delete(0, id(9, 9)); !errors.Is(err, ErrElemMismatch) {
+				t.Errorf("Delete with wrong id: err = %v, want ErrElemMismatch", err)
+			}
+			// The failed delete must not have modified the document.
+			if d.Len() != 1 {
+				t.Errorf("failed delete changed the document: len=%d", d.Len())
+			}
+			// Zero id skips the identity check.
+			if _, err := d.Delete(0, opid.OpID{}); err != nil {
+				t.Errorf("Delete with zero id: %v", err)
+			}
+		})
+	}
+}
+
+func TestDuplicateInsertRejected(t *testing.T) {
+	for name, d := range backends() {
+		t.Run(name, func(t *testing.T) {
+			if err := d.Insert(0, Elem{Val: 'a', ID: id(1, 1)}); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Insert(1, Elem{Val: 'b', ID: id(1, 1)}); !errors.Is(err, ErrDuplicateElem) {
+				t.Errorf("duplicate insert: err = %v, want ErrDuplicateElem", err)
+			}
+		})
+	}
+}
+
+func TestGetAndIndexOf(t *testing.T) {
+	for name, d := range backends() {
+		t.Run(name, func(t *testing.T) {
+			ids := []opid.OpID{id(1, 1), id(1, 2), id(2, 1)}
+			for i, x := range ids {
+				if err := d.Insert(i, Elem{Val: rune('a' + i), ID: x}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i, x := range ids {
+				e, err := d.Get(i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if e.ID != x {
+					t.Errorf("Get(%d).ID = %v, want %v", i, e.ID, x)
+				}
+				if got := d.IndexOf(x); got != i {
+					t.Errorf("IndexOf(%v) = %d, want %d", x, got, i)
+				}
+			}
+			if got := d.IndexOf(id(9, 9)); got != -1 {
+				t.Errorf("IndexOf(absent) = %d, want -1", got)
+			}
+			if _, err := d.Get(3); !errors.Is(err, ErrPosOutOfRange) {
+				t.Errorf("Get(3): err = %v, want ErrPosOutOfRange", err)
+			}
+		})
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	for name, d := range backends() {
+		t.Run(name, func(t *testing.T) {
+			if err := d.Insert(0, Elem{Val: 'a', ID: id(1, 1)}); err != nil {
+				t.Fatal(err)
+			}
+			c := d.Clone()
+			if err := c.Insert(1, Elem{Val: 'b', ID: id(1, 2)}); err != nil {
+				t.Fatal(err)
+			}
+			if d.Len() != 1 || c.Len() != 2 {
+				t.Errorf("clone not independent: orig=%d clone=%d", d.Len(), c.Len())
+			}
+		})
+	}
+}
+
+func TestFromString(t *testing.T) {
+	d := FromString("efecte", 100)
+	if got := d.String(); got != "efecte" {
+		t.Fatalf("FromString render = %q", got)
+	}
+	if d.Len() != 6 {
+		t.Fatalf("Len() = %d, want 6", d.Len())
+	}
+	// All IDs unique.
+	seen := map[opid.OpID]bool{}
+	for _, e := range d.Elems() {
+		if seen[e.ID] {
+			t.Fatalf("duplicate ID %v", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}
+
+func TestElemsReturnsCopy(t *testing.T) {
+	for name, d := range backends() {
+		t.Run(name, func(t *testing.T) {
+			if err := d.Insert(0, Elem{Val: 'a', ID: id(1, 1)}); err != nil {
+				t.Fatal(err)
+			}
+			es := d.Elems()
+			es[0].Val = 'z'
+			if d.String() != "a" {
+				t.Error("Elems exposed internal state")
+			}
+		})
+	}
+}
+
+// TestBackendsAgree drives both backends through an identical random edit
+// script and checks they stay element-for-element equal.
+func TestBackendsAgree(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	slice := NewDocument()
+	tree := NewTreeDocument()
+	var seq uint64
+	for step := 0; step < 2000; step++ {
+		if slice.Len() > 0 && r.Intn(3) == 0 {
+			pos := r.Intn(slice.Len())
+			e1, err1 := slice.Delete(pos, opid.OpID{})
+			e2, err2 := tree.Delete(pos, opid.OpID{})
+			if err1 != nil || err2 != nil {
+				t.Fatalf("step %d: delete errors %v / %v", step, err1, err2)
+			}
+			if e1 != e2 {
+				t.Fatalf("step %d: deleted different elements %v / %v", step, e1, e2)
+			}
+		} else {
+			seq++
+			e := Elem{Val: rune('a' + seq%26), ID: id(1, seq)}
+			pos := r.Intn(slice.Len() + 1)
+			if err := slice.Insert(pos, e); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			if err := tree.Insert(pos, e); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+		if !ElemsEqual(slice.Elems(), tree.Elems()) {
+			t.Fatalf("step %d: backends diverged:\n slice=%q\n tree =%q", step, slice.String(), tree.String())
+		}
+		if slice.Len() != tree.Len() {
+			t.Fatalf("step %d: length mismatch", step)
+		}
+	}
+	// Spot-check IndexOf/Get agreement at the end.
+	for i := 0; i < slice.Len(); i++ {
+		e, _ := slice.Get(i)
+		if tree.IndexOf(e.ID) != i {
+			t.Fatalf("IndexOf disagreement at %d", i)
+		}
+	}
+}
+
+func TestRender(t *testing.T) {
+	if got := Render(nil); got != "" {
+		t.Errorf("Render(nil) = %q", got)
+	}
+	es := []Elem{{Val: 'h', ID: id(1, 1)}, {Val: 'i', ID: id(1, 2)}}
+	if got := Render(es); got != "hi" {
+		t.Errorf("Render = %q, want %q", got, "hi")
+	}
+}
+
+func TestElemsEqual(t *testing.T) {
+	a := []Elem{{Val: 'x', ID: id(1, 1)}}
+	b := []Elem{{Val: 'x', ID: id(1, 1)}}
+	c := []Elem{{Val: 'x', ID: id(2, 1)}}
+	if !ElemsEqual(a, b) {
+		t.Error("identical slices reported unequal")
+	}
+	if ElemsEqual(a, c) {
+		t.Error("different identities reported equal")
+	}
+	if ElemsEqual(a, nil) {
+		t.Error("different lengths reported equal")
+	}
+	if !ElemsEqual(nil, []Elem{}) {
+		t.Error("nil and empty must be equal")
+	}
+}
+
+func TestCompatible(t *testing.T) {
+	x := Elem{Val: 'x', ID: id(1, 1)}
+	a := Elem{Val: 'a', ID: id(2, 1)}
+	b := Elem{Val: 'b', ID: id(3, 1)}
+
+	tests := []struct {
+		name   string
+		w1, w2 []Elem
+		want   bool
+	}{
+		{"disjoint", []Elem{a}, []Elem{b}, true},
+		{"same order", []Elem{a, x}, []Elem{a, x, b}, true},
+		{"reversed pair", []Elem{a, x}, []Elem{x, a}, false},
+		{"one common elem", []Elem{a, x}, []Elem{x, b}, true},
+		{"empty", nil, []Elem{a}, true},
+		{"figure7 ax vs xb", []Elem{a, x}, []Elem{x, b}, true},
+		{"figure8 ayxc vs axyc", []Elem{a, x, b}, []Elem{a, b, x}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Compatible(tt.w1, tt.w2); got != tt.want {
+				t.Errorf("Compatible = %v, want %v", got, tt.want)
+			}
+			if got := Compatible(tt.w2, tt.w1); got != tt.want {
+				t.Errorf("Compatible (swapped) = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,129 @@
+package list
+
+import (
+	"testing"
+	"testing/quick"
+
+	"jupiter/internal/opid"
+)
+
+// script interprets a byte string as an edit script and applies it to a
+// document, returning false on any internal inconsistency. It is the engine
+// behind the quick.Check properties below.
+func applyScript(d Doc, script []byte) bool {
+	var seq uint64
+	for _, b := range script {
+		if d.Len() > 0 && b%3 == 0 {
+			pos := int(b/3) % d.Len()
+			if _, err := d.Delete(pos, opid.OpID{}); err != nil {
+				return false
+			}
+			continue
+		}
+		seq++
+		pos := int(b) % (d.Len() + 1)
+		if err := d.Insert(pos, Elem{Val: rune('a' + b%26), ID: opid.OpID{Client: 1, Seq: seq}}); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQuickBackendsEquivalent: for every random edit script, the two
+// backends produce element-for-element identical documents.
+func TestQuickBackendsEquivalent(t *testing.T) {
+	f := func(script []byte) bool {
+		if len(script) > 300 {
+			script = script[:300]
+		}
+		s := NewDocument()
+		tr := NewTreeDocument()
+		if !applyScript(s, script) || !applyScript(tr, script) {
+			return false
+		}
+		return ElemsEqual(s.Elems(), tr.Elems())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLenMatchesElems: Len always equals len(Elems()) and every Get
+// agrees with Elems.
+func TestQuickLenMatchesElems(t *testing.T) {
+	f := func(script []byte) bool {
+		if len(script) > 200 {
+			script = script[:200]
+		}
+		d := NewTreeDocument()
+		if !applyScript(d, script) {
+			return false
+		}
+		es := d.Elems()
+		if d.Len() != len(es) {
+			return false
+		}
+		for i, e := range es {
+			g, err := d.Get(i)
+			if err != nil || g != e {
+				return false
+			}
+			if d.IndexOf(e.ID) != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCompatibleReflexiveAndSymmetric: compatibility is reflexive and
+// symmetric on arbitrary documents.
+func TestQuickCompatibleProperties(t *testing.T) {
+	mk := func(script []byte) []Elem {
+		d := NewDocument()
+		applyScript(d, script)
+		return d.Elems()
+	}
+	f := func(s1, s2 []byte) bool {
+		if len(s1) > 100 {
+			s1 = s1[:100]
+		}
+		if len(s2) > 100 {
+			s2 = s2[:100]
+		}
+		w1, w2 := mk(s1), mk(s2)
+		if !Compatible(w1, w1) || !Compatible(w2, w2) {
+			return false
+		}
+		return Compatible(w1, w2) == Compatible(w2, w1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPrefixCompatible: any prefix of a document is compatible with the
+// whole document (common elements keep their order).
+func TestQuickPrefixCompatible(t *testing.T) {
+	f := func(script []byte, cut uint8) bool {
+		if len(script) > 150 {
+			script = script[:150]
+		}
+		d := NewDocument()
+		if !applyScript(d, script) {
+			return false
+		}
+		es := d.Elems()
+		k := 0
+		if len(es) > 0 {
+			k = int(cut) % (len(es) + 1)
+		}
+		return Compatible(es[:k], es)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,212 @@
+package list
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"jupiter/internal/opid"
+)
+
+// TreeDocument is a Doc backed by a treap ordered by implicit index.
+// Insert/Delete/Get run in O(log n) expected time, which matters for the
+// large-document regime of the E6 ablation benchmark. Treap priorities are
+// derived deterministically from element identities, so the structure (and
+// therefore performance) is reproducible without a random source.
+//
+// IndexOf is O(n); protocols on the hot path only use position-addressed
+// edits, for which the treap is logarithmic.
+type TreeDocument struct {
+	root *treapNode
+	byID map[opid.OpID]struct{}
+}
+
+var _ Doc = (*TreeDocument)(nil)
+
+type treapNode struct {
+	elem        Elem
+	prio        uint64
+	size        int
+	left, right *treapNode
+}
+
+// NewTreeDocument returns an empty tree-backed document.
+func NewTreeDocument() *TreeDocument {
+	return &TreeDocument{byID: make(map[opid.OpID]struct{})}
+}
+
+func nodeSize(n *treapNode) int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+func (n *treapNode) recalc() {
+	n.size = 1 + nodeSize(n.left) + nodeSize(n.right)
+}
+
+func elemPrio(e Elem) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%d", e.ID.Client, e.ID.Seq, e.Val)
+	return h.Sum64()
+}
+
+// split divides t into (first k elements, the rest).
+func split(t *treapNode, k int) (*treapNode, *treapNode) {
+	if t == nil {
+		return nil, nil
+	}
+	if nodeSize(t.left) >= k {
+		l, r := split(t.left, k)
+		t.left = r
+		t.recalc()
+		return l, t
+	}
+	l, r := split(t.right, k-nodeSize(t.left)-1)
+	t.right = l
+	t.recalc()
+	return t, r
+}
+
+func merge(a, b *treapNode) *treapNode {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if a.prio >= b.prio {
+		a.right = merge(a.right, b)
+		a.recalc()
+		return a
+	}
+	b.left = merge(a, b.left)
+	b.recalc()
+	return b
+}
+
+// Insert implements Doc.
+func (d *TreeDocument) Insert(pos int, e Elem) error {
+	if pos < 0 || pos > nodeSize(d.root) {
+		return fmt.Errorf("%w: insert at %d, len %d", ErrPosOutOfRange, pos, nodeSize(d.root))
+	}
+	if !e.ID.Zero() {
+		if _, dup := d.byID[e.ID]; dup {
+			return fmt.Errorf("%w: %s", ErrDuplicateElem, e.ID)
+		}
+	}
+	n := &treapNode{elem: e, prio: elemPrio(e), size: 1}
+	l, r := split(d.root, pos)
+	d.root = merge(merge(l, n), r)
+	if !e.ID.Zero() {
+		d.byID[e.ID] = struct{}{}
+	}
+	return nil
+}
+
+// Delete implements Doc.
+func (d *TreeDocument) Delete(pos int, id opid.OpID) (Elem, error) {
+	if pos < 0 || pos >= nodeSize(d.root) {
+		return Elem{}, fmt.Errorf("%w: delete at %d, len %d", ErrPosOutOfRange, pos, nodeSize(d.root))
+	}
+	l, rest := split(d.root, pos)
+	mid, r := split(rest, 1)
+	e := mid.elem
+	if !id.Zero() && e.ID != id {
+		// Reassemble before reporting so the document is unchanged.
+		d.root = merge(merge(l, mid), r)
+		return Elem{}, fmt.Errorf("%w: want %s, found %s at %d", ErrElemMismatch, id, e.ID, pos)
+	}
+	d.root = merge(l, r)
+	delete(d.byID, e.ID)
+	return e, nil
+}
+
+// Len implements Doc.
+func (d *TreeDocument) Len() int { return nodeSize(d.root) }
+
+// Get implements Doc.
+func (d *TreeDocument) Get(pos int) (Elem, error) {
+	if pos < 0 || pos >= nodeSize(d.root) {
+		return Elem{}, fmt.Errorf("%w: get at %d, len %d", ErrPosOutOfRange, pos, nodeSize(d.root))
+	}
+	n := d.root
+	for {
+		ls := nodeSize(n.left)
+		switch {
+		case pos < ls:
+			n = n.left
+		case pos == ls:
+			return n.elem, nil
+		default:
+			pos -= ls + 1
+			n = n.right
+		}
+	}
+}
+
+// IndexOf implements Doc.
+func (d *TreeDocument) IndexOf(id opid.OpID) int {
+	if _, ok := d.byID[id]; !ok {
+		return -1
+	}
+	idx := -1
+	i := 0
+	var walk func(n *treapNode) bool
+	walk = func(n *treapNode) bool {
+		if n == nil {
+			return false
+		}
+		if walk(n.left) {
+			return true
+		}
+		if n.elem.ID == id {
+			idx = i
+			return true
+		}
+		i++
+		return walk(n.right)
+	}
+	walk(d.root)
+	return idx
+}
+
+// Elems implements Doc.
+func (d *TreeDocument) Elems() []Elem {
+	out := make([]Elem, 0, nodeSize(d.root))
+	var walk func(n *treapNode)
+	walk = func(n *treapNode) {
+		if n == nil {
+			return
+		}
+		walk(n.left)
+		out = append(out, n.elem)
+		walk(n.right)
+	}
+	walk(d.root)
+	return out
+}
+
+// String implements Doc.
+func (d *TreeDocument) String() string {
+	var b strings.Builder
+	b.Grow(nodeSize(d.root))
+	for _, e := range d.Elems() {
+		b.WriteRune(e.Val)
+	}
+	return b.String()
+}
+
+// Clone implements Doc.
+func (d *TreeDocument) Clone() Doc {
+	nd := NewTreeDocument()
+	for i, e := range d.Elems() {
+		if err := nd.Insert(i, e); err != nil {
+			// Cannot happen: positions are in range and IDs are unique by
+			// construction of the source document.
+			panic(fmt.Sprintf("list: clone insert: %v", err))
+		}
+	}
+	return nd
+}

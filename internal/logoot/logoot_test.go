@@ -1,0 +1,231 @@
+package logoot_test
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"jupiter/internal/list"
+	"jupiter/internal/logoot"
+	"jupiter/internal/opid"
+	"jupiter/internal/sim"
+	"jupiter/internal/spec"
+)
+
+func TestCompareBasics(t *testing.T) {
+	a := logoot.Pos{{Digit: 5, Peer: 1}}
+	b := logoot.Pos{{Digit: 5, Peer: 2}}
+	c := logoot.Pos{{Digit: 5, Peer: 1}, {Digit: 9, Peer: 1}}
+	d := logoot.Pos{{Digit: 6, Peer: 1}}
+
+	if a.Compare(b) != -1 || b.Compare(a) != 1 {
+		t.Error("peer tie-break wrong")
+	}
+	if a.Compare(c) != -1 {
+		t.Error("prefix must sort below extension")
+	}
+	if c.Compare(d) != -1 {
+		t.Error("digit dominates depth")
+	}
+	if a.Compare(a) != 0 {
+		t.Error("reflexivity")
+	}
+}
+
+// TestBetweenProperty: Between always produces a fresh identifier strictly
+// inside arbitrary bounds built from chains of Between calls.
+func TestBetweenProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	// Grow a random sorted universe by repeated insertion at random gaps.
+	var ids []logoot.Pos
+	for step := 0; step < 3000; step++ {
+		i := r.Intn(len(ids) + 1)
+		var left, right logoot.Pos
+		if i > 0 {
+			left = ids[i-1]
+		}
+		if i < len(ids) {
+			right = ids[i]
+		}
+		peer := opid.ClientID(1 + r.Intn(5))
+		p, err := logoot.Between(left, right, peer, uint64(step+1))
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if left != nil && left.Compare(p) != -1 {
+			t.Fatalf("step %d: %s !< %s", step, left, p)
+		}
+		if right != nil && p.Compare(right) != -1 {
+			t.Fatalf("step %d: %s !< %s", step, p, right)
+		}
+		ids = append(ids, nil)
+		copy(ids[i+1:], ids[i:])
+		ids[i] = p
+	}
+	// The universe must be strictly sorted with no duplicates.
+	if !sort.SliceIsSorted(ids, func(i, j int) bool { return ids[i].Compare(ids[j]) < 0 }) {
+		t.Fatal("universe not sorted")
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1].Compare(ids[i]) == 0 {
+			t.Fatal("duplicate identifier generated")
+		}
+	}
+}
+
+func TestBetweenBadBounds(t *testing.T) {
+	a := logoot.Pos{{Digit: 5, Peer: 1}}
+	b := logoot.Pos{{Digit: 9, Peer: 1}}
+	if _, err := logoot.Between(b, a, 1, 1); err == nil {
+		t.Error("reversed bounds must error")
+	}
+	if _, err := logoot.Between(a, a, 1, 2); err == nil {
+		t.Error("equal bounds must error")
+	}
+}
+
+// TestQuickCompareTotalOrder checks the comparison is a strict total order
+// over randomly generated identifiers.
+func TestQuickCompareTotalOrder(t *testing.T) {
+	gen := func(raw []uint16, peer int16) logoot.Pos {
+		if len(raw) == 0 {
+			raw = []uint16{1}
+		}
+		if len(raw) > 5 {
+			raw = raw[:5]
+		}
+		p := make(logoot.Pos, len(raw))
+		for i, d := range raw {
+			p[i] = logoot.Ident{Digit: uint32(d), Peer: opid.ClientID(peer)}
+		}
+		return p
+	}
+	f := func(r1, r2 []uint16, p1, p2 int16) bool {
+		a, b := gen(r1, p1), gen(r2, p2)
+		ab, ba := a.Compare(b), b.Compare(a)
+		if ab != -ba {
+			return false
+		}
+		return ab == 0 == (a.String() == b.String())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentSamePositionDistinct(t *testing.T) {
+	r1 := logoot.NewReplica("c1", 1, nil)
+	r2 := logoot.NewReplica("c2", 2, nil)
+
+	e1, err := r1.GenerateIns('a', 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := r2.GenerateIns('b', 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.Integrate(e2); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Integrate(e1); err != nil {
+		t.Fatal(err)
+	}
+	d1, d2 := list.Render(r1.Document()), list.Render(r2.Document())
+	if d1 != d2 {
+		t.Fatalf("diverged: %q vs %q", d1, d2)
+	}
+	// Same midpoint digit, tie broken by peer id: c1's element first.
+	if d1 != "ab" {
+		t.Fatalf("order %q, want %q", d1, "ab")
+	}
+}
+
+func TestDeleteIdempotent(t *testing.T) {
+	r := logoot.NewReplica("c1", 1, nil)
+	if _, err := r.GenerateIns('a', 0); err != nil {
+		t.Fatal(err)
+	}
+	eff, err := r.GenerateDel(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 {
+		t.Fatal("delete did not remove")
+	}
+	// Re-applying the delete (e.g. a concurrent duplicate) is a no-op.
+	if err := r.Integrate(eff); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 {
+		t.Fatal("idempotence broken")
+	}
+}
+
+func TestReplicaErrors(t *testing.T) {
+	r := logoot.NewReplica("c1", 1, nil)
+	if _, err := r.GenerateIns('a', 5); err == nil {
+		t.Error("out-of-range insert must error")
+	}
+	if _, err := r.GenerateDel(0); err == nil {
+		t.Error("out-of-range delete must error")
+	}
+	eff, err := r.GenerateIns('a', 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Integrate(eff); err == nil {
+		t.Error("duplicate identifier must error")
+	}
+	if err := r.Integrate(logoot.Effect{Kind: 42}); err == nil {
+		t.Error("unknown effect kind must error")
+	}
+}
+
+// TestLogootRandomStrong: like RGA, Logoot satisfies the strong list
+// specification on random executions (its identifier order is the total
+// list order lo).
+func TestLogootRandomStrong(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		cl, err := sim.NewCluster(sim.Logoot, sim.Config{Clients: 4, Record: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.RunRandom(cl, sim.Workload{Seed: seed, OpsPerClient: 7, DeleteRatio: 0.35}, true); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if _, err := sim.CheckConverged(cl); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		h := cl.History()
+		if err := h.WellFormed(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := spec.CheckStrong(h); err != nil {
+			t.Fatalf("seed %d: strong must hold for Logoot: %v", seed, err)
+		}
+	}
+}
+
+// TestLogootAsync: the goroutine runtime supports Logoot.
+func TestLogootAsync(t *testing.T) {
+	res, err := sim.RunAsync(sim.Logoot, sim.AsyncConfig{
+		Clients: 3, OpsPerClient: 8, Seed: 2, DeleteRatio: 0.3, Record: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref string
+	for name, doc := range res.Docs {
+		s := list.Render(doc)
+		if ref == "" {
+			ref = s
+		} else if s != ref {
+			t.Fatalf("%s diverged: %q vs %q", name, s, ref)
+		}
+	}
+	if err := spec.CheckStrong(res.History); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,163 @@
+// Package opid defines the identity types shared by every layer of the
+// Jupiter reproduction: client identifiers and globally-unique operation
+// identifiers.
+//
+// The paper (Section 3.1) assumes that all inserted elements are unique,
+// "which can be done by attaching replica identifiers and sequence numbers".
+// OpID is exactly that pair. Because there is a one-to-one correspondence
+// between inserted elements and insert operations, the same identifier names
+// both the original operation and the element it inserts.
+package opid
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ClientID identifies a client replica. The server is not a client and never
+// generates operations (Section 4.4), so it has no ClientID; use ServerID
+// where a replica name is needed for the server.
+type ClientID int32
+
+// ServerName is the conventional replica name used for the central server in
+// histories and logs.
+const ServerName = "server"
+
+// String returns the conventional replica name for the client, e.g. "c3".
+func (c ClientID) String() string {
+	return fmt.Sprintf("c%d", int32(c))
+}
+
+// OpID uniquely identifies an original (untransformed) user operation, and,
+// for insertions, the element it inserts.
+type OpID struct {
+	Client ClientID // generating client
+	Seq    uint64   // per-client sequence number, starting at 1
+}
+
+// Zero reports whether the identifier is the zero value (no operation).
+func (id OpID) Zero() bool {
+	return id == OpID{}
+}
+
+// Less orders identifiers lexicographically by (Client, Seq). This is an
+// arbitrary but deterministic order used for canonical set encodings; it is
+// NOT the protocol's total order "⇒", which is established by the server.
+func (id OpID) Less(other OpID) bool {
+	if id.Client != other.Client {
+		return id.Client < other.Client
+	}
+	return id.Seq < other.Seq
+}
+
+// String renders the identifier as "c<client>:<seq>".
+func (id OpID) String() string {
+	return fmt.Sprintf("%s:%d", id.Client, id.Seq)
+}
+
+// Set is an immutable-by-convention set of operation identifiers. It is used
+// to represent operation contexts (Definition 4.6) and state identities in
+// the n-ary ordered state-space (Section 6.1), where "a state σ is
+// represented by the set of operations the replica has already processed".
+type Set map[OpID]struct{}
+
+// NewSet builds a set from the given identifiers.
+func NewSet(ids ...OpID) Set {
+	s := make(Set, len(ids))
+	for _, id := range ids {
+		s[id] = struct{}{}
+	}
+	return s
+}
+
+// Contains reports whether id is in the set.
+func (s Set) Contains(id OpID) bool {
+	_, ok := s[id]
+	return ok
+}
+
+// Add returns a copy of the set with id added. The receiver is not modified,
+// which keeps state identities in the state-space immutable.
+func (s Set) Add(id OpID) Set {
+	out := make(Set, len(s)+1)
+	for k := range s {
+		out[k] = struct{}{}
+	}
+	out[id] = struct{}{}
+	return out
+}
+
+// Clone returns a copy of the set.
+func (s Set) Clone() Set {
+	out := make(Set, len(s))
+	for k := range s {
+		out[k] = struct{}{}
+	}
+	return out
+}
+
+// Equal reports whether two sets contain the same identifiers.
+func (s Set) Equal(other Set) bool {
+	if len(s) != len(other) {
+		return false
+	}
+	for k := range s {
+		if !other.Contains(k) {
+			return false
+		}
+	}
+	return true
+}
+
+// Subset reports whether every identifier of s is in other.
+func (s Set) Subset(other Set) bool {
+	if len(s) > len(other) {
+		return false
+	}
+	for k := range s {
+		if !other.Contains(k) {
+			return false
+		}
+	}
+	return true
+}
+
+// Sorted returns the identifiers in canonical (Client, Seq) order.
+func (s Set) Sorted() []OpID {
+	out := make([]OpID, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Key returns a canonical string encoding of the set, suitable as a map key.
+// Two sets have equal keys iff they are equal. This sits on the hot path of
+// every state-space lookup, hence strconv rather than fmt.
+func (s Set) Key() string {
+	ids := s.Sorted()
+	var b strings.Builder
+	b.Grow(len(ids) * 8)
+	for i, id := range ids {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatInt(int64(id.Client), 10))
+		b.WriteByte('.')
+		b.WriteString(strconv.FormatUint(id.Seq, 10))
+	}
+	return b.String()
+}
+
+// String renders the set as "{c1:1,c2:1}".
+func (s Set) String() string {
+	ids := s.Sorted()
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = id.String()
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}

@@ -1,0 +1,160 @@
+package opid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpIDLess(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b OpID
+		want bool
+	}{
+		{"smaller client", OpID{1, 5}, OpID{2, 1}, true},
+		{"larger client", OpID{3, 1}, OpID{2, 9}, false},
+		{"same client smaller seq", OpID{1, 1}, OpID{1, 2}, true},
+		{"same client larger seq", OpID{1, 3}, OpID{1, 2}, false},
+		{"equal", OpID{1, 1}, OpID{1, 1}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Less(tt.b); got != tt.want {
+				t.Errorf("(%v).Less(%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestOpIDLessIsStrictTotalOrder(t *testing.T) {
+	// Antisymmetry + totality: exactly one of a<b, b<a, a==b.
+	f := func(ac, bc int32, as, bs uint64) bool {
+		a := OpID{Client: ClientID(ac), Seq: as}
+		b := OpID{Client: ClientID(bc), Seq: bs}
+		lt, gt, eq := a.Less(b), b.Less(a), a == b
+		count := 0
+		for _, v := range []bool{lt, gt, eq} {
+			if v {
+				count++
+			}
+		}
+		return count == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpIDString(t *testing.T) {
+	id := OpID{Client: 3, Seq: 7}
+	if got, want := id.String(), "c3:7"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestZero(t *testing.T) {
+	if !(OpID{}).Zero() {
+		t.Error("zero OpID not reported as zero")
+	}
+	if (OpID{Client: 1}).Zero() {
+		t.Error("non-zero OpID reported as zero")
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	a := OpID{1, 1}
+	b := OpID{2, 1}
+	c := OpID{1, 2}
+
+	s := NewSet(a, b)
+	if !s.Contains(a) || !s.Contains(b) || s.Contains(c) {
+		t.Fatalf("membership wrong: %v", s)
+	}
+
+	s2 := s.Add(c)
+	if s.Contains(c) {
+		t.Error("Add mutated the receiver")
+	}
+	if !s2.Contains(c) || len(s2) != 3 {
+		t.Errorf("Add result wrong: %v", s2)
+	}
+}
+
+func TestSetEqualSubset(t *testing.T) {
+	a, b, c := OpID{1, 1}, OpID{2, 1}, OpID{3, 1}
+	s1 := NewSet(a, b)
+	s2 := NewSet(b, a)
+	s3 := NewSet(a, b, c)
+
+	if !s1.Equal(s2) {
+		t.Error("order-insensitive equality failed")
+	}
+	if s1.Equal(s3) {
+		t.Error("different sizes reported equal")
+	}
+	if !s1.Subset(s3) {
+		t.Error("subset not detected")
+	}
+	if s3.Subset(s1) {
+		t.Error("superset reported as subset")
+	}
+	if !s1.Subset(s1) {
+		t.Error("a set must be a subset of itself")
+	}
+}
+
+func TestSetKeyCanonical(t *testing.T) {
+	a, b := OpID{1, 1}, OpID{2, 7}
+	if NewSet(a, b).Key() != NewSet(b, a).Key() {
+		t.Error("Key is not order-insensitive")
+	}
+	if NewSet(a).Key() == NewSet(b).Key() {
+		t.Error("distinct sets share a key")
+	}
+	if NewSet().Key() != "" {
+		t.Errorf("empty set key = %q, want empty", NewSet().Key())
+	}
+}
+
+func TestSetKeyInjective(t *testing.T) {
+	f := func(ids []uint16) bool {
+		// Build two sets from the same ids: keys must match; and removing
+		// one element must change the key.
+		s := NewSet()
+		for _, v := range ids {
+			s = s.Add(OpID{Client: ClientID(v % 7), Seq: uint64(v)})
+		}
+		if s.Key() != s.Clone().Key() {
+			return false
+		}
+		for id := range s {
+			reduced := s.Clone()
+			delete(reduced, id)
+			if reduced.Key() == s.Key() {
+				return false
+			}
+			break
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetSortedAndString(t *testing.T) {
+	s := NewSet(OpID{2, 1}, OpID{1, 2}, OpID{1, 1})
+	ids := s.Sorted()
+	want := []OpID{{1, 1}, {1, 2}, {2, 1}}
+	if len(ids) != len(want) {
+		t.Fatalf("Sorted() returned %d ids, want %d", len(ids), len(want))
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Errorf("Sorted()[%d] = %v, want %v", i, ids[i], want[i])
+		}
+	}
+	if got, want := s.String(), "{c1:1,c1:2,c2:1}"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

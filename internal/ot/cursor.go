@@ -1,0 +1,75 @@
+package ot
+
+// Cursor transformation.
+//
+// A real collaborative editor must adjust each user's caret and selection
+// when a remote operation is executed — the same inclusion-transformation
+// idea applied to positions instead of operations. These helpers are not
+// part of the paper's formal model but are what any adopter of the library
+// wires into a UI; they follow the conventions used by the Jupiter system's
+// descendants (Wave/ShareDB):
+//
+// The semantics are ELEMENT-TRACKING: a caret conceptually sits immediately
+// before some element (or at the end), and transformation keeps it before
+// that same element:
+//
+//   - an insert at or before the cursor shifts it right (text inserted at
+//     the caret lands before it, as in mainstream collaborative editors);
+//   - a delete before the cursor shifts it left;
+//   - a delete AT the cursor leaves the index unchanged (the caret slides
+//     onto the next element).
+//
+// The element-tracking property is machine-checked in cursor_test.go.
+type Cursor struct {
+	// Pos is the caret index, in [0, docLen].
+	Pos int
+}
+
+// TransformCursor returns the cursor position after executing op on the
+// document the cursor lives in.
+func TransformCursor(pos int, op Op) int {
+	switch op.Kind {
+	case KindIns:
+		if op.Pos <= pos {
+			return pos + 1
+		}
+		return pos
+	case KindDel:
+		if op.Pos < pos {
+			return pos - 1
+		}
+		return pos
+	default:
+		return pos
+	}
+}
+
+// TransformSelection adjusts a [start, end) selection range (start ≤ end)
+// against an executed operation. The anchor-side semantics match
+// TransformCursor with ownOp=false at both ends, except that an insertion
+// exactly at the selection start does not grow the selection (it lands
+// before it).
+func TransformSelection(start, end int, op Op) (int, int) {
+	switch op.Kind {
+	case KindIns:
+		switch {
+		case op.Pos <= start:
+			return start + 1, end + 1
+		case op.Pos < end:
+			return start, end + 1
+		default:
+			return start, end
+		}
+	case KindDel:
+		switch {
+		case op.Pos < start:
+			return start - 1, end - 1
+		case op.Pos < end:
+			return start, end - 1
+		default:
+			return start, end
+		}
+	default:
+		return start, end
+	}
+}

@@ -1,0 +1,121 @@
+package ot
+
+import (
+	"math/rand"
+	"testing"
+
+	"jupiter/internal/list"
+)
+
+func TestTransformCursorTable(t *testing.T) {
+	ins := func(p int) Op { return Ins('x', p, id(2, 1)) }
+	del := func(p int) Op {
+		return Del(list.Elem{Val: 'y', ID: id(9, 1)}, p, id(2, 1))
+	}
+	tests := []struct {
+		name string
+		pos  int
+		op   Op
+		want int
+	}{
+		{"insert before", 3, ins(1), 4},
+		{"insert at caret tracks element", 3, ins(3), 4},
+		{"insert after", 3, ins(5), 3},
+		{"delete before", 3, del(1), 2},
+		{"delete at caret stays", 3, del(3), 3},
+		{"delete after", 3, del(4), 3},
+		{"nop", 3, Nop(id(2, 1)), 3},
+		{"read", 3, Read(id(2, 1)), 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := TransformCursor(tt.pos, tt.op); got != tt.want {
+				t.Errorf("TransformCursor(%d, %s) = %d, want %d",
+					tt.pos, tt.op, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestTransformSelectionTable(t *testing.T) {
+	ins := func(p int) Op { return Ins('x', p, id(2, 1)) }
+	del := func(p int) Op {
+		return Del(list.Elem{Val: 'y', ID: id(9, 1)}, p, id(2, 1))
+	}
+	tests := []struct {
+		name               string
+		start, end         int
+		op                 Op
+		wantStart, wantEnd int
+	}{
+		{"insert before shifts both", 2, 5, ins(1), 3, 6},
+		{"insert at start shifts both", 2, 5, ins(2), 3, 6},
+		{"insert inside grows", 2, 5, ins(3), 2, 6},
+		{"insert at end leaves", 2, 5, ins(5), 2, 5},
+		{"insert after leaves", 2, 5, ins(7), 2, 5},
+		{"delete before shifts both", 2, 5, del(0), 1, 4},
+		{"delete inside shrinks", 2, 5, del(3), 2, 4},
+		{"delete at start shrinks", 2, 5, del(2), 2, 4},
+		{"delete at end leaves", 2, 5, del(5), 2, 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s, e := TransformSelection(tt.start, tt.end, tt.op)
+			if s != tt.wantStart || e != tt.wantEnd {
+				t.Errorf("TransformSelection(%d,%d,%s) = (%d,%d), want (%d,%d)",
+					tt.start, tt.end, tt.op, s, e, tt.wantStart, tt.wantEnd)
+			}
+		})
+	}
+}
+
+// TestCursorTracksElement: the semantic property behind cursor transforms —
+// if the caret sits immediately before some element, it still sits
+// immediately before that element after any remote operation that does not
+// delete it.
+func TestCursorTracksElement(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 3000; iter++ {
+		n := 1 + r.Intn(10)
+		doc := list.NewDocument()
+		for i := 0; i < n; i++ {
+			_ = doc.Insert(i, list.Elem{Val: rune('a' + i), ID: id(50, uint64(i+1))})
+		}
+		// Caret before a random element.
+		caret := r.Intn(doc.Len())
+		target, _ := doc.Get(caret)
+
+		// A random remote operation (never deleting the target).
+		var op Op
+		if doc.Len() > 1 && r.Intn(2) == 0 {
+			p := r.Intn(doc.Len())
+			e, _ := doc.Get(p)
+			if e.ID == target.ID {
+				p = (p + 1) % doc.Len()
+				e, _ = doc.Get(p)
+			}
+			op = Del(e, p, id(2, uint64(iter+1)))
+		} else {
+			op = Ins(rune('A'+r.Intn(26)), r.Intn(doc.Len()+1), id(2, uint64(iter+1)))
+		}
+		if err := Apply(doc, op); err != nil {
+			t.Fatal(err)
+		}
+		caret = TransformCursor(caret, op)
+		if caret < 0 || caret >= doc.Len() {
+			t.Fatalf("iter %d: caret %d out of range (len %d)", iter, caret, doc.Len())
+		}
+		got, _ := doc.Get(caret)
+		if got.ID != target.ID {
+			t.Fatalf("iter %d: caret slid off its element after %s: before %c, now %c",
+				iter, op, target.Val, got.Val)
+		}
+	}
+}
+
+func TestCursorZeroValue(t *testing.T) {
+	var c Cursor
+	if c.Pos != 0 {
+		t.Fatal("zero cursor must sit at 0")
+	}
+}

@@ -1,0 +1,146 @@
+// Package ot implements the operation model and the operational
+// transformation (OT) functions for the replicated list object (Sections 3.1
+// and 4.2 of the paper).
+//
+// An operation is Ins(a, p), Del(a, p), or Nop. Ins and Del carry both the
+// element and the position: OT is performed on positions, while the
+// strong/weak list specifications refer to the element (footnote 2 of the
+// paper). Nop arises when a delete is transformed against a concurrent
+// delete of the same element.
+//
+// The package provides the inclusion transformation Transform (written
+// o1{o2} = OT(o1, o2) in the paper) and proves — via the property tests in
+// transform_test.go — that it satisfies CP1 (Definition 4.4):
+//
+//	σ; o1; o2{o1}  =  σ; o2; o1{o2}
+package ot
+
+import (
+	"fmt"
+
+	"jupiter/internal/list"
+	"jupiter/internal/opid"
+)
+
+// Kind enumerates the operation kinds of the replicated list object.
+type Kind uint8
+
+// Operation kinds. Read is included so recorded histories can model
+// Definition 3.1's read events uniformly; reads are never transformed.
+const (
+	KindIns Kind = iota + 1
+	KindDel
+	KindNop
+	KindRead
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindIns:
+		return "Ins"
+	case KindDel:
+		return "Del"
+	case KindNop:
+		return "Nop"
+	case KindRead:
+		return "Read"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Op is a list operation, original or transformed. The identity ID always
+// names the ORIGINAL user operation (org(o) in Definition 4.5); transforming
+// an operation changes Pos (and possibly Kind, to Nop) but never ID or Elem.
+type Op struct {
+	Kind Kind
+	Elem list.Elem // element inserted/deleted; Elem.ID == ID for insertions
+	Pos  int       // 0-based position the operation acts on
+	ID   opid.OpID // identity of the original operation
+	Pri  int32     // tie-break priority for concurrent same-position inserts
+}
+
+// Ins builds an insert operation: element val at position pos, identified by
+// id. Priority defaults to the generating client's ID; Fig. 7 of the paper
+// assumes "the client with a larger id has a higher priority", and a higher
+// priority element ends up earlier in the list when two concurrent inserts
+// collide on the same position.
+func Ins(val rune, pos int, id opid.OpID) Op {
+	return Op{
+		Kind: KindIns,
+		Elem: list.Elem{Val: val, ID: id},
+		Pos:  pos,
+		ID:   id,
+		Pri:  int32(id.Client),
+	}
+}
+
+// Del builds a delete operation removing elem from position pos. The op is
+// identified by id (the delete's own identity, distinct from the inserted
+// element's identity carried in elem).
+func Del(elem list.Elem, pos int, id opid.OpID) Op {
+	return Op{
+		Kind: KindDel,
+		Elem: elem,
+		Pos:  pos,
+		ID:   id,
+		Pri:  int32(id.Client),
+	}
+}
+
+// Nop builds the idle operation that results from transforming a delete
+// against a concurrent delete of the same element. It retains the original
+// identity so contexts still account for it.
+func Nop(id opid.OpID) Op {
+	return Op{Kind: KindNop, ID: id}
+}
+
+// Read builds a read marker operation used in recorded histories.
+func Read(id opid.OpID) Op {
+	return Op{Kind: KindRead, ID: id}
+}
+
+// IsUpdate reports whether the operation is a list update (Ins or Del), as
+// opposed to Nop or Read.
+func (o Op) IsUpdate() bool {
+	return o.Kind == KindIns || o.Kind == KindDel
+}
+
+// String renders the operation, e.g. `Ins(f,1)@c1:1` or `Del(e,5)@c2:1`.
+func (o Op) String() string {
+	switch o.Kind {
+	case KindIns:
+		return fmt.Sprintf("Ins(%c,%d)@%s", o.Elem.Val, o.Pos, o.ID)
+	case KindDel:
+		return fmt.Sprintf("Del(%c,%d)@%s", o.Elem.Val, o.Pos, o.ID)
+	case KindNop:
+		return fmt.Sprintf("Nop@%s", o.ID)
+	case KindRead:
+		return fmt.Sprintf("Read@%s", o.ID)
+	default:
+		return fmt.Sprintf("Op{kind=%d}", o.Kind)
+	}
+}
+
+// Apply executes the (original or transformed) operation on the document.
+// Nop and Read leave the document unchanged. Errors indicate protocol bugs:
+// a correctly transformed operation is always applicable.
+func Apply(d list.Doc, o Op) error {
+	switch o.Kind {
+	case KindIns:
+		if err := d.Insert(o.Pos, o.Elem); err != nil {
+			return fmt.Errorf("apply %s: %w", o, err)
+		}
+		return nil
+	case KindDel:
+		if _, err := d.Delete(o.Pos, o.Elem.ID); err != nil {
+			return fmt.Errorf("apply %s: %w", o, err)
+		}
+		return nil
+	case KindNop, KindRead:
+		return nil
+	default:
+		return fmt.Errorf("apply: unknown op kind %d", o.Kind)
+	}
+}

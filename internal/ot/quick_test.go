@@ -1,0 +1,119 @@
+package ot
+
+import (
+	"testing"
+	"testing/quick"
+
+	"jupiter/internal/list"
+	"jupiter/internal/opid"
+)
+
+// mkDoc builds a document of n unique elements.
+func mkDoc(n int) *list.Document {
+	d := list.NewDocument()
+	for i := 0; i < n; i++ {
+		_ = d.Insert(i, list.Elem{Val: rune('a' + i%26), ID: opid.OpID{Client: 50, Seq: uint64(i + 1)}})
+	}
+	return d
+}
+
+// opFrom decodes an operation valid on a document of length n from fuzz
+// inputs.
+func opFrom(isIns bool, rawPos uint16, val byte, d *list.Document, id opid.OpID) Op {
+	n := d.Len()
+	if isIns || n == 0 {
+		return Ins(rune('A'+val%26), int(rawPos)%(n+1), id)
+	}
+	pos := int(rawPos) % n
+	e, _ := d.Get(pos)
+	return Del(e, pos, id)
+}
+
+// TestQuickCP1 is the testing/quick form of the CP1 property (Definition
+// 4.4): for arbitrary concurrent pairs on arbitrary documents,
+// σ; o1; o2{o1} == σ; o2; o1{o2}.
+func TestQuickCP1(t *testing.T) {
+	f := func(docLen uint8, ins1, ins2 bool, p1, p2 uint16, v1, v2 byte) bool {
+		d := mkDoc(int(docLen % 12))
+		o1 := opFrom(ins1, p1, v1, d, opid.OpID{Client: 1, Seq: 1})
+		o2 := opFrom(ins2, p2, v2, d, opid.OpID{Client: 2, Seq: 1})
+		return CheckCP1(d, o1, o2) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTransformPreservesIdentity: transformation never changes an
+// operation's identity or element, and only ever moves positions by at most
+// one (for a single transform step).
+func TestQuickTransformPreservesIdentity(t *testing.T) {
+	f := func(docLen uint8, ins1, ins2 bool, p1, p2 uint16, v1, v2 byte) bool {
+		d := mkDoc(int(docLen % 12))
+		o1 := opFrom(ins1, p1, v1, d, opid.OpID{Client: 1, Seq: 1})
+		o2 := opFrom(ins2, p2, v2, d, opid.OpID{Client: 2, Seq: 1})
+		tr := Transform(o1, o2)
+		if tr.ID != o1.ID {
+			return false
+		}
+		if tr.Kind == KindNop {
+			// Only a delete/delete collision on the same element nops.
+			return o1.Kind == KindDel && o2.Kind == KindDel && o1.Elem.ID == o2.Elem.ID
+		}
+		if tr.Kind != o1.Kind || tr.Elem != o1.Elem {
+			return false
+		}
+		dPos := tr.Pos - o1.Pos
+		return dPos >= -1 && dPos <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTransformSeqFold: TransformSeq(o, L) equals the left fold of
+// single-step transforms.
+func TestQuickTransformSeqFold(t *testing.T) {
+	f := func(docLen uint8, p uint16, raw []uint16) bool {
+		if len(raw) > 8 {
+			raw = raw[:8]
+		}
+		d := mkDoc(int(docLen%10) + 1)
+		o := opFrom(true, p, 'z', d, opid.OpID{Client: 1, Seq: 1})
+
+		// Build a causal chain of inserts from client 2.
+		work := d.Clone()
+		var seq []Op
+		for i, r := range raw {
+			op := Ins(rune('A'+i), int(r)%(work.Len()+1), opid.OpID{Client: 2, Seq: uint64(i + 1)})
+			if err := Apply(work, op); err != nil {
+				return false
+			}
+			seq = append(seq, op)
+		}
+
+		got, _ := TransformSeq(o, seq)
+		want := o
+		for _, s := range seq {
+			want = Transform(want, s)
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNopAbsorbing: Nop is absorbing on the left and neutral on the
+// right for Transform.
+func TestQuickNopAbsorbing(t *testing.T) {
+	f := func(docLen uint8, isIns bool, p uint16, v byte) bool {
+		d := mkDoc(int(docLen%12) + 1)
+		o := opFrom(isIns, p, v, d, opid.OpID{Client: 1, Seq: 1})
+		nop := Nop(opid.OpID{Client: 2, Seq: 1})
+		return Transform(o, nop) == o && Transform(nop, o).Kind == KindNop
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

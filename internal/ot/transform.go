@@ -1,0 +1,121 @@
+package ot
+
+import (
+	"fmt"
+
+	"jupiter/internal/list"
+)
+
+// Transform computes the inclusion transformation o1{o2} = OT(o1, o2): the
+// form of o1 that has the same effect after o2 has been executed, given that
+// o1 and o2 are concurrent and defined on the same state (share a context,
+// Definition 4.6). The functions follow the classical list OT of
+// Ellis & Gibbs as formalized by Imine et al. [22 in the paper], with a
+// deterministic priority tie-break for concurrent inserts at one position.
+//
+// Tie-break convention: when two concurrent inserts target the same
+// position, the operation with the HIGHER priority keeps its position (its
+// element ends up earlier in the list) and the lower-priority insert shifts
+// right. When priorities are equal (which cannot happen for two clients'
+// concurrent operations, since priority defaults to the client ID), the
+// identity order breaks the remaining tie so Transform is still
+// deterministic and CP1-safe.
+func Transform(o1, o2 Op) Op {
+	if o1.Kind == KindNop || o1.Kind == KindRead || o2.Kind == KindNop || o2.Kind == KindRead {
+		return o1
+	}
+	out := o1
+	switch {
+	case o1.Kind == KindIns && o2.Kind == KindIns:
+		if o2.Pos < o1.Pos || (o2.Pos == o1.Pos && insWinsTie(o2, o1)) {
+			out.Pos++
+		}
+	case o1.Kind == KindIns && o2.Kind == KindDel:
+		if o2.Pos < o1.Pos {
+			out.Pos--
+		}
+	case o1.Kind == KindDel && o2.Kind == KindIns:
+		if o2.Pos <= o1.Pos {
+			out.Pos++
+		}
+	case o1.Kind == KindDel && o2.Kind == KindDel:
+		switch {
+		case o2.Pos < o1.Pos:
+			out.Pos--
+		case o2.Pos == o1.Pos:
+			// Concurrent deletion of the same element: o2 already removed
+			// it, so o1 degenerates to the idle operation. The identity is
+			// preserved so contexts still account for o1.
+			return Nop(o1.ID)
+		}
+	}
+	return out
+}
+
+// insWinsTie reports whether concurrent insert a, targeting the same
+// position as insert b, should precede b in the list (i.e. b must shift).
+// Higher priority wins; identity order is the final deterministic tie-break.
+func insWinsTie(a, b Op) bool {
+	if a.Pri != b.Pri {
+		return a.Pri > b.Pri
+	}
+	if a.ID.Client != b.ID.Client {
+		return a.ID.Client > b.ID.Client
+	}
+	return a.ID.Seq > b.ID.Seq
+}
+
+// TransformPair computes both directions at once:
+// (o1{o2}, o2{o1}) = OT(o1, o2), matching the paper's notation
+// (o1', o2') = OT(o1, o2).
+func TransformPair(o1, o2 Op) (Op, Op) {
+	return Transform(o1, o2), Transform(o2, o1)
+}
+
+// TransformSeq transforms o against the operation sequence seq (in order)
+// and symmetrically transforms each element of seq to include o, exactly as
+// Algorithm 1's loop does:
+//
+//	o{L}, L{o} = OT(o, L)
+//
+// The returned slice is a new slice; seq is not modified.
+func TransformSeq(o Op, seq []Op) (Op, []Op) {
+	out := make([]Op, len(seq))
+	cur := o
+	for i, s := range seq {
+		out[i] = Transform(s, cur)
+		cur = Transform(cur, s)
+	}
+	return cur, out
+}
+
+// CheckCP1 verifies Convergence Property 1 (Definition 4.4) for a pair of
+// concurrent operations defined on doc: applying o1 then o2{o1} must yield
+// the same document as applying o2 then o1{o2}. doc itself is not modified.
+// It is used by the property tests and by the state-space's optional runtime
+// verification.
+func CheckCP1(doc list.Doc, o1, o2 Op) error {
+	d1 := doc.Clone()
+	if err := Apply(d1, o1); err != nil {
+		return fmt.Errorf("cp1: o1 on σ: %w", err)
+	}
+	o2p := Transform(o2, o1)
+	if err := Apply(d1, o2p); err != nil {
+		return fmt.Errorf("cp1: o2{o1} after o1: %w", err)
+	}
+
+	d2 := doc.Clone()
+	if err := Apply(d2, o2); err != nil {
+		return fmt.Errorf("cp1: o2 on σ: %w", err)
+	}
+	o1p := Transform(o1, o2)
+	if err := Apply(d2, o1p); err != nil {
+		return fmt.Errorf("cp1: o1{o2} after o2: %w", err)
+	}
+
+	if !list.ElemsEqual(d1.Elems(), d2.Elems()) {
+		return fmt.Errorf("cp1 violated: σ;%s;%s = %q but σ;%s;%s = %q",
+			o1, o2p, d1.String(), o2, o1p, d2.String())
+	}
+	return nil
+}

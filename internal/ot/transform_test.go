@@ -1,0 +1,419 @@
+package ot
+
+import (
+	"math/rand"
+	"testing"
+
+	"jupiter/internal/list"
+	"jupiter/internal/opid"
+)
+
+func id(c int32, s uint64) opid.OpID {
+	return opid.OpID{Client: opid.ClientID(c), Seq: s}
+}
+
+// TestFigure1 reproduces Figure 1 of the paper exactly: two replicas hold
+// "efecte"; user 1 invokes o1 = Ins(f, 1), user 2 concurrently invokes
+// o2 = Del(e, 5). Without OT the replicas diverge to "effece"/"effect";
+// with OT both converge to "effect", and the transform yields
+// o2' = Del(e, 6) while o1 is unchanged (Example 4.2).
+func TestFigure1(t *testing.T) {
+	base := list.FromString("efecte", 100)
+
+	o1 := Ins('f', 1, id(1, 1))
+	elem5, err := base.Get(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2 := Del(elem5, 5, id(2, 1))
+
+	// Figure 1a: without OT, divergence.
+	r1 := base.Clone()
+	if err := Apply(r1, o1); err != nil {
+		t.Fatal(err)
+	}
+	if got := r1.String(); got != "effecte" {
+		t.Fatalf("R1 after o1: %q, want %q", got, "effecte")
+	}
+	r1naive := r1.Clone()
+	// The naive replay must bypass the element-identity safety check that a
+	// real (mis-)execution of untransformed o2 would trip — Figure 1a is
+	// precisely the bug the check exists to catch.
+	if _, err := r1naive.Delete(5, opid.OpID{}); err != nil {
+		t.Fatalf("naive o2 at R1: %v", err)
+	}
+	if got := r1naive.String(); got != "effece" {
+		t.Fatalf("R1 naive: %q, want %q (the motivating divergence)", got, "effece")
+	}
+
+	// Figure 1b: with OT.
+	o2p := Transform(o2, o1)
+	if o2p.Kind != KindDel || o2p.Pos != 6 {
+		t.Fatalf("o2{o1} = %s, want Del(e,6)", o2p)
+	}
+	o1p := Transform(o1, o2)
+	if o1p != o1 {
+		t.Fatalf("o1{o2} = %s, want unchanged %s", o1p, o1)
+	}
+	if err := Apply(r1, o2p); err != nil {
+		t.Fatal(err)
+	}
+	if got := r1.String(); got != "effect" {
+		t.Fatalf("R1 converged to %q, want %q", got, "effect")
+	}
+
+	r2 := base.Clone()
+	if err := Apply(r2, o2); err != nil {
+		t.Fatal(err)
+	}
+	if got := r2.String(); got != "efect" {
+		t.Fatalf("R2 after o2: %q, want %q", got, "efect")
+	}
+	if err := Apply(r2, o1p); err != nil {
+		t.Fatal(err)
+	}
+	if got := r2.String(); got != "effect" {
+		t.Fatalf("R2 converged to %q, want %q", got, "effect")
+	}
+
+	// Figure 1c: the commutative square, via the CP1 checker.
+	if err := CheckCP1(base, o1, o2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransformInsIns(t *testing.T) {
+	tests := []struct {
+		name    string
+		p1, p2  int
+		c1, c2  int32
+		wantPos int
+	}{
+		{"other strictly left shifts", 3, 1, 1, 2, 4},
+		{"other right unchanged", 1, 3, 1, 2, 1},
+		{"tie, other higher priority shifts me", 2, 2, 1, 2, 3},
+		{"tie, other lower priority leaves me", 2, 2, 2, 1, 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			o1 := Ins('a', tt.p1, id(tt.c1, 1))
+			o2 := Ins('b', tt.p2, id(tt.c2, 1))
+			got := Transform(o1, o2)
+			if got.Pos != tt.wantPos || got.Kind != KindIns {
+				t.Errorf("Transform(%s, %s) = %s, want pos %d", o1, o2, got, tt.wantPos)
+			}
+		})
+	}
+}
+
+func TestTransformInsDel(t *testing.T) {
+	del := Del(list.Elem{Val: 'x', ID: id(9, 9)}, 1, id(2, 1))
+	tests := []struct {
+		name    string
+		insPos  int
+		wantPos int
+	}{
+		{"delete left shifts me left", 3, 2},
+		{"delete at my position unchanged", 1, 1},
+		{"delete right unchanged", 0, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			o := Ins('a', tt.insPos, id(1, 1))
+			got := Transform(o, del)
+			if got.Pos != tt.wantPos {
+				t.Errorf("Transform(%s, %s).Pos = %d, want %d", o, del, got.Pos, tt.wantPos)
+			}
+		})
+	}
+}
+
+func TestTransformDelIns(t *testing.T) {
+	ins := Ins('a', 1, id(2, 1))
+	tests := []struct {
+		name    string
+		delPos  int
+		wantPos int
+	}{
+		{"insert left shifts me right", 3, 4},
+		{"insert at my position shifts me right", 1, 2},
+		{"insert right unchanged", 0, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			o := Del(list.Elem{Val: 'x', ID: id(9, 9)}, tt.delPos, id(1, 1))
+			got := Transform(o, ins)
+			if got.Pos != tt.wantPos {
+				t.Errorf("Transform(%s, %s).Pos = %d, want %d", o, ins, got.Pos, tt.wantPos)
+			}
+		})
+	}
+}
+
+func TestTransformDelDel(t *testing.T) {
+	t.Run("left shifts me left", func(t *testing.T) {
+		o1 := Del(list.Elem{Val: 'x', ID: id(9, 1)}, 3, id(1, 1))
+		o2 := Del(list.Elem{Val: 'y', ID: id(9, 2)}, 1, id(2, 1))
+		if got := Transform(o1, o2); got.Pos != 2 {
+			t.Errorf("got %s, want pos 2", got)
+		}
+	})
+	t.Run("same element becomes Nop", func(t *testing.T) {
+		elem := list.Elem{Val: 'x', ID: id(9, 1)}
+		o1 := Del(elem, 3, id(1, 1))
+		o2 := Del(elem, 3, id(2, 1))
+		got := Transform(o1, o2)
+		if got.Kind != KindNop {
+			t.Errorf("got %s, want Nop", got)
+		}
+		if got.ID != o1.ID {
+			t.Errorf("Nop lost identity: %v", got.ID)
+		}
+	})
+	t.Run("right unchanged", func(t *testing.T) {
+		o1 := Del(list.Elem{Val: 'x', ID: id(9, 1)}, 1, id(1, 1))
+		o2 := Del(list.Elem{Val: 'y', ID: id(9, 2)}, 3, id(2, 1))
+		if got := Transform(o1, o2); got.Pos != 1 {
+			t.Errorf("got %s, want pos 1", got)
+		}
+	})
+}
+
+func TestTransformNopAndRead(t *testing.T) {
+	o := Ins('a', 1, id(1, 1))
+	nop := Nop(id(2, 1))
+	if got := Transform(o, nop); got != o {
+		t.Errorf("transforming against Nop changed op: %s", got)
+	}
+	if got := Transform(nop, o); got.Kind != KindNop {
+		t.Errorf("Nop transformed into %s", got)
+	}
+	rd := Read(id(3, 1))
+	if got := Transform(o, rd); got != o {
+		t.Errorf("transforming against Read changed op: %s", got)
+	}
+}
+
+// randomConcurrentOps builds a random document and two random operations
+// defined on it, attributed to different clients (hence concurrent and with
+// distinct priorities).
+func randomConcurrentOps(r *rand.Rand) (list.Doc, Op, Op) {
+	n := r.Intn(8)
+	doc := list.NewDocument()
+	for i := 0; i < n; i++ {
+		_ = doc.Insert(i, list.Elem{Val: rune('a' + i), ID: id(50, uint64(i+1))})
+	}
+	mk := func(client int32) Op {
+		if doc.Len() > 0 && r.Intn(2) == 0 {
+			pos := r.Intn(doc.Len())
+			e, _ := doc.Get(pos)
+			return Del(e, pos, id(client, 1))
+		}
+		return Ins(rune('A'+r.Intn(26)), r.Intn(doc.Len()+1), id(client, 1))
+	}
+	return doc, mk(1), mk(2)
+}
+
+// TestCP1Property verifies Definition 4.4 over a large sample of random
+// concurrent operation pairs: σ; o1; o2{o1} == σ; o2; o1{o2}.
+func TestCP1Property(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		doc, o1, o2 := randomConcurrentOps(r)
+		if err := CheckCP1(doc, o1, o2); err != nil {
+			t.Fatalf("iteration %d: %v\n o1=%s o2=%s doc=%q", i, err, o1, o2, doc.String())
+		}
+	}
+}
+
+// TestCP1PropertyReversedPriority re-runs the CP1 property with the
+// priority orientation flipped, demonstrating that CP1 holds for any
+// consistent priority assignment (the DESIGN.md ablation).
+func TestCP1PropertyReversedPriority(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 20000; i++ {
+		doc, o1, o2 := randomConcurrentOps(r)
+		o1.Pri, o2.Pri = -o1.Pri, -o2.Pri
+		if err := CheckCP1(doc, o1, o2); err != nil {
+			t.Fatalf("iteration %d: %v\n o1=%s o2=%s doc=%q", i, err, o1, o2, doc.String())
+		}
+	}
+}
+
+func TestTransformPair(t *testing.T) {
+	o1 := Ins('a', 2, id(1, 1))
+	o2 := Ins('b', 0, id(2, 1))
+	p1, p2 := TransformPair(o1, o2)
+	if p1.Pos != 3 {
+		t.Errorf("o1{o2}.Pos = %d, want 3", p1.Pos)
+	}
+	if p2.Pos != 0 {
+		t.Errorf("o2{o1}.Pos = %d, want 0", p2.Pos)
+	}
+}
+
+// TestTransformSeq checks o{L}, L{o} against step-by-step manual
+// transformation.
+func TestTransformSeq(t *testing.T) {
+	o := Ins('z', 0, id(1, 1))
+	seq := []Op{
+		Ins('a', 0, id(2, 1)),
+		Ins('b', 1, id(3, 1)),
+	}
+	got, gotSeq := TransformSeq(o, seq)
+
+	// Manual: o vs seq[0]: both pos 0, seq[0] from client 2 (higher pri than
+	// client 1) wins → o at 1. Then vs seq[1]: pos 1 vs 1, client 3 wins →
+	// o at 2.
+	if got.Pos != 2 {
+		t.Errorf("o{L}.Pos = %d, want 2", got.Pos)
+	}
+	// seq[0] vs o (o at pos 0, lower pri): unchanged at 0.
+	if gotSeq[0].Pos != 0 {
+		t.Errorf("L{o}[0].Pos = %d, want 0", gotSeq[0].Pos)
+	}
+	// seq[1] (pos 1) vs o{seq[0]} (pos 1, pri 1 < 3): unchanged.
+	if gotSeq[1].Pos != 1 {
+		t.Errorf("L{o}[1].Pos = %d, want 1", gotSeq[1].Pos)
+	}
+	// Source slice untouched.
+	if seq[0].Pos != 0 || seq[1].Pos != 1 {
+		t.Error("TransformSeq mutated its input")
+	}
+}
+
+// TestTransformSeqCP1Chain extends CP1 to sequences: applying o then L{o}
+// equals applying L then o{L}, over random cases.
+func TestTransformSeqCP1Chain(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 5000; iter++ {
+		n := r.Intn(6)
+		doc := list.NewDocument()
+		for i := 0; i < n; i++ {
+			_ = doc.Insert(i, list.Elem{Val: rune('a' + i), ID: id(50, uint64(i+1))})
+		}
+		// o from client 1; L = a causally ordered chain from client 2
+		// (each defined on the document with the previous already applied).
+		o := Ins('Z', r.Intn(doc.Len()+1), id(1, 1))
+
+		base := doc.Clone()
+		var seq []Op
+		work := doc.Clone()
+		for k := 0; k < 1+r.Intn(3); k++ {
+			var op Op
+			if work.Len() > 0 && r.Intn(2) == 0 {
+				pos := r.Intn(work.Len())
+				e, _ := work.Get(pos)
+				op = Del(e, pos, id(2, uint64(k+1)))
+			} else {
+				op = Ins(rune('A'+k), r.Intn(work.Len()+1), id(2, uint64(k+1)))
+			}
+			if err := Apply(work, op); err != nil {
+				t.Fatal(err)
+			}
+			seq = append(seq, op)
+		}
+
+		oL, seqO := TransformSeq(o, seq)
+
+		// Path 1: o then L{o}.
+		d1 := base.Clone()
+		if err := Apply(d1, o); err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range seqO {
+			if err := Apply(d1, s); err != nil {
+				t.Fatalf("iter %d: apply L{o}: %v", iter, err)
+			}
+		}
+		// Path 2: L then o{L}.
+		d2 := base.Clone()
+		for _, s := range seq {
+			if err := Apply(d2, s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := Apply(d2, oL); err != nil {
+			t.Fatalf("iter %d: apply o{L}: %v", iter, err)
+		}
+
+		if !list.ElemsEqual(d1.Elems(), d2.Elems()) {
+			t.Fatalf("iter %d: chain CP1 broken: %q vs %q", iter, d1.String(), d2.String())
+		}
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	doc := list.NewDocument()
+	if err := Apply(doc, Ins('a', 5, id(1, 1))); err == nil {
+		t.Error("expected error applying out-of-range insert")
+	}
+	if err := Apply(doc, Op{Kind: 99}); err == nil {
+		t.Error("expected error for unknown kind")
+	}
+	if err := Apply(doc, Nop(id(1, 1))); err != nil {
+		t.Errorf("Nop should apply cleanly: %v", err)
+	}
+	if err := Apply(doc, Read(id(1, 2))); err != nil {
+		t.Errorf("Read should apply cleanly: %v", err)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	tests := []struct {
+		op   Op
+		want string
+	}{
+		{Ins('f', 1, id(1, 1)), "Ins(f,1)@c1:1"},
+		{Del(list.Elem{Val: 'e', ID: id(9, 1)}, 5, id(2, 3)), "Del(e,5)@c2:3"},
+		{Nop(id(1, 2)), "Nop@c1:2"},
+		{Read(id(3, 1)), "Read@c3:1"},
+	}
+	for _, tt := range tests {
+		if got := tt.op.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	pairs := map[Kind]string{KindIns: "Ins", KindDel: "Del", KindNop: "Nop", KindRead: "Read", Kind(42): "Kind(42)"}
+	for k, want := range pairs {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestIsUpdate(t *testing.T) {
+	if !Ins('a', 0, id(1, 1)).IsUpdate() {
+		t.Error("Ins must be an update")
+	}
+	if !Del(list.Elem{Val: 'a', ID: id(9, 1)}, 0, id(1, 2)).IsUpdate() {
+		t.Error("Del must be an update")
+	}
+	if Nop(id(1, 3)).IsUpdate() || Read(id(1, 4)).IsUpdate() {
+		t.Error("Nop/Read are not updates")
+	}
+}
+
+// TestInsTieFullDeterminism: even with equal priorities AND equal clients
+// (possible only for hand-constructed operations), the tie-break is still
+// deterministic and CP1-safe via the sequence-number fallback.
+func TestInsTieFullDeterminism(t *testing.T) {
+	doc := list.NewDocument()
+	o1 := Ins('a', 0, id(1, 1))
+	o2 := Ins('b', 0, id(1, 2))
+	o1.Pri, o2.Pri = 7, 7
+	if err := CheckCP1(doc, o1, o2); err != nil {
+		t.Fatal(err)
+	}
+	// Same client, same priority: larger seq wins the tie.
+	tr := Transform(o1, o2)
+	if tr.Pos != 1 {
+		t.Fatalf("o1{o2}.Pos = %d, want 1 (o2 has larger seq)", tr.Pos)
+	}
+	if got := Transform(o2, o1); got.Pos != 0 {
+		t.Fatalf("o2{o1}.Pos = %d, want 0", got.Pos)
+	}
+}

@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"fmt"
+
+	"jupiter/internal/core"
+	"jupiter/internal/opid"
+)
+
+// Exhaustive schedule exploration — a small model checker.
+//
+// Random workloads sample the schedule space; Explore ENUMERATES it: every
+// interleaving of generation and delivery steps a small scenario admits, by
+// depth-first search with replay. Checks that hold over the full
+// enumeration (convergence, the weak list specification, CSS ≡ CSCW) hold
+// for the scenario, full stop — no seed luck involved.
+//
+// The state space grows factorially, so scripts must be tiny (2–3 clients,
+// 1–3 operations each). Limit caps the number of complete schedules; an
+// exploration that hits the cap reports it so tests can distinguish "proved
+// for the scenario" from "sampled deterministically".
+
+// ScriptOp is one scripted user operation. Positions are fractions of the
+// current document length, so the same script stays meaningful whatever
+// state the document has reached when the operation fires.
+type ScriptOp struct {
+	Ins  bool
+	Val  rune
+	Frac float64 // position = Frac · (len+1) for inserts, Frac · len for deletes
+}
+
+// ExploreConfig configures Explore.
+type ExploreConfig struct {
+	Clients int
+	Scripts map[opid.ClientID][]ScriptOp
+	// Limit caps complete schedules; 0 means 100 000.
+	Limit int
+	// Record enables history recording on explored clusters.
+	Record bool
+}
+
+// ExploreResult summarizes an exploration.
+type ExploreResult struct {
+	Schedules int  // complete schedules checked
+	Truncated bool // hit the Limit before exhausting the space
+}
+
+// Replay builds a fresh cluster of protocol p and drives it through the
+// schedule, resolving generation parameters from the config's scripts. It
+// is how a check callback replays the same schedule on a second protocol.
+func (cfg ExploreConfig) Replay(p Protocol, sched core.Schedule) (Cluster, error) {
+	cl, err := NewCluster(p, Config{Clients: cfg.Clients, Record: cfg.Record})
+	if err != nil {
+		return nil, err
+	}
+	counts := make(map[opid.ClientID]int, cfg.Clients)
+	for i, st := range sched {
+		switch st.Kind {
+		case core.StepGenerate:
+			script := cfg.Scripts[st.Client]
+			if counts[st.Client] >= len(script) {
+				return nil, fmt.Errorf("explore: step %d: script for %s exhausted", i, st.Client)
+			}
+			op := script[counts[st.Client]]
+			counts[st.Client]++
+			doc, err := cl.Document(st.Client.String())
+			if err != nil {
+				return nil, err
+			}
+			n := len(doc)
+			if op.Ins || n == 0 {
+				pos := int(op.Frac * float64(n+1))
+				if pos > n {
+					pos = n
+				}
+				if err := cl.GenerateIns(st.Client, op.Val, pos); err != nil {
+					return nil, err
+				}
+			} else {
+				pos := int(op.Frac * float64(n))
+				if pos >= n {
+					pos = n - 1
+				}
+				if err := cl.GenerateDel(st.Client, pos); err != nil {
+					return nil, err
+				}
+			}
+		case core.StepServer:
+			if _, err := cl.DeliverToServer(st.Client); err != nil {
+				return nil, err
+			}
+		case core.StepClient:
+			if _, err := cl.DeliverToClient(st.Client); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("explore: step %d: unsupported kind %v", i, st.Kind)
+		}
+	}
+	return cl, nil
+}
+
+// Explore enumerates every schedule of the scenario for protocol p,
+// invoking check on the cluster of each COMPLETE schedule (all operations
+// generated, all messages delivered) together with the schedule itself. It
+// stops at the first check failure.
+func Explore(p Protocol, cfg ExploreConfig, check func(cl Cluster, sched core.Schedule) error) (ExploreResult, error) {
+	limit := cfg.Limit
+	if limit == 0 {
+		limit = 100000
+	}
+	res := ExploreResult{}
+
+	// enabled lists the scheduler's choices on a replayed cluster.
+	enabled := func(cl Cluster, sched core.Schedule) []core.Step {
+		counts := make(map[opid.ClientID]int, cfg.Clients)
+		for _, st := range sched {
+			if st.Kind == core.StepGenerate {
+				counts[st.Client]++
+			}
+		}
+		var out []core.Step
+		for _, c := range cl.Clients() {
+			if counts[c] < len(cfg.Scripts[c]) {
+				out = append(out, core.Step{Kind: core.StepGenerate, Client: c})
+			}
+			if cl.PendingToServer(c) > 0 {
+				out = append(out, core.Step{Kind: core.StepServer, Client: c})
+			}
+			if cl.PendingToClient(c) > 0 {
+				out = append(out, core.Step{Kind: core.StepClient, Client: c})
+			}
+		}
+		return out
+	}
+
+	var dfs func(prefix core.Schedule) error
+	dfs = func(prefix core.Schedule) error {
+		if res.Truncated {
+			return nil
+		}
+		cl, err := cfg.Replay(p, prefix)
+		if err != nil {
+			return fmt.Errorf("explore: replay: %w", err)
+		}
+		next := enabled(cl, prefix)
+		if len(next) == 0 {
+			res.Schedules++
+			if err := check(cl, prefix); err != nil {
+				return fmt.Errorf("explore: schedule #%d: %w", res.Schedules, err)
+			}
+			if res.Schedules >= limit {
+				res.Truncated = true
+			}
+			return nil
+		}
+		for _, st := range next {
+			child := append(append(core.Schedule(nil), prefix...), st)
+			if err := dfs(child); err != nil {
+				return err
+			}
+			if res.Truncated {
+				return nil
+			}
+		}
+		return nil
+	}
+
+	err := dfs(nil)
+	return res, err
+}

@@ -1,0 +1,140 @@
+package sim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"jupiter/internal/core"
+	"jupiter/internal/list"
+	"jupiter/internal/opid"
+	"jupiter/internal/sim"
+	"jupiter/internal/spec"
+)
+
+// TestExploreTwoClientsOneOpExhaustive model-checks EVERY schedule of the
+// minimal concurrent scenario (2 clients, 1 insert each) for all correct
+// protocols: convergence and the weak list specification hold on every
+// interleaving, with no sampling.
+func TestExploreTwoClientsOneOpExhaustive(t *testing.T) {
+	cfg := sim.ExploreConfig{
+		Clients: 2,
+		Scripts: map[opid.ClientID][]sim.ScriptOp{
+			1: {{Ins: true, Val: 'a', Frac: 0}},
+			2: {{Ins: true, Val: 'b', Frac: 0}},
+		},
+		Record: true,
+	}
+	for _, p := range []sim.Protocol{sim.CSS, sim.CSCW, sim.RGA, sim.Logoot} {
+		res, err := sim.Explore(p, cfg, func(cl sim.Cluster, _ core.Schedule) error {
+			if _, err := sim.CheckConverged(cl); err != nil {
+				return err
+			}
+			for _, c := range cl.Clients() {
+				cl.Read(c)
+			}
+			cl.ReadServer()
+			h := cl.History()
+			if err := spec.CheckConvergence(h); err != nil {
+				return err
+			}
+			return spec.CheckWeak(h)
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if res.Truncated {
+			t.Fatalf("%s: scenario too large to exhaust (%d schedules)", p, res.Schedules)
+		}
+		if res.Schedules < 10 {
+			t.Fatalf("%s: only %d schedules explored — enumeration broken?", p, res.Schedules)
+		}
+		t.Logf("%s: %d schedules, all passed", p, res.Schedules)
+	}
+}
+
+// TestExploreEquivalenceExhaustive is the exhaustive Equivalence Theorem:
+// for EVERY schedule of a 2-client/2-op scenario, CSS and CSCW converge on
+// identical documents at every replica.
+func TestExploreEquivalenceExhaustive(t *testing.T) {
+	cfg := sim.ExploreConfig{
+		Clients: 2,
+		Scripts: map[opid.ClientID][]sim.ScriptOp{
+			1: {{Ins: true, Val: 'a', Frac: 0}, {Ins: false, Frac: 0.5}},
+			2: {{Ins: true, Val: 'b', Frac: 1}, {Ins: true, Val: 'c', Frac: 0.5}},
+		},
+		Limit: 6000,
+	}
+	replicas := []string{opid.ServerName, "c1", "c2"}
+	res, err := sim.Explore(sim.CSS, cfg, func(cssCl sim.Cluster, sched core.Schedule) error {
+		cscwCl, err := cfg.Replay(sim.CSCW, sched)
+		if err != nil {
+			return err
+		}
+		for _, r := range replicas {
+			d1, err := cssCl.Document(r)
+			if err != nil {
+				return err
+			}
+			d2, err := cscwCl.Document(r)
+			if err != nil {
+				return err
+			}
+			if !list.ElemsEqual(d1, d2) {
+				return fmt.Errorf("%s differs: css %q vs cscw %q", r, list.Render(d1), list.Render(d2))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("equivalence held on %d schedules (truncated=%v)", res.Schedules, res.Truncated)
+	if res.Schedules < 100 && !res.Truncated {
+		t.Fatalf("only %d schedules explored", res.Schedules)
+	}
+}
+
+// TestExploreThreeConcurrentInserts exhausts the Figure 2 shape (3 clients,
+// one concurrent insert each) under CSS, additionally asserting
+// Proposition 6.6 on every interleaving.
+func TestExploreThreeConcurrentInserts(t *testing.T) {
+	cfg := sim.ExploreConfig{
+		Clients: 3,
+		Scripts: map[opid.ClientID][]sim.ScriptOp{
+			1: {{Ins: true, Val: 'a', Frac: 0}},
+			2: {{Ins: true, Val: 'b', Frac: 0}},
+			3: {{Ins: true, Val: 'c', Frac: 0}},
+		},
+		Limit: 8000,
+	}
+	res, err := sim.Explore(sim.CSS, cfg, func(cl sim.Cluster, _ core.Schedule) error {
+		if _, err := sim.CheckConverged(cl); err != nil {
+			return err
+		}
+		spaces, _ := sim.SpacesOf(cl)
+		ref := spaces[0].Fingerprint()
+		for i, sp := range spaces[1:] {
+			if sp.Fingerprint() != ref {
+				return fmt.Errorf("space %d differs from server's", i+1)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%d schedules (truncated=%v)", res.Schedules, res.Truncated)
+}
+
+func TestExploreBadReplay(t *testing.T) {
+	cfg := sim.ExploreConfig{Clients: 1, Scripts: map[opid.ClientID][]sim.ScriptOp{}}
+	var sched core.Schedule
+	sched = sched.Generate(1)
+	if _, err := cfg.Replay(sim.CSS, sched); err == nil {
+		t.Fatal("generating past the script must error")
+	}
+	sched = core.Schedule{}.Read(1)
+	if _, err := cfg.Replay(sim.CSS, sched); err == nil {
+		t.Fatal("unsupported step kinds must error")
+	}
+}

@@ -1,0 +1,296 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"jupiter/internal/core"
+	"jupiter/internal/list"
+	"jupiter/internal/opid"
+)
+
+// Profile selects the position distribution of a workload — the synthetic
+// stand-ins for different human editing behaviors.
+type Profile string
+
+// Workload profiles.
+const (
+	// ProfileUniform draws positions uniformly (the default; adversarial
+	// for OT, since edits collide everywhere).
+	ProfileUniform Profile = "uniform"
+	// ProfileAppend always edits at the end of the document (log-style).
+	ProfileAppend Profile = "append"
+	// ProfileTyping models a human typist: each client keeps a cursor,
+	// inserts at it (cursor advances), backspaces behind it, and
+	// occasionally jumps elsewhere.
+	ProfileTyping Profile = "typing"
+	// ProfileHotspot concentrates edits near the front of the document.
+	ProfileHotspot Profile = "hotspot"
+)
+
+// Workload describes a synthetic editing workload. It substitutes for human
+// collaborative-editing traces (see the Substitutions section of DESIGN.md):
+// a seeded stream of inserts and deletes whose positions follow the chosen
+// Profile over the current document.
+type Workload struct {
+	Seed         int64
+	OpsPerClient int
+	DeleteRatio  float64 // probability an op is a delete (when the doc is non-empty)
+	Alphabet     []rune  // values drawn round-robin; default a-z
+	Profile      Profile // position distribution; default ProfileUniform
+}
+
+// DefaultAlphabet is used when Workload.Alphabet is empty.
+var DefaultAlphabet = []rune("abcdefghijklmnopqrstuvwxyz")
+
+// alphabet returns the effective alphabet.
+func (w Workload) alphabet() []rune {
+	if len(w.Alphabet) > 0 {
+		return w.Alphabet
+	}
+	return DefaultAlphabet
+}
+
+// genOne makes client c perform one random operation on cl. cursors holds
+// per-client typing positions for ProfileTyping.
+func genOne(cl Cluster, c opid.ClientID, w Workload, r *rand.Rand, counter *int, cursors map[opid.ClientID]int) error {
+	doc, err := cl.Document(c.String())
+	if err != nil {
+		return err
+	}
+	n := len(doc)
+	clamp := func(p, hi int) int {
+		if p < 0 {
+			return 0
+		}
+		if p > hi {
+			return hi
+		}
+		return p
+	}
+	insPos := func() int {
+		switch w.Profile {
+		case ProfileAppend:
+			return n
+		case ProfileHotspot:
+			p := r.Intn(n + 1)
+			q := r.Intn(n + 1)
+			if q < p {
+				p = q
+			}
+			return p
+		case ProfileTyping:
+			if r.Float64() < 0.1 {
+				cursors[c] = r.Intn(n + 1)
+			}
+			return clamp(cursors[c], n)
+		default:
+			return r.Intn(n + 1)
+		}
+	}
+	delPos := func() int {
+		switch w.Profile {
+		case ProfileAppend:
+			return n - 1
+		case ProfileTyping:
+			return clamp(cursors[c]-1, n-1)
+		default:
+			return r.Intn(n)
+		}
+	}
+	if n > 0 && r.Float64() < w.DeleteRatio {
+		p := delPos()
+		if w.Profile == ProfileTyping {
+			cursors[c] = clamp(p, n-1)
+		}
+		return cl.GenerateDel(c, p)
+	}
+	al := w.alphabet()
+	val := al[*counter%len(al)]
+	*counter++
+	p := insPos()
+	if w.Profile == ProfileTyping {
+		cursors[c] = p + 1
+	}
+	return cl.GenerateIns(c, val, p)
+}
+
+// Quiesce delivers every in-flight message (server first, then clients,
+// repeating) until all channels are empty. The network assumption of
+// Section 2.1.3 — every message sent is eventually delivered — is realized
+// by calling Quiesce at the end of a run.
+func Quiesce(cl Cluster) error {
+	for {
+		progress := false
+		for _, c := range cl.Clients() {
+			for {
+				ok, err := cl.DeliverToServer(c)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					break
+				}
+				progress = true
+			}
+		}
+		for _, c := range cl.Clients() {
+			for {
+				ok, err := cl.DeliverToClient(c)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					break
+				}
+				progress = true
+			}
+		}
+		if !progress {
+			return nil
+		}
+	}
+}
+
+// RunRandom drives cl with the workload under a seeded random interleaving
+// of generation and delivery steps, then quiesces and issues a final read at
+// every replica. It is the standard way to produce histories for the
+// specification checkers.
+//
+// withReads additionally issues a read at the acting client after every
+// step, producing the dense histories the weak/strong checkers thrive on.
+func RunRandom(cl Cluster, w Workload, withReads bool) error {
+	r := rand.New(rand.NewSource(w.Seed))
+	clients := cl.Clients()
+	remaining := make(map[opid.ClientID]int, len(clients))
+	for _, c := range clients {
+		remaining[c] = w.OpsPerClient
+	}
+	valCounter := 0
+	cursors := make(map[opid.ClientID]int, len(clients))
+	totalLeft := w.OpsPerClient * len(clients)
+
+	for {
+		// Build the set of currently possible steps.
+		type step struct {
+			kind   core.StepKind
+			client opid.ClientID
+		}
+		var steps []step
+		for _, c := range clients {
+			if remaining[c] > 0 {
+				steps = append(steps, step{core.StepGenerate, c})
+			}
+			if cl.PendingToServer(c) > 0 {
+				steps = append(steps, step{core.StepServer, c})
+			}
+			if cl.PendingToClient(c) > 0 {
+				steps = append(steps, step{core.StepClient, c})
+			}
+		}
+		if len(steps) == 0 {
+			break
+		}
+		s := steps[r.Intn(len(steps))]
+		var err error
+		switch s.kind {
+		case core.StepGenerate:
+			err = genOne(cl, s.client, w, r, &valCounter, cursors)
+			remaining[s.client]--
+			totalLeft--
+		case core.StepServer:
+			_, err = cl.DeliverToServer(s.client)
+		case core.StepClient:
+			_, err = cl.DeliverToClient(s.client)
+		}
+		if err != nil {
+			return fmt.Errorf("sim: random run (seed %d): %w", w.Seed, err)
+		}
+		if withReads && s.kind != core.StepServer {
+			cl.Read(s.client)
+		}
+	}
+	if totalLeft != 0 {
+		return fmt.Errorf("sim: random run stalled with %d operations ungenerated", totalLeft)
+	}
+	if err := Quiesce(cl); err != nil {
+		return err
+	}
+	for _, c := range clients {
+		cl.Read(c)
+	}
+	cl.ReadServer()
+	return nil
+}
+
+// CheckConverged verifies that after quiescence every replica holds the
+// identical document, returning the common document or an error naming the
+// first divergence. For the broken protocol the server is skipped (it keeps
+// no document).
+func CheckConverged(cl Cluster) ([]list.Elem, error) {
+	var ref []list.Elem
+	var refName string
+	replicas := make([]string, 0, len(cl.Clients())+1)
+	if cl.Protocol() != Broken {
+		replicas = append(replicas, opid.ServerName)
+	}
+	for _, c := range cl.Clients() {
+		replicas = append(replicas, c.String())
+	}
+	for i, name := range replicas {
+		doc, err := cl.Document(name)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			ref, refName = doc, name
+			continue
+		}
+		if !list.ElemsEqual(ref, doc) {
+			return nil, fmt.Errorf("sim: divergence: %s holds %q but %s holds %q",
+				refName, list.Render(ref), name, list.Render(doc))
+		}
+	}
+	return ref, nil
+}
+
+// RunSchedule drives cl through an explicit schedule (Definition 4.7). The
+// ops function supplies the parameters of each generation step, indexed by
+// a running per-client op counter; it returns (isInsert, val, pos).
+func RunSchedule(cl Cluster, sched core.Schedule, ops func(c opid.ClientID, k int) (bool, rune, int)) error {
+	counts := make(map[opid.ClientID]int)
+	for i, st := range sched {
+		var err error
+		switch st.Kind {
+		case core.StepGenerate:
+			k := counts[st.Client]
+			counts[st.Client]++
+			isIns, val, pos := ops(st.Client, k)
+			if isIns {
+				err = cl.GenerateIns(st.Client, val, pos)
+			} else {
+				err = cl.GenerateDel(st.Client, pos)
+			}
+		case core.StepServer:
+			var delivered bool
+			delivered, err = cl.DeliverToServer(st.Client)
+			if err == nil && !delivered {
+				err = fmt.Errorf("no pending message from %s to server", st.Client)
+			}
+		case core.StepClient:
+			var delivered bool
+			delivered, err = cl.DeliverToClient(st.Client)
+			if err == nil && !delivered {
+				err = fmt.Errorf("no pending message from server to %s", st.Client)
+			}
+		case core.StepRead:
+			cl.Read(st.Client)
+		default:
+			err = fmt.Errorf("unknown step kind %v", st.Kind)
+		}
+		if err != nil {
+			return fmt.Errorf("sim: schedule step %d (%v %s): %w", i, st.Kind, st.Client, err)
+		}
+	}
+	return nil
+}

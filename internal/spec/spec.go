@@ -1,0 +1,379 @@
+// Package spec implements the three formal specifications of the replicated
+// list object reviewed in Section 3 of the paper, as checkers over recorded
+// histories (abstract executions with vis = causal order):
+//
+//   - CheckConvergence — the convergence property Acp (Definition 3.1):
+//     reads that observe the same set of list updates return the same list.
+//   - CheckWeak — the weak list specification Aweak (Definition 3.3),
+//     checked via condition 1 plus pairwise state compatibility, which
+//     Lemma 8.3 proves equivalent to the irreflexivity of the list order.
+//   - CheckStrong — the strong list specification Astrong (Definition 3.2),
+//     checked via condition 1 plus acyclicity of the union of the returned
+//     lists' orders, which is exactly the existence of a transitive,
+//     irreflexive, total list order over all inserted elements.
+//
+// A checker returns nil when the history satisfies the specification and a
+// descriptive *Violation otherwise. The checkers are deliberately
+// protocol-agnostic: the CSS/CSCW histories must pass CheckConvergence and
+// CheckWeak but fail CheckStrong on the Figure 7 scenario; RGA histories
+// must pass all three; the broken protocol's Figure 8 history must fail
+// CheckConvergence and CheckWeak.
+package spec
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"jupiter/internal/core"
+	"jupiter/internal/list"
+	"jupiter/internal/opid"
+	"jupiter/internal/ot"
+)
+
+// Spec names a specification for reporting.
+type Spec string
+
+// The three specifications.
+const (
+	Convergence Spec = "convergence"
+	WeakList    Spec = "weak-list"
+	StrongList  Spec = "strong-list"
+)
+
+// Violation describes why a history fails a specification.
+type Violation struct {
+	Spec   Spec
+	Reason string
+	Events []core.Event // the offending events, when identifiable
+}
+
+// Error implements the error interface.
+func (v *Violation) Error() string {
+	msg := fmt.Sprintf("%s violated: %s", v.Spec, v.Reason)
+	for _, e := range v.Events {
+		msg += "\n  " + e.String()
+	}
+	return msg
+}
+
+// AsViolation extracts a *Violation from an error chain.
+func AsViolation(err error) (*Violation, bool) {
+	var v *Violation
+	ok := errors.As(err, &v)
+	return v, ok
+}
+
+// CheckConvergence verifies Definition 3.1: for every pair of read events
+// whose visible update sets are equal, the returned lists must be equal.
+func CheckConvergence(h *core.History) error {
+	byVisible := make(map[string]core.Event)
+	for _, e := range h.Events {
+		if !e.IsRead() {
+			continue
+		}
+		key := e.Visible.Key()
+		prev, seen := byVisible[key]
+		if !seen {
+			byVisible[key] = e
+			continue
+		}
+		if !list.ElemsEqual(prev.Returned, e.Returned) {
+			return &Violation{
+				Spec: Convergence,
+				Reason: fmt.Sprintf("reads with identical visible updates returned %q and %q",
+					list.Render(prev.Returned), list.Render(e.Returned)),
+				Events: []core.Event{prev, e},
+			}
+		}
+	}
+	return nil
+}
+
+// CheckWeak verifies the weak list specification (Definition 3.3):
+// condition 1 (via checkCondition1) for every event, and condition 2 via
+// pairwise compatibility of all returned lists (Lemma 8.3).
+func CheckWeak(h *core.History) error {
+	if err := checkCondition1(h, WeakList); err != nil {
+		return err
+	}
+	return checkPairwiseCompatibility(h)
+}
+
+// CheckStrong verifies the strong list specification (Definition 3.2):
+// condition 1 for every event, plus the existence of a single transitive,
+// irreflexive, total list order lo consistent with every returned list —
+// equivalently, acyclicity of the graph whose edges are the adjacent pairs
+// of every returned list.
+func CheckStrong(h *core.History) error {
+	if err := checkCondition1(h, StrongList); err != nil {
+		return err
+	}
+	return checkListOrderAcyclic(h)
+}
+
+// CheckAll runs all three checkers and returns the violations found, keyed
+// by specification. An empty map means the history satisfies everything.
+func CheckAll(h *core.History) map[Spec]error {
+	out := make(map[Spec]error)
+	if err := CheckConvergence(h); err != nil {
+		out[Convergence] = err
+	}
+	if err := CheckWeak(h); err != nil {
+		out[WeakList] = err
+	}
+	if err := CheckStrong(h); err != nil {
+		out[StrongList] = err
+	}
+	return out
+}
+
+// checkCondition1 verifies, for every event e = do(op, w), the shared
+// condition 1 of Definitions 3.2/3.3:
+//
+//	1a) w contains exactly the elements visible to e (reflexively) that
+//	    have been inserted but not deleted;
+//	1b) is deferred to the list-order checks (compatibility/acyclicity);
+//	1c) elements are inserted at the specified position:
+//	    op = Ins(a, k) ⟹ a = w[min(k, n-1)] where n = len(w).
+//
+// It also enforces the paper's standing uniqueness assumption: no element
+// appears twice in a returned list.
+func checkCondition1(h *core.History, spec Spec) error {
+	byID := make(map[opid.OpID]core.Event)
+	for _, u := range h.Events {
+		if u.Op.IsUpdate() {
+			byID[u.Op.ID] = u
+		}
+	}
+	for _, e := range h.Events {
+		// Uniqueness within the returned list.
+		seen := make(map[opid.OpID]struct{}, len(e.Returned))
+		for _, el := range e.Returned {
+			if _, dup := seen[el.ID]; dup {
+				return &Violation{
+					Spec:   spec,
+					Reason: fmt.Sprintf("returned list %q contains element %s twice", list.Render(e.Returned), el.ID),
+					Events: []core.Event{e},
+				}
+			}
+			seen[el.ID] = struct{}{}
+		}
+
+		// Condition 1a: visible-and-live elements, computed over ≤vis (the
+		// reflexive closure: the event's own operation counts). Inserts are
+		// accumulated before deletes; this is sound because a delete is only
+		// ever generated for an element whose insert is also visible
+		// (visibility is causally closed). Seed elements of a non-empty
+		// initial document count as inserted before everything.
+		want := make(map[opid.OpID]struct{}, len(h.Seed))
+		for _, el := range h.Seed {
+			want[el.ID] = struct{}{}
+		}
+		forEachVisibleUpdate(byID, e, func(u core.Event) {
+			switch u.Op.Kind {
+			case ot.KindIns:
+				want[u.Op.Elem.ID] = struct{}{}
+			case ot.KindDel:
+				delete(want, u.Op.Elem.ID)
+			}
+		})
+		if len(want) != len(e.Returned) {
+			return &Violation{
+				Spec: spec,
+				Reason: fmt.Sprintf("condition 1a: returned %d elements, %d visible live elements",
+					len(e.Returned), len(want)),
+				Events: []core.Event{e},
+			}
+		}
+		for _, el := range e.Returned {
+			if _, ok := want[el.ID]; !ok {
+				return &Violation{
+					Spec:   spec,
+					Reason: fmt.Sprintf("condition 1a: returned element %s is not visible-and-live", el.ID),
+					Events: []core.Event{e},
+				}
+			}
+		}
+
+		// Condition 1c.
+		if e.Op.Kind == ot.KindIns {
+			n := len(e.Returned)
+			if n == 0 {
+				return &Violation{
+					Spec:   spec,
+					Reason: "condition 1c: insert returned an empty list",
+					Events: []core.Event{e},
+				}
+			}
+			idx := e.Op.Pos
+			if idx > n-1 {
+				idx = n - 1
+			}
+			if e.Returned[idx].ID != e.Op.Elem.ID {
+				return &Violation{
+					Spec: spec,
+					Reason: fmt.Sprintf("condition 1c: %s not at position min(%d,%d)",
+						e.Op, e.Op.Pos, n-1),
+					Events: []core.Event{e},
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// forEachVisibleUpdate calls fn for every update event u with u ≤vis e
+// (including e itself if it is an update): all visible inserts first, then
+// all visible deletes. Iteration order within a kind is irrelevant to the
+// callers, so the visible set is walked directly (sorting it would dominate
+// the whole checker on long histories).
+func forEachVisibleUpdate(byID map[opid.OpID]core.Event, e core.Event, fn func(core.Event)) {
+	visit := func(kind ot.Kind) {
+		for id := range e.Visible {
+			if u, ok := byID[id]; ok && u.Op.Kind == kind {
+				fn(u)
+			}
+		}
+		if e.Op.IsUpdate() && e.Op.Kind == kind {
+			fn(e)
+		}
+	}
+	visit(ot.KindIns)
+	visit(ot.KindDel)
+}
+
+// checkPairwiseCompatibility verifies Definition 8.2 across all returned
+// lists. By Lemma 8.3 this is exactly the irreflexivity (and per-event
+// transitivity/totality) of the list order required by the weak list
+// specification's condition 2.
+//
+// Compatibility is content-based, so identical returned lists are
+// deduplicated first: a converging execution has few distinct lists and the
+// pairwise pass runs over representatives only, turning the naive
+// O(|H|² · len) sweep into O(distinct² · len).
+func checkPairwiseCompatibility(h *core.History) error {
+	// Deduplicate lists by content.
+	seen := make(map[string]int)
+	var reps []core.Event
+	for _, e := range h.Events {
+		k := listKey(e.Returned)
+		if _, dup := seen[k]; !dup {
+			seen[k] = len(reps)
+			reps = append(reps, e)
+		}
+	}
+
+	// Dense integer ids for elements, so each list's positions live in a
+	// flat array and a pair check is a linear scan without hashing.
+	elemIdx := make(map[opid.OpID]int32)
+	indexOf := func(id opid.OpID) int32 {
+		if i, ok := elemIdx[id]; ok {
+			return i
+		}
+		i := int32(len(elemIdx))
+		elemIdx[id] = i
+		return i
+	}
+	seqs := make([][]int32, len(reps))
+	for i, e := range reps {
+		s := make([]int32, len(e.Returned))
+		for j, el := range e.Returned {
+			s[j] = indexOf(el.ID)
+		}
+		seqs[i] = s
+	}
+	n := int32(len(elemIdx))
+	pos := make([]int32, n)
+
+	for i := range reps {
+		// Positions of representative i's elements (1-based; 0 = absent).
+		for k := range pos {
+			pos[k] = 0
+		}
+		for p, el := range seqs[i] {
+			pos[el] = int32(p + 1)
+		}
+		for j := i + 1; j < len(reps); j++ {
+			last := int32(0)
+			for _, el := range seqs[j] {
+				p := pos[el]
+				if p == 0 {
+					continue
+				}
+				if p <= last {
+					return &Violation{
+						Spec: WeakList,
+						Reason: fmt.Sprintf("incompatible returned lists %q and %q",
+							list.Render(reps[i].Returned), list.Render(reps[j].Returned)),
+						Events: []core.Event{reps[i], reps[j]},
+					}
+				}
+				last = p
+			}
+		}
+	}
+	return nil
+}
+
+// listKey builds a canonical content key for a returned list.
+func listKey(w []list.Elem) string {
+	var b strings.Builder
+	b.Grow(len(w) * 8)
+	for _, e := range w {
+		b.WriteString(strconv.FormatInt(int64(e.ID.Client), 10))
+		b.WriteByte('.')
+		b.WriteString(strconv.FormatUint(e.ID.Seq, 10))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// checkListOrderAcyclic builds the list-order constraint graph — an edge
+// a → b for every adjacent pair in every returned list — and reports a
+// violation if it has a cycle. Acyclicity is equivalent to the existence of
+// the total order lo required by the strong list specification: any
+// topological extension is transitive, irreflexive, and total on elems(A),
+// and contains every returned list's ordering.
+func checkListOrderAcyclic(h *core.History) error {
+	adj := make(map[opid.OpID]map[opid.OpID]struct{})
+	for _, e := range h.Events {
+		for k := 0; k+1 < len(e.Returned); k++ {
+			a, b := e.Returned[k].ID, e.Returned[k+1].ID
+			if adj[a] == nil {
+				adj[a] = make(map[opid.OpID]struct{})
+			}
+			adj[a][b] = struct{}{}
+		}
+	}
+	// Iterative DFS cycle detection (colors: 0 white, 1 grey, 2 black).
+	color := make(map[opid.OpID]int, len(adj))
+	var cycleAt *opid.OpID
+	var dfs func(u opid.OpID) bool
+	dfs = func(u opid.OpID) bool {
+		color[u] = 1
+		for v := range adj[u] {
+			switch color[v] {
+			case 1:
+				cycleAt = &v
+				return true
+			case 0:
+				if dfs(v) {
+					return true
+				}
+			}
+		}
+		color[u] = 2
+		return false
+	}
+	for u := range adj {
+		if color[u] == 0 && dfs(u) {
+			return &Violation{
+				Spec:   StrongList,
+				Reason: fmt.Sprintf("the list order has a cycle through element %s: no total order lo exists", *cycleAt),
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,275 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"jupiter/internal/core"
+	"jupiter/internal/list"
+	"jupiter/internal/opid"
+	"jupiter/internal/ot"
+)
+
+func id(c int32, s uint64) opid.OpID {
+	return opid.OpID{Client: opid.ClientID(c), Seq: s}
+}
+
+func el(v rune, insID opid.OpID) list.Elem {
+	return list.Elem{Val: v, ID: insID}
+}
+
+// h builds a history from events appended in order.
+type hb struct {
+	h       core.History
+	readSeq uint64
+}
+
+func (b *hb) ins(replica string, v rune, pos int, opID opid.OpID, returned []list.Elem, visible ...opid.OpID) *hb {
+	b.h.Append(replica, ot.Ins(v, pos, opID), returned, opid.NewSet(visible...))
+	return b
+}
+
+func (b *hb) del(replica string, e list.Elem, pos int, opID opid.OpID, returned []list.Elem, visible ...opid.OpID) *hb {
+	b.h.Append(replica, ot.Del(e, pos, opID), returned, opid.NewSet(visible...))
+	return b
+}
+
+func (b *hb) read(replica string, returned []list.Elem, visible ...opid.OpID) *hb {
+	b.readSeq++
+	b.h.Append(replica, ot.Read(opid.OpID{Client: -99, Seq: b.readSeq}), returned, opid.NewSet(visible...))
+	return b
+}
+
+func TestConvergenceHolds(t *testing.T) {
+	a := id(1, 1)
+	w := []list.Elem{el('a', a)}
+	b := &hb{}
+	b.ins("c1", 'a', 0, a, w)
+	b.read("c1", w, a)
+	b.read("c2", w, a)
+	if err := CheckConvergence(&b.h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvergenceViolated(t *testing.T) {
+	a := id(1, 1)
+	x := id(2, 1)
+	w1 := []list.Elem{el('a', a), el('x', x)}
+	w2 := []list.Elem{el('x', x), el('a', a)}
+	b := &hb{}
+	b.ins("c1", 'a', 0, a, []list.Elem{el('a', a)})
+	b.ins("c2", 'x', 0, x, []list.Elem{el('x', x)})
+	b.read("c1", w1, a, x)
+	b.read("c2", w2, a, x)
+	err := CheckConvergence(&b.h)
+	if err == nil {
+		t.Fatal("want violation")
+	}
+	v, ok := AsViolation(err)
+	if !ok || v.Spec != Convergence {
+		t.Fatalf("wrong violation: %v", err)
+	}
+	if len(v.Events) != 2 {
+		t.Errorf("violation should carry the two reads, has %d", len(v.Events))
+	}
+}
+
+func TestConvergenceDifferentVisibleSetsOK(t *testing.T) {
+	a := id(1, 1)
+	x := id(2, 1)
+	b := &hb{}
+	b.ins("c1", 'a', 0, a, []list.Elem{el('a', a)})
+	b.ins("c2", 'x', 0, x, []list.Elem{el('x', x)})
+	b.read("c1", []list.Elem{el('a', a)}, a)
+	b.read("c2", []list.Elem{el('x', x), el('a', a)}, a, x)
+	if err := CheckConvergence(&b.h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeakHoldsSimple(t *testing.T) {
+	a, x := id(1, 1), id(2, 1)
+	b := &hb{}
+	b.ins("c1", 'a', 0, a, []list.Elem{el('a', a)})
+	b.ins("c2", 'x', 0, x, []list.Elem{el('x', x)})
+	b.read("c1", []list.Elem{el('x', x), el('a', a)}, a, x)
+	b.read("c2", []list.Elem{el('x', x), el('a', a)}, a, x)
+	if err := CheckWeak(&b.h); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckStrong(&b.h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeakViolatedIncompatible(t *testing.T) {
+	a, x := id(1, 1), id(2, 1)
+	b := &hb{}
+	b.ins("c1", 'a', 0, a, []list.Elem{el('a', a)})
+	b.ins("c2", 'x', 0, x, []list.Elem{el('x', x)})
+	// The two replicas return opposite orders.
+	b.read("c1", []list.Elem{el('a', a), el('x', x)}, a, x)
+	b.read("c2", []list.Elem{el('x', x), el('a', a)}, a, x)
+	err := CheckWeak(&b.h)
+	if err == nil {
+		t.Fatal("want weak violation")
+	}
+	v, _ := AsViolation(err)
+	if v.Spec != WeakList || !strings.Contains(v.Reason, "incompatible") {
+		t.Fatalf("wrong violation: %v", err)
+	}
+}
+
+// TestFigure7History hand-codes the Figure 7 lists: "ax", "xb", "ba" with
+// element x deleted. Weak holds (pairwise compatible); strong is cyclic.
+func TestFigure7History(t *testing.T) {
+	insX, delX := id(1, 1), id(1, 2)
+	insA, insB := id(2, 1), id(3, 1)
+	ex, ea, eb := el('x', insX), el('a', insA), el('b', insB)
+
+	b := &hb{}
+	b.ins("c1", 'x', 0, insX, []list.Elem{ex})
+	b.ins("c2", 'a', 0, insA, []list.Elem{ea, ex}, insX)      // w13 = ax
+	b.ins("c3", 'b', 1, insB, []list.Elem{ex, eb}, insX)      // w14 = xb
+	b.del("c1", ex, 0, delX, []list.Elem{}, insX)             // c1 deletes x
+	b.read("c1", []list.Elem{eb, ea}, insX, delX, insA, insB) // final ba
+	b.read("c2", []list.Elem{eb, ea}, insX, delX, insA, insB)
+	b.read("c3", []list.Elem{eb, ea}, insX, delX, insA, insB)
+
+	if err := CheckConvergence(&b.h); err != nil {
+		t.Errorf("convergence: %v", err)
+	}
+	if err := CheckWeak(&b.h); err != nil {
+		t.Errorf("weak: %v", err)
+	}
+	err := CheckStrong(&b.h)
+	if err == nil {
+		t.Fatal("strong must be violated")
+	}
+	if v, _ := AsViolation(err); v.Spec != StrongList || !strings.Contains(v.Reason, "cycle") {
+		t.Fatalf("wrong violation: %v", err)
+	}
+}
+
+func TestCondition1aMissingElement(t *testing.T) {
+	a, x := id(1, 1), id(2, 1)
+	b := &hb{}
+	b.ins("c1", 'a', 0, a, []list.Elem{el('a', a)})
+	// Read sees both inserts but returns only one element.
+	b.ins("c2", 'x', 0, x, []list.Elem{el('x', x)})
+	b.read("c1", []list.Elem{el('a', a)}, a, x)
+	err := CheckWeak(&b.h)
+	if err == nil {
+		t.Fatal("want 1a violation")
+	}
+	if v, _ := AsViolation(err); !strings.Contains(v.Reason, "condition 1a") {
+		t.Fatalf("wrong reason: %v", err)
+	}
+}
+
+func TestCondition1aDeletedElementStillReturned(t *testing.T) {
+	a := id(1, 1)
+	d := id(2, 1)
+	ea := el('a', a)
+	b := &hb{}
+	b.ins("c1", 'a', 0, a, []list.Elem{ea})
+	b.del("c2", ea, 0, d, []list.Elem{}, a)
+	// Read that sees the delete but still returns the element.
+	b.read("c1", []list.Elem{ea}, a, d)
+	err := CheckWeak(&b.h)
+	if err == nil {
+		t.Fatal("want 1a violation")
+	}
+	if v, _ := AsViolation(err); !strings.Contains(v.Reason, "condition 1a") {
+		t.Fatalf("wrong reason: %v", err)
+	}
+}
+
+func TestCondition1cViolated(t *testing.T) {
+	a, x := id(1, 1), id(2, 1)
+	b := &hb{}
+	b.ins("c1", 'a', 0, a, []list.Elem{el('a', a)})
+	// Insert claims position 0 but the returned list has it at 1.
+	b.ins("c2", 'x', 0, x, []list.Elem{el('a', a), el('x', x)}, a)
+	err := CheckWeak(&b.h)
+	if err == nil {
+		t.Fatal("want 1c violation")
+	}
+	if v, _ := AsViolation(err); !strings.Contains(v.Reason, "condition 1c") {
+		t.Fatalf("wrong reason: %v", err)
+	}
+}
+
+func TestCondition1cClamped(t *testing.T) {
+	// Ins(a, 7) into a short list must land at the end (min{k, n-1}).
+	a, x := id(1, 1), id(2, 1)
+	b := &hb{}
+	b.ins("c1", 'a', 0, a, []list.Elem{el('a', a)})
+	b.ins("c1", 'x', 7, x, []list.Elem{el('a', a), el('x', x)}, a)
+	if err := CheckWeak(&b.h); err != nil {
+		t.Fatalf("clamped insert should satisfy 1c: %v", err)
+	}
+}
+
+func TestDuplicateElementInReturn(t *testing.T) {
+	a := id(1, 1)
+	ea := el('a', a)
+	b := &hb{}
+	b.ins("c1", 'a', 0, a, []list.Elem{ea})
+	b.read("c1", []list.Elem{ea, ea}, a)
+	err := CheckWeak(&b.h)
+	if err == nil {
+		t.Fatal("want duplicate violation")
+	}
+	if v, _ := AsViolation(err); !strings.Contains(v.Reason, "twice") {
+		t.Fatalf("wrong reason: %v", err)
+	}
+}
+
+func TestSeedElements(t *testing.T) {
+	// Initial document "ab" (seed); one insert in the middle.
+	sa, sb := id(100, 1), id(100, 2)
+	esa, esb := el('a', sa), el('b', sb)
+	x := id(1, 1)
+	ex := el('x', x)
+
+	b := &hb{}
+	b.h.Seed = []list.Elem{esa, esb}
+	b.ins("c1", 'x', 1, x, []list.Elem{esa, ex, esb})
+	b.read("c2", []list.Elem{esa, esb})
+	if err := CheckWeak(&b.h); err != nil {
+		t.Fatalf("seeded history must pass weak: %v", err)
+	}
+	if err := CheckStrong(&b.h); err != nil {
+		t.Fatalf("seeded history must pass strong: %v", err)
+	}
+}
+
+func TestCheckAll(t *testing.T) {
+	a, x := id(1, 1), id(2, 1)
+	b := &hb{}
+	b.ins("c1", 'a', 0, a, []list.Elem{el('a', a)})
+	b.ins("c2", 'x', 0, x, []list.Elem{el('x', x)})
+	b.read("c1", []list.Elem{el('a', a), el('x', x)}, a, x)
+	b.read("c2", []list.Elem{el('x', x), el('a', a)}, a, x)
+	out := CheckAll(&b.h)
+	if len(out) != 3 {
+		t.Fatalf("want all three specs violated, got %v", out)
+	}
+	// Sanity: an empty history passes everything.
+	if out := CheckAll(&core.History{}); len(out) != 0 {
+		t.Fatalf("empty history should pass: %v", out)
+	}
+}
+
+func TestViolationError(t *testing.T) {
+	v := &Violation{Spec: WeakList, Reason: "boom", Events: []core.Event{{Replica: "c1"}}}
+	msg := v.Error()
+	if !strings.Contains(msg, "weak-list") || !strings.Contains(msg, "boom") || !strings.Contains(msg, "c1") {
+		t.Errorf("Error() = %q", msg)
+	}
+	if _, ok := AsViolation(nil); ok {
+		t.Error("AsViolation(nil) must be false")
+	}
+}

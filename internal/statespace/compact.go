@@ -1,0 +1,97 @@
+package statespace
+
+import (
+	"fmt"
+)
+
+import "jupiter/internal/opid"
+
+// CompactTo garbage-collects the space down to the states at or above the
+// given stability frontier, re-rooting the space at the frontier state.
+//
+// The paper's protocols never discard state (its future-work section poses
+// the metadata lower bound as an open problem); this is the reproduction's
+// extension, measured in experiment E3. The frontier must satisfy two
+// properties, which the CSS server establishes before telling replicas to
+// compact (see css.Server.AdvanceFrontier):
+//
+//  1. a state with exactly the frontier's operation set exists — true for
+//     any prefix of the server's total order, since by Lemma 6.4 the
+//     leftmost path from the initial state carries all operations in total
+//     order; and
+//  2. every operation still in flight (and every future operation) has a
+//     context that contains the frontier, so no pruned state can ever be
+//     needed as a matching state or appear on a leftmost transformation
+//     path again (all such states contain the matching state's set).
+//
+// States whose operation sets do not contain the frontier are dropped.
+func (s *Space) CompactTo(frontier opid.Set) error {
+	root, ok := s.states[frontier.Key()]
+	if !ok {
+		return fmt.Errorf("statespace: no state at frontier %s", frontier)
+	}
+	if root == s.initial {
+		return nil // nothing to do
+	}
+
+	keep := make(map[string]*State, len(s.states))
+	for k, st := range s.states {
+		if frontier.Subset(st.Ops) {
+			keep[k] = st
+		}
+	}
+
+	// Drop edges that cross out of the kept set and rebuild the indexes.
+	edgesByOrig := make(map[opid.OpID][]*Edge)
+	numEdges := 0
+	for _, st := range keep {
+		kept := st.edges[:0]
+		for _, e := range st.edges {
+			if _, ok := keep[e.To.key]; ok {
+				kept = append(kept, e)
+				edgesByOrig[e.Op.ID] = append(edgesByOrig[e.Op.ID], e)
+				numEdges++
+			}
+		}
+		st.edges = kept
+		parents := st.parents[:0]
+		for _, e := range st.parents {
+			if _, ok := keep[e.From.key]; ok {
+				parents = append(parents, e)
+			}
+		}
+		st.parents = parents
+	}
+	// The new root keeps no parents: everything before the frontier is gone.
+	root.parents = nil
+
+	// Retain order keys only for operations still labeling edges or still
+	// pending (a pending operation's promote must continue to work even if
+	// compaction raced ahead of the acknowledgement).
+	orderOf := make(map[opid.OpID]OrderKey, len(edgesByOrig))
+	for id := range edgesByOrig {
+		orderOf[id] = s.orderOf[id]
+	}
+	for id, key := range s.orderOf {
+		if key == PendingKey {
+			orderOf[id] = key
+		}
+	}
+
+	s.states = keep
+	s.initial = root
+	s.edgesByOrig = edgesByOrig
+	s.orderOf = orderOf
+	s.numEdges = numEdges
+	if _, ok := s.states[s.final.key]; !ok {
+		return fmt.Errorf("statespace: compaction removed the final state %s", s.final)
+	}
+	return nil
+}
+
+// Contains reports whether the space still holds a state for the given
+// operation set (useful after compaction).
+func (s *Space) Contains(ops opid.Set) bool {
+	_, ok := s.states[ops.Key()]
+	return ok
+}

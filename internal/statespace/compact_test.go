@@ -1,0 +1,164 @@
+package statespace
+
+import (
+	"testing"
+
+	"jupiter/internal/opid"
+	"jupiter/internal/ot"
+)
+
+// buildChain integrates n sequential operations (each causally after the
+// previous) so the space is a single path — the easiest shape to reason
+// about compaction on.
+func buildChain(t *testing.T, n int) (*Space, []ot.Op) {
+	t.Helper()
+	s := New(nil, WithDocs())
+	var ops []ot.Op
+	ctx := set()
+	for k := 0; k < n; k++ {
+		op := ot.Ins(rune('a'+k), k, id(int32(k%3+1), uint64(k+1)))
+		mustIntegrate(t, s, op, ctx, OrderKey(k+1))
+		ctx = ctx.Add(op.ID)
+		ops = append(ops, op)
+	}
+	return s, ops
+}
+
+func TestCompactToChain(t *testing.T) {
+	s, ops := buildChain(t, 6)
+	if s.NumStates() != 7 {
+		t.Fatalf("states = %d", s.NumStates())
+	}
+	frontier := set(ops[0].ID, ops[1].ID, ops[2].ID)
+	if err := s.CompactTo(frontier); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumStates() != 4 {
+		t.Fatalf("after compaction: %d states, want 4", s.NumStates())
+	}
+	if !s.Initial().Ops.Equal(frontier) {
+		t.Fatalf("new root = %s", s.Initial())
+	}
+	if len(s.Initial().Parents()) != 0 {
+		t.Fatal("root must have no parents")
+	}
+	if !s.Contains(frontier) || s.Contains(set(ops[0].ID)) {
+		t.Fatal("containment after compaction wrong")
+	}
+	// The final state survives and the leftmost path still works.
+	path, err := s.LeftmostPath(s.Initial())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 3 {
+		t.Fatalf("leftmost path len = %d, want 3", len(path))
+	}
+	if err := s.CheckInvariants(3, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactToErrors(t *testing.T) {
+	s, ops := buildChain(t, 3)
+	if err := s.CompactTo(set(ops[2].ID)); err == nil {
+		t.Error("frontier without a state must error")
+	}
+	// Compacting to the current root is a no-op.
+	before := s.NumStates()
+	if err := s.CompactTo(set()); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumStates() != before {
+		t.Error("no-op compaction changed the space")
+	}
+}
+
+// TestCompactThenIntegrate: after compaction, operations whose contexts sit
+// at or above the frontier integrate normally; pending promotion still
+// works.
+func TestCompactThenIntegrate(t *testing.T) {
+	s, ops := buildChain(t, 4)
+
+	// A pending local operation concurrent with op 4 (context = first 3).
+	pending := ot.Ins('z', 0, id(9, 1))
+	ctx3 := set(ops[0].ID, ops[1].ID, ops[2].ID)
+	mustIntegrate(t, s, pending, ctx3, PendingKey)
+
+	// Compact to the first two operations.
+	frontier := set(ops[0].ID, ops[1].ID)
+	if err := s.CompactTo(frontier); err != nil {
+		t.Fatal(err)
+	}
+
+	// Promote the pending op (ack arrives after compaction).
+	if err := s.Promote(pending.ID, 5); err != nil {
+		t.Fatal(err)
+	}
+	k, ok := s.OrderKeyOf(pending.ID)
+	if !ok || k != 5 {
+		t.Fatalf("promotion lost after compaction: %v %v", k, ok)
+	}
+
+	// Integrate a new remote op whose context contains the frontier.
+	next := ot.Ins('w', 0, id(8, 1))
+	mustIntegrate(t, s, next, ctx3, 6)
+	if err := s.CheckInvariants(9, true); err != nil {
+		t.Fatal(err)
+	}
+	// The space's final state now carries everything.
+	if got := len(s.Final().Ops); got != 6 {
+		t.Fatalf("final has %d ops, want 6", got)
+	}
+}
+
+// TestCompactBelowFrontierContextFails documents the safety contract: an
+// operation whose context was pruned can no longer be integrated — the CSS
+// server only advances the frontier once no such operation can exist.
+func TestCompactBelowFrontierContextFails(t *testing.T) {
+	s, ops := buildChain(t, 4)
+	if err := s.CompactTo(set(ops[0].ID, ops[1].ID)); err != nil {
+		t.Fatal(err)
+	}
+	stale := ot.Ins('q', 0, id(7, 1))
+	if _, err := s.Integrate(stale, set(ops[0].ID), 9); err == nil {
+		t.Fatal("integrating below the frontier must fail loudly")
+	}
+}
+
+// TestPersistRoundTripRandomSpaces: random server-style spaces survive the
+// JSON codec byte-for-byte (canonical render) across many shapes.
+func TestPersistRoundTripRandomSpaces(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		s := New(nil)
+		var ctxPool []opid.Set
+		ctxPool = append(ctxPool, set())
+		for k := 0; k < 6; k++ {
+			ctx := ctxPool[(trial*7+k*3)%len(ctxPool)]
+			op := ot.Ins(rune('a'+k), 0, id(int32(k+1), 1))
+			if _, err := s.Integrate(op, ctx, OrderKey(k+1)); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			ctxPool = append(ctxPool, ctx.Add(op.ID))
+		}
+		data, err := s.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := New(nil)
+		if err := back.UnmarshalJSON(data); err != nil {
+			t.Fatal(err)
+		}
+		if back.Render() != s.Render() {
+			t.Fatalf("trial %d: render differs", trial)
+		}
+		if back.Fingerprint() != s.Fingerprint() {
+			t.Fatalf("trial %d: fingerprint differs", trial)
+		}
+		if back.NumEdges() != s.NumEdges() || back.NumStates() != s.NumStates() {
+			t.Fatalf("trial %d: counts differ", trial)
+		}
+		if back.Final().Key() != s.Final().Key() || back.Initial().Key() != s.Initial().Key() {
+			t.Fatalf("trial %d: roots differ", trial)
+		}
+	}
+}

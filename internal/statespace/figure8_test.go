@@ -1,0 +1,149 @@
+package statespace
+
+import (
+	"errors"
+	"testing"
+
+	"jupiter/internal/list"
+	"jupiter/internal/ot"
+)
+
+// TestFigure8UnionSpace hand-builds the full state-space of Figure 8 — the
+// union of the two clients' spaces from the incorrect protocol of Example
+// 8.1 — using the Builder's tagged states, and verifies the structural
+// pathologies Examples 8.2–8.4 point at:
+//
+//   - there are two DISTINCT states over the operation set {1,2,3}, holding
+//     "ayxc" and "axyc" (something Proposition 6.6 makes impossible for
+//     CSS-built spaces);
+//   - those two states are incompatible, and so are {1,3} ("aybxc") and
+//     the "axyc" state (Example 8.4);
+//   - their lowest common ancestor is NOT unique (Example 8.2 / the failure
+//     of Lemma 8.4 outside CSS);
+//   - the paths from a shared ancestor to the two bottom states are NOT
+//     disjoint (the failure of Lemma 8.5: Example 8.3's observation).
+//
+// Ops (on "abc"): o1 = Ins(x,2) @c1, o2 = Del(b,1) @c2, o3 = Ins(y,1) @c3.
+func TestFigure8UnionSpace(t *testing.T) {
+	initial := list.FromString("abc", 100)
+	elemB, err := initial.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	o1 := ot.Ins('x', 2, id(1, 1))
+	o2 := ot.Del(elemB, 1, id(2, 1))
+	o3 := ot.Ins('y', 1, id(3, 1))
+
+	// Transformed forms exactly as labeled in Figure 8. The labels are NOT
+	// mutually CP1-consistent — that inconsistency is the figure's point.
+	o3at1 := ot.Ins('y', 1, o3.ID)    // o3{1}
+	o2at1 := ot.Del(elemB, 1, o2.ID)  // o2{1}
+	o1at2 := ot.Ins('x', 1, o1.ID)    // o1{2}
+	o3at2 := ot.Ins('y', 1, o3.ID)    // o3{2}
+	o1at3 := ot.Ins('x', 3, o1.ID)    // o1{3}
+	o2at3 := ot.Del(elemB, 2, o2.ID)  // o2{3}
+	o2at13 := ot.Del(elemB, 2, o2.ID) // o2{1,3}
+	o1at23 := ot.Ins('x', 1, o1.ID)   // o1{2,3} — the naive tie keeps pos 1
+	o3at12 := ot.Ins('y', 2, o3.ID)   // o3{1,2}
+
+	s0 := set()
+	s1 := set(o1.ID)
+	s2 := set(o2.ID)
+	s3 := set(o3.ID)
+	s13 := set(o1.ID, o3.ID)
+	s23 := set(o2.ID, o3.ID)
+	s12 := set(o1.ID, o2.ID)
+
+	b := NewBuilder(initial)
+	b.Edge(s0, o1, 1)
+	b.Edge(s0, o2, 2)
+	b.Edge(s0, o3, 3)
+	b.Edge(s1, o3at1, 3)
+	b.Edge(s1, o2at1, 2)
+	b.Edge(s2, o1at2, 1)
+	b.Edge(s2, o3at2, 3)
+	b.Edge(s3, o1at3, 1)
+	b.Edge(s3, o2at3, 2)
+	// The two incompatible bottom states: "L" reached from {1,3} (C1's
+	// path, "ayxc"), "R" reached from {2,3} and {1,2} (C2's path, "axyc").
+	b.EdgeTagged(s13, "", o2at13, 2, "L")
+	b.EdgeTagged(s23, "", o1at23, 1, "R")
+	b.EdgeTagged(s12, "", o3at12, 3, "R")
+	space, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stateL, ok := b.State(set(o1.ID, o2.ID, o3.ID), "L")
+	if !ok {
+		t.Fatal("missing state {1,2,3}L")
+	}
+	stateR, ok := b.State(set(o1.ID, o2.ID, o3.ID), "R")
+	if !ok {
+		t.Fatal("missing state {1,2,3}R")
+	}
+
+	// Documents along the two paths match Figure 8 exactly.
+	if got := stateL.Doc.String(); got != "ayxc" {
+		t.Fatalf("state L doc = %q, want %q", got, "ayxc")
+	}
+	if got := stateR.Doc.String(); got != "axyc" {
+		t.Fatalf("state R doc = %q, want %q", got, "axyc")
+	}
+	st13, _ := space.StateOf(s13)
+	if got := st13.Doc.String(); got != "aybxc" {
+		t.Fatalf("state {1,3} doc = %q, want %q", got, "aybxc")
+	}
+	st23, _ := space.StateOf(s23)
+	if got := st23.Doc.String(); got != "ayc" {
+		t.Fatalf("state {2,3} doc = %q, want %q", got, "ayc")
+	}
+	st12, _ := space.StateOf(s12)
+	if got := st12.Doc.String(); got != "axc" {
+		t.Fatalf("state {1,2} doc = %q, want %q", got, "axc")
+	}
+
+	// Example 8.4: the two bottom states are incompatible; so are {1,3} and
+	// the "axyc" state; {1,3} and "ayxc" ARE compatible.
+	if ok, _ := space.Compatible(stateL, stateR); ok {
+		t.Error("the two {1,2,3} states must be incompatible")
+	}
+	if ok, _ := space.Compatible(st13, stateR); ok {
+		t.Error("{1,3} and the axyc state must be incompatible")
+	}
+	if ok, _ := space.Compatible(st13, stateL); !ok {
+		t.Error("{1,3} and the ayxc state are compatible")
+	}
+
+	// Example 8.2: the LCA of the two bottom states is ambiguous.
+	_, cands, err := space.LCA(stateL, stateR)
+	if !errors.Is(err, ErrAmbiguousLCA) {
+		t.Fatalf("LCA err = %v, want ErrAmbiguousLCA (candidates %v)", err, cands)
+	}
+	if len(cands) < 2 {
+		t.Fatalf("want ≥ 2 incomparable lowest common ancestors, got %v", cands)
+	}
+
+	// Example 8.3: paths from the shared ancestor {1} to the two bottom
+	// states are NOT disjoint (both pass through operation o3).
+	st1, _ := space.StateOf(s1)
+	pL := space.APath(st1, stateL)
+	if pL == nil {
+		t.Fatal("no path {1} → L")
+	}
+	// {1} reaches R through {1,2}.
+	pR := space.APath(st1, stateR)
+	if pR == nil {
+		t.Fatal("no path {1} → R")
+	}
+	if DisjointPaths(pL, pR) {
+		t.Error("paths from the non-unique common ancestor should overlap (Lemma 8.5 fails here)")
+	}
+
+	// Sanity: the whole-space pairwise compatibility check reports the
+	// failure (Theorem 8.7 does not hold for this space).
+	if err := space.CheckPairwiseCompatibility(); err == nil {
+		t.Error("pairwise compatibility must fail on the Figure 8 space")
+	}
+}

@@ -1,0 +1,437 @@
+// Package statespace implements the n-ary ordered state-space, the novel
+// data structure at the heart of the CSS Jupiter protocol (Section 6.1 of
+// the paper), together with Algorithm 1 (OTs along the leftmost transitions)
+// and the structural queries used by the paper's proofs: leftmost paths
+// (Lemma 6.4), lowest common ancestors (Lemma 8.4), simple/disjoint paths
+// (Lemmas 6.3 and 8.5), and state compatibility (Lemma 8.6, Theorem 8.7).
+//
+// A state σ is identified by the set of ORIGINAL operations a replica has
+// processed to reach it; a transition is labeled with the (original or
+// transformed) operation involved. A state may have up to n child states
+// (Lemma 6.1, one per client), and the transitions leaving a state are
+// totally ordered "according to the total order among operations established
+// by the server".
+//
+// Order keys. Every transition carries an order key: the server-assigned
+// global sequence number of its underlying original operation, or
+// PendingKey for a client's own not-yet-acknowledged operations. A pending
+// operation is, by the FIFO argument of Section 6.2, totally ordered after
+// every operation the client currently knows, so PendingKey sorts last;
+// Promote installs the real key when the server's acknowledgement arrives.
+package statespace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"jupiter/internal/list"
+	"jupiter/internal/opid"
+	"jupiter/internal/ot"
+)
+
+// OrderKey is the position of an original operation in the server's total
+// order "⇒" (1-based), or PendingKey if not yet known.
+type OrderKey uint64
+
+// PendingKey marks a transition whose original operation has not yet been
+// serialized by the server (a client's own in-flight operation).
+const PendingKey OrderKey = math.MaxUint64
+
+// Errors reported by state-space operations.
+var (
+	// ErrNoMatchingState reports that an operation's context does not name a
+	// state of the space — a protocol-level bug (Section 6.2 step 1 assumes
+	// the matching state exists).
+	ErrNoMatchingState = errors.New("statespace: no state matches operation context")
+	// ErrDuplicateOp reports integrating the same original operation twice.
+	ErrDuplicateOp = errors.New("statespace: operation already integrated")
+	// ErrAmbiguousLCA reports that a pair of states has more than one lowest
+	// common ancestor, which Lemma 8.4 proves impossible for spaces built by
+	// the CSS protocol. It can (and does) occur for hand-built spaces such as
+	// the Figure 8 counterexample.
+	ErrAmbiguousLCA = errors.New("statespace: lowest common ancestor is not unique")
+)
+
+// State is a node of the state-space.
+type State struct {
+	// Ops is the set of original operations processed to reach this state.
+	Ops opid.Set
+	// Doc is the list value at this state; populated only when the space was
+	// created with WithDocs (scenario tests and the compatibility queries
+	// need it, the protocol itself does not).
+	Doc list.Doc
+
+	edges   []*Edge // outgoing transitions, in sibling (total) order
+	parents []*Edge // incoming transitions, unordered
+	key     string  // canonical Ops.Key(), cached
+}
+
+// Edges returns the outgoing transitions in sibling order (leftmost first).
+func (st *State) Edges() []*Edge {
+	out := make([]*Edge, len(st.edges))
+	copy(out, st.edges)
+	return out
+}
+
+// Parents returns the incoming transitions.
+func (st *State) Parents() []*Edge {
+	out := make([]*Edge, len(st.parents))
+	copy(out, st.parents)
+	return out
+}
+
+// Key returns the canonical identity of the state.
+func (st *State) Key() string { return st.key }
+
+// String renders the state as its operation set, e.g. "{c1:1,c3:1}".
+func (st *State) String() string { return st.Ops.String() }
+
+// Edge is a transition of the state-space, labeled with an original or
+// transformed operation.
+type Edge struct {
+	Op       ot.Op // the labeling operation (Op.ID is the original identity)
+	From, To *State
+
+	key OrderKey
+}
+
+// OrderKey returns the edge's current order key.
+func (e *Edge) OrderKey() OrderKey { return e.key }
+
+// String renders the edge.
+func (e *Edge) String() string {
+	return fmt.Sprintf("%s --%s--> %s", e.From, e.Op, e.To)
+}
+
+// Space is an n-ary ordered state-space.
+type Space struct {
+	states      map[string]*State
+	initial     *State
+	final       *State
+	edgesByOrig map[opid.OpID][]*Edge
+	orderOf     map[opid.OpID]OrderKey
+	numEdges    int
+
+	recordDocs bool
+	verifyCP1  bool
+	// relaxed disables the duplicate-sibling check; only hand-built spaces
+	// (Builder) set it, to represent structures a correct protocol cannot
+	// produce (Figure 8).
+	relaxed bool
+
+	audit    bool
+	auditLog []AuditEntry
+}
+
+// Option configures a Space.
+type Option func(*Space)
+
+// WithDocs makes the space maintain the list value at every state. Required
+// for compatibility queries and the figure-exact scenario tests; costs
+// memory proportional to states × document length.
+func WithDocs() Option {
+	return func(s *Space) { s.recordDocs = true }
+}
+
+// WithCP1Check makes Algorithm 1 verify, at every ladder step, that both
+// sides of the OT commutative square (Figure 1c) produce the same document.
+// Implies WithDocs. Used by tests; too expensive for benchmarks.
+func WithCP1Check() Option {
+	return func(s *Space) { s.recordDocs = true; s.verifyCP1 = true }
+}
+
+// New creates a space containing only the initial state σ0 = {0}, whose
+// document value is initialDoc (cloned; may be nil for an empty list).
+func New(initialDoc list.Doc, opts ...Option) *Space {
+	return NewAt(opid.NewSet(), initialDoc, opts...)
+}
+
+// NewAt creates a space rooted at a non-empty state: the root is identified
+// by the given operation set (the operations a late-joining replica adopts
+// wholesale from a snapshot) and holds initialDoc. Every operation in root
+// is treated as already integrated, with order keys left unknown — which is
+// safe because compacted-away operations can never appear as siblings again
+// (the same contract as CompactTo).
+func NewAt(root opid.Set, initialDoc list.Doc, opts ...Option) *Space {
+	s := &Space{
+		states:      make(map[string]*State),
+		edgesByOrig: make(map[opid.OpID][]*Edge),
+		orderOf:     make(map[opid.OpID]OrderKey),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	init := &State{Ops: root.Clone(), key: root.Key()}
+	if s.recordDocs {
+		if initialDoc != nil {
+			init.Doc = initialDoc.Clone()
+		} else {
+			init.Doc = list.NewDocument()
+		}
+	}
+	s.states[init.key] = init
+	s.initial = init
+	s.final = init
+	return s
+}
+
+// Initial returns the initial state σ0.
+func (s *Space) Initial() *State { return s.initial }
+
+// Final returns the current final state (the state whose operation set is
+// everything the owning replica has processed).
+func (s *Space) Final() *State { return s.final }
+
+// NumStates returns the number of states.
+func (s *Space) NumStates() int { return len(s.states) }
+
+// NumEdges returns the number of transitions.
+func (s *Space) NumEdges() int { return s.numEdges }
+
+// StateOf returns the state identified by the given operation set, if any.
+func (s *Space) StateOf(ops opid.Set) (*State, bool) {
+	st, ok := s.states[ops.Key()]
+	return st, ok
+}
+
+// OrderKeyOf returns the current order key of an integrated original
+// operation (PendingKey if not yet promoted), and whether the operation is
+// known to the space at all.
+func (s *Space) OrderKeyOf(id opid.OpID) (OrderKey, bool) {
+	k, ok := s.orderOf[id]
+	return k, ok
+}
+
+// Integrate performs the uniform operation processing of Section 6.2,
+// steps 1–2, via Algorithm 1: it saves o (whose context is ctx) at the
+// matching state, transforms it along the leftmost transitions to the final
+// state, extends the space with the resulting "ladder" of transitions, and
+// returns the fully transformed operation o{L} that the replica must
+// execute (step 3).
+//
+// key is the operation's order key: the server-assigned global sequence
+// number, or PendingKey for a locally generated operation.
+func (s *Space) Integrate(o ot.Op, ctx opid.Set, key OrderKey) (ot.Op, error) {
+	if _, dup := s.orderOf[o.ID]; dup {
+		return ot.Op{}, fmt.Errorf("%w: %s", ErrDuplicateOp, o.ID)
+	}
+	sigma, ok := s.states[ctx.Key()]
+	if !ok {
+		return ot.Op{}, fmt.Errorf("%w: op %s ctx %s", ErrNoMatchingState, o, ctx)
+	}
+	s.orderOf[o.ID] = key
+
+	// Compute the leftmost path BEFORE adding o's transitions: the path runs
+	// to the final state, which does not include o.
+	path, err := s.leftmostPath(sigma)
+	if err != nil {
+		return ot.Op{}, fmt.Errorf("integrate %s: %w", o, err)
+	}
+	if s.audit {
+		entry := AuditEntry{Op: o, Ctx: ctx.Clone(), Key: key, Path: make([]opid.OpID, len(path))}
+		for i, e := range path {
+			entry.Path[i] = e.Op.ID
+		}
+		s.auditLog = append(s.auditLog, entry)
+	}
+
+	// Save o at σ along the transition of the right order (step 1).
+	prev, err := s.addTransition(sigma, o, key)
+	if err != nil {
+		return ot.Op{}, err
+	}
+
+	// Algorithm 1: iterate OTs along the leftmost path, arranging the new
+	// transitions in their appropriate order (lines 3–5).
+	cur := o
+	for _, f := range path {
+		fT := ot.Transform(f.Op, cur) // f{o...}: the top op including o
+		cur = ot.Transform(cur, f.Op) // o{...f}: o including one more op
+
+		ns, err := s.newState(f.To.Ops.Add(o.ID))
+		if err != nil {
+			return ot.Op{}, err
+		}
+		// Vertical rung: from the existing state f.To, labeled with the
+		// progressively transformed o.
+		if err := s.linkEdge(f.To, ns, cur, key); err != nil {
+			return ot.Op{}, err
+		}
+		// Horizontal rail: from the previous new state, labeled with f
+		// transformed to include o; it inherits f's order key.
+		if err := s.linkEdge(prev, ns, fT, s.orderOf[f.Op.ID]); err != nil {
+			return ot.Op{}, err
+		}
+		if s.recordDocs {
+			if err := s.snapshotDoc(ns, f.To, cur, prev, fT); err != nil {
+				return ot.Op{}, err
+			}
+		}
+		prev = ns
+	}
+
+	s.final = prev
+	return cur, nil
+}
+
+// snapshotDoc computes the document at the fresh state ns from its vertical
+// parent (top, via vop) and, when CP1 checking is on, cross-validates it
+// against the horizontal parent (prevNew, via hop).
+func (s *Space) snapshotDoc(ns, top *State, vop ot.Op, prevNew *State, hop ot.Op) error {
+	d := top.Doc.Clone()
+	if err := ot.Apply(d, vop); err != nil {
+		return fmt.Errorf("statespace: snapshot via %s: %w", vop, err)
+	}
+	ns.Doc = d
+	if s.verifyCP1 {
+		d2 := prevNew.Doc.Clone()
+		if err := ot.Apply(d2, hop); err != nil {
+			return fmt.Errorf("statespace: cp1 side via %s: %w", hop, err)
+		}
+		if !list.ElemsEqual(d.Elems(), d2.Elems()) {
+			return fmt.Errorf("statespace: CP1 square broken at %s: %q vs %q", ns, d.String(), d2.String())
+		}
+	}
+	return nil
+}
+
+// addTransition creates the state σ∪{o} and links σ to it with o, placed in
+// sibling order; the new state's document is derived when docs are recorded.
+func (s *Space) addTransition(sigma *State, o ot.Op, key OrderKey) (*State, error) {
+	ns, err := s.newState(sigma.Ops.Add(o.ID))
+	if err != nil {
+		return nil, err
+	}
+	if err := s.linkEdge(sigma, ns, o, key); err != nil {
+		return nil, err
+	}
+	if s.recordDocs {
+		d := sigma.Doc.Clone()
+		if err := ot.Apply(d, o); err != nil {
+			return nil, fmt.Errorf("statespace: apply %s at %s: %w", o, sigma, err)
+		}
+		ns.Doc = d
+	}
+	return ns, nil
+}
+
+// newState allocates a fresh state for the given operation set. Ladder
+// states are always new: the integrated operation is new to this replica,
+// so no existing state's set can contain it.
+func (s *Space) newState(ops opid.Set) (*State, error) {
+	key := ops.Key()
+	if _, exists := s.states[key]; exists {
+		return nil, fmt.Errorf("statespace: state %s unexpectedly exists", ops)
+	}
+	st := &State{Ops: ops, key: key}
+	s.states[key] = st
+	return st, nil
+}
+
+// linkEdge inserts the transition from→to labeled op at its ordered sibling
+// position. Sibling operations are pairwise concurrent and distinct, so
+// order keys plus the identity tie-break give a strict order.
+func (s *Space) linkEdge(from, to *State, op ot.Op, key OrderKey) error {
+	if !s.relaxed {
+		for _, e := range from.edges {
+			if e.Op.ID == op.ID {
+				return fmt.Errorf("statespace: duplicate sibling for %s at %s", op.ID, from)
+			}
+		}
+	}
+	e := &Edge{Op: op, From: from, To: to, key: key}
+	idx := sort.Search(len(from.edges), func(i int) bool {
+		return edgeLess(e, from.edges[i])
+	})
+	from.edges = append(from.edges, nil)
+	copy(from.edges[idx+1:], from.edges[idx:])
+	from.edges[idx] = e
+	to.parents = append(to.parents, e)
+	s.edgesByOrig[op.ID] = append(s.edgesByOrig[op.ID], e)
+	s.numEdges++
+	return nil
+}
+
+// edgeLess orders sibling transitions: by order key, then (only between two
+// pending operations, which a correct protocol never produces as siblings)
+// by identity for determinism.
+func edgeLess(a, b *Edge) bool {
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.Op.ID.Less(b.Op.ID)
+}
+
+// Promote installs the server-assigned order key for an operation that was
+// integrated as pending. All transitions labeled by the operation are
+// re-keyed. Sibling orders never change: by the FIFO argument in the package
+// comment, every sibling placed while the operation was pending already has
+// a smaller key.
+func (s *Space) Promote(id opid.OpID, key OrderKey) error {
+	cur, ok := s.orderOf[id]
+	if !ok {
+		return fmt.Errorf("statespace: promote unknown op %s", id)
+	}
+	if cur != PendingKey {
+		if cur == key {
+			return nil
+		}
+		return fmt.Errorf("statespace: op %s already has key %d, cannot re-key to %d", id, cur, key)
+	}
+	s.orderOf[id] = key
+	for _, e := range s.edgesByOrig[id] {
+		e.key = key
+	}
+	return nil
+}
+
+// leftmostPath returns the transitions along the leftmost path from st to
+// the final state. By Lemma 6.4 the path exists and carries exactly the
+// operations of O \ σ in total order.
+func (s *Space) leftmostPath(st *State) ([]*Edge, error) {
+	var path []*Edge
+	cur := st
+	for cur != s.final {
+		if len(cur.edges) == 0 {
+			return nil, fmt.Errorf("statespace: leftmost path from %s stuck at %s before final %s", st, cur, s.final)
+		}
+		e := cur.edges[0]
+		path = append(path, e)
+		cur = e.To
+		if len(path) > len(s.states) {
+			return nil, fmt.Errorf("statespace: leftmost path from %s exceeds state count (cycle?)", st)
+		}
+	}
+	return path, nil
+}
+
+// LeftmostPath exposes the leftmost path from st to the final state for
+// tests and tools (Lemma 6.4).
+func (s *Space) LeftmostPath(st *State) ([]*Edge, error) {
+	return s.leftmostPath(st)
+}
+
+// AuditEntry records one Integrate call: the original operation, its
+// context, the order key, and the ORIGINAL identities of the operations it
+// was transformed with (the sequence L of Algorithm 1, in order).
+type AuditEntry struct {
+	Op   ot.Op
+	Ctx  opid.Set
+	Key  OrderKey
+	Path []opid.OpID
+}
+
+// EnableAudit turns on integration auditing; entries accumulate until
+// collected with AuditLog. Tests use this to check Lemmas 5.1/6.5 directly:
+// the transformation sequence consists of exactly the operations totally
+// ordered before and concurrent with the integrated operation.
+func (s *Space) EnableAudit() { s.audit = true }
+
+// AuditLog returns the recorded integrations.
+func (s *Space) AuditLog() []AuditEntry {
+	out := make([]AuditEntry, len(s.auditLog))
+	copy(out, s.auditLog)
+	return out
+}

@@ -1,0 +1,121 @@
+// Package tob provides the total-ordering substrate for the distributed CSS
+// protocol (internal/dcss): Lamport timestamps and the delivery-stability
+// rule of timestamp-based total-order broadcast.
+//
+// The paper's future-work section proposes "extending the CSS protocol to a
+// distributed setting, by integrating the compact n-ary ordered state-space
+// with a distributed scheme to totally order operations", citing TIBOT as
+// such a scheme. This package implements the classical decentralized
+// variant: every message carries a Lamport timestamp (clock, peer); the
+// total order "⇒" is the lexicographic timestamp order; and a message is
+// STABLE (safe to deliver) at a peer once every other peer has been heard
+// from with a strictly larger timestamp — at that point no message that
+// would sort earlier can still arrive, because each peer's timestamps are
+// strictly increasing.
+package tob
+
+import (
+	"fmt"
+	"sort"
+
+	"jupiter/internal/opid"
+)
+
+// Timestamp is a Lamport timestamp with the peer identifier as tie-breaker.
+// Timestamps are unique across the system and strictly increasing per peer.
+type Timestamp struct {
+	Clock uint64
+	Peer  opid.ClientID
+}
+
+// Less orders timestamps lexicographically by (Clock, Peer); this is the
+// total order "⇒" of the distributed protocol.
+func (t Timestamp) Less(u Timestamp) bool {
+	if t.Clock != u.Clock {
+		return t.Clock < u.Clock
+	}
+	return t.Peer < u.Peer
+}
+
+// String implements fmt.Stringer.
+func (t Timestamp) String() string { return fmt.Sprintf("%d@%s", t.Clock, t.Peer) }
+
+// Clock is a Lamport clock plus the per-peer knowledge needed for the
+// stability rule. It is not safe for concurrent use; each peer owns one.
+type Clock struct {
+	self  opid.ClientID
+	now   uint64
+	heard map[opid.ClientID]Timestamp
+}
+
+// NewClock creates the clock for peer self in a group of peers.
+func NewClock(self opid.ClientID, peers []opid.ClientID) *Clock {
+	heard := make(map[opid.ClientID]Timestamp, len(peers))
+	for _, p := range peers {
+		if p != self {
+			heard[p] = Timestamp{}
+		}
+	}
+	return &Clock{self: self, heard: heard}
+}
+
+// Tick advances the clock for a local event and returns its timestamp.
+func (c *Clock) Tick() Timestamp {
+	c.now++
+	return Timestamp{Clock: c.now, Peer: c.self}
+}
+
+// Witness merges a received timestamp (Lamport receive rule) and records
+// that its sender has been heard from at that time. It returns an error if
+// the sender's timestamps ever go backwards, which would break stability.
+func (c *Clock) Witness(ts Timestamp) error {
+	if ts.Peer == c.self {
+		return fmt.Errorf("tob: peer %s witnessed its own timestamp %s", c.self, ts)
+	}
+	prev, ok := c.heard[ts.Peer]
+	if !ok {
+		return fmt.Errorf("tob: timestamp from unknown peer %s", ts.Peer)
+	}
+	if !prev.Less(ts) {
+		return fmt.Errorf("tob: non-monotonic timestamps from %s: %s then %s", ts.Peer, prev, ts)
+	}
+	c.heard[ts.Peer] = ts
+	if ts.Clock > c.now {
+		c.now = ts.Clock
+	}
+	return nil
+}
+
+// Now returns the current clock value.
+func (c *Clock) Now() uint64 { return c.now }
+
+// Stable reports whether a message with timestamp ts can be delivered: every
+// other peer has been heard from strictly after ts (the sender's own message
+// counts as hearing from the sender).
+func (c *Clock) Stable(ts Timestamp) bool {
+	for p, h := range c.heard {
+		if p == ts.Peer {
+			// Receiving the message itself means the sender was heard at
+			// exactly ts; its future messages are strictly later.
+			if h.Less(ts) {
+				return false
+			}
+			continue
+		}
+		if !ts.Less(h) {
+			return false
+		}
+	}
+	return true
+}
+
+// Heard returns the latest timestamp witnessed from each other peer, in
+// peer order (diagnostics).
+func (c *Clock) Heard() []Timestamp {
+	out := make([]Timestamp, 0, len(c.heard))
+	for _, ts := range c.heard {
+		out = append(out, ts)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	return out
+}

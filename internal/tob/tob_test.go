@@ -1,0 +1,137 @@
+package tob
+
+import (
+	"testing"
+	"testing/quick"
+
+	"jupiter/internal/opid"
+)
+
+func TestTimestampLessTotalOrder(t *testing.T) {
+	f := func(c1, c2 uint32, p1, p2 int16) bool {
+		a := Timestamp{Clock: uint64(c1), Peer: opid.ClientID(p1)}
+		b := Timestamp{Clock: uint64(c2), Peer: opid.ClientID(p2)}
+		lt, gt, eq := a.Less(b), b.Less(a), a == b
+		n := 0
+		for _, v := range []bool{lt, gt, eq} {
+			if v {
+				n++
+			}
+		}
+		return n == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTickMonotone(t *testing.T) {
+	c := NewClock(1, []opid.ClientID{1, 2})
+	prev := c.Tick()
+	for i := 0; i < 100; i++ {
+		next := c.Tick()
+		if !prev.Less(next) {
+			t.Fatalf("tick went backwards: %s then %s", prev, next)
+		}
+		prev = next
+	}
+}
+
+func TestWitnessMergesClock(t *testing.T) {
+	c := NewClock(1, []opid.ClientID{1, 2, 3})
+	if err := c.Witness(Timestamp{Clock: 41, Peer: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Now() != 41 {
+		t.Fatalf("Now = %d, want 41", c.Now())
+	}
+	if ts := c.Tick(); ts.Clock != 42 {
+		t.Fatalf("tick after witness = %d, want 42", ts.Clock)
+	}
+}
+
+func TestWitnessErrors(t *testing.T) {
+	c := NewClock(1, []opid.ClientID{1, 2})
+	if err := c.Witness(Timestamp{Clock: 1, Peer: 1}); err == nil {
+		t.Error("witnessing own timestamp must error")
+	}
+	if err := c.Witness(Timestamp{Clock: 1, Peer: 9}); err == nil {
+		t.Error("unknown peer must error")
+	}
+	if err := c.Witness(Timestamp{Clock: 5, Peer: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Witness(Timestamp{Clock: 5, Peer: 2}); err == nil {
+		t.Error("non-monotone sender timestamps must error")
+	}
+}
+
+func TestStability(t *testing.T) {
+	c := NewClock(1, []opid.ClientID{1, 2, 3})
+	ts2 := Timestamp{Clock: 3, Peer: 2}
+	if err := c.Witness(ts2); err != nil {
+		t.Fatal(err)
+	}
+	// Peer 3 silent: not stable.
+	if c.Stable(ts2) {
+		t.Error("must not be stable while peer 3 is silent")
+	}
+	// Peer 3 heard at exactly clock 3 (larger pair than (3,2)).
+	if err := c.Witness(Timestamp{Clock: 3, Peer: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Stable(ts2) {
+		t.Error("stable once every peer heard past the timestamp")
+	}
+	// A timestamp above everything heard is not stable.
+	if c.Stable(Timestamp{Clock: 99, Peer: 2}) {
+		t.Error("future timestamp cannot be stable")
+	}
+	if got := len(c.Heard()); got != 2 {
+		t.Fatalf("Heard() has %d entries, want 2", got)
+	}
+}
+
+// TestStabilityNeverEarly: across random witness sequences, a stable
+// message's timestamp is always ≤ every later-witnessed timestamp from
+// every peer (no message could still arrive before it).
+func TestStabilityNeverEarly(t *testing.T) {
+	f := func(raw []uint8) bool {
+		c := NewClock(1, []opid.ClientID{1, 2, 3})
+		clock2, clock3 := uint64(0), uint64(0)
+		var candidates []Timestamp
+		for _, b := range raw {
+			var ts Timestamp
+			if b%2 == 0 {
+				clock2 += uint64(b%5) + 1
+				ts = Timestamp{Clock: clock2, Peer: 2}
+			} else {
+				clock3 += uint64(b%5) + 1
+				ts = Timestamp{Clock: clock3, Peer: 3}
+			}
+			if err := c.Witness(ts); err != nil {
+				return false
+			}
+			candidates = append(candidates, ts)
+			// Every candidate that Stable() approves must be below both
+			// senders' latest timestamps or from that sender itself.
+			for _, cand := range candidates {
+				if !c.Stable(cand) {
+					continue
+				}
+				for _, h := range c.Heard() {
+					if h.Peer == cand.Peer {
+						continue
+					}
+					if !cand.Less(h) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,210 @@
+package treedoc_test
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"jupiter/internal/list"
+	"jupiter/internal/opid"
+	"jupiter/internal/sim"
+	"jupiter/internal/spec"
+	"jupiter/internal/treedoc"
+)
+
+func TestPathCompareBasics(t *testing.T) {
+	root := treedoc.Path{{Bit: 1, Peer: 1, Ctr: 1}}
+	leftChild := append(append(treedoc.Path{}, root...), treedoc.Comp{Bit: 0, Peer: 2, Ctr: 1})
+	rightChild := append(append(treedoc.Path{}, root...), treedoc.Comp{Bit: 1, Peer: 2, Ctr: 1})
+
+	if root.Compare(root) != 0 {
+		t.Error("reflexivity")
+	}
+	if leftChild.Compare(root) != -1 {
+		t.Error("left subtree must precede its root")
+	}
+	if rightChild.Compare(root) != 1 {
+		t.Error("right subtree must follow its root")
+	}
+	if leftChild.Compare(rightChild) != -1 {
+		t.Error("left < right")
+	}
+	// Mini-node siblings order by (peer, ctr).
+	mini1 := treedoc.Path{{Bit: 1, Peer: 1, Ctr: 5}}
+	mini2 := treedoc.Path{{Bit: 1, Peer: 2, Ctr: 1}}
+	if mini1.Compare(mini2) != -1 {
+		t.Error("mini-node peer order")
+	}
+	if !root.IsAncestor(leftChild) || root.IsAncestor(root) || leftChild.IsAncestor(root) {
+		t.Error("IsAncestor wrong")
+	}
+}
+
+// TestQuickPathTotalOrder: Compare is a strict total order on random paths.
+func TestQuickPathTotalOrder(t *testing.T) {
+	gen := func(raw []byte) treedoc.Path {
+		if len(raw) == 0 {
+			raw = []byte{1}
+		}
+		if len(raw) > 6 {
+			raw = raw[:6]
+		}
+		p := make(treedoc.Path, len(raw))
+		for i, b := range raw {
+			p[i] = treedoc.Comp{Bit: b % 2, Peer: opid.ClientID(b % 5), Ctr: uint64(b % 7)}
+		}
+		return p
+	}
+	f := func(r1, r2, r3 []byte) bool {
+		a, b, c := gen(r1), gen(r2), gen(r3)
+		if a.Compare(b) != -b.Compare(a) {
+			return false
+		}
+		// Transitivity spot-check via sorting three elements.
+		ps := []treedoc.Path{a, b, c}
+		sort.Slice(ps, func(i, j int) bool { return ps[i].Compare(ps[j]) < 0 })
+		return ps[0].Compare(ps[2]) <= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocalEditingSequence(t *testing.T) {
+	r := treedoc.NewReplica("c1", 1, nil)
+	for i, ch := range "hello" {
+		if _, err := r.GenerateIns(ch, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := list.Render(r.Document()); got != "hello" {
+		t.Fatalf("doc %q", got)
+	}
+	// Insert in the middle, at the front, delete.
+	if _, err := r.GenerateIns('X', 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.GenerateIns('Y', 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := list.Render(r.Document()); got != "YheXllo" {
+		t.Fatalf("doc %q", got)
+	}
+	if _, err := r.GenerateDel(3); err != nil { // removes the 'X'
+		t.Fatal(err)
+	}
+	if got := list.Render(r.Document()); got != "Yhello" {
+		t.Fatalf("doc %q, want %q", got, "Yhello")
+	}
+	if r.TotalNodes() != 7 {
+		t.Fatalf("nodes = %d, want 7 (tombstone retained)", r.TotalNodes())
+	}
+}
+
+func TestConcurrentSameSpot(t *testing.T) {
+	r1 := treedoc.NewReplica("c1", 1, nil)
+	r2 := treedoc.NewReplica("c2", 2, nil)
+	e1, err := r1.GenerateIns('a', 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := r2.GenerateIns('b', 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.Integrate(e2); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Integrate(e1); err != nil {
+		t.Fatal(err)
+	}
+	d1, d2 := list.Render(r1.Document()), list.Render(r2.Document())
+	if d1 != d2 {
+		t.Fatalf("diverged: %q vs %q", d1, d2)
+	}
+	// Mini-node order: peer 1 < peer 2.
+	if d1 != "ab" {
+		t.Fatalf("order %q, want %q", d1, "ab")
+	}
+}
+
+func TestIntegrateErrors(t *testing.T) {
+	r := treedoc.NewReplica("c1", 1, nil)
+	eff, err := r.GenerateIns('a', 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Integrate(eff); err == nil {
+		t.Error("duplicate path must error")
+	}
+	if err := r.Integrate(treedoc.Effect{Kind: treedoc.EffectDel, Path: treedoc.Path{{Bit: 1, Peer: 9, Ctr: 9}}}); err == nil {
+		t.Error("delete of unknown path must error")
+	}
+	if err := r.Integrate(treedoc.Effect{Kind: 42}); err == nil {
+		t.Error("unknown kind must error")
+	}
+	if _, err := r.GenerateIns('x', 5); err == nil {
+		t.Error("out-of-range insert must error")
+	}
+	if _, err := r.GenerateDel(5); err == nil {
+		t.Error("out-of-range delete must error")
+	}
+	// Duplicate delete is idempotent.
+	del, err := r.GenerateDel(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Integrate(del); err != nil {
+		t.Fatalf("idempotent delete: %v", err)
+	}
+	if len(r.Document()) != 0 {
+		t.Fatal("delete failed")
+	}
+}
+
+// TestTreeDocRandomStrong: TreeDoc satisfies the strong list specification
+// on random executions (its infix path order is the list order lo, with
+// tombstones keeping deleted elements comparable).
+func TestTreeDocRandomStrong(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		cl, err := sim.NewCluster(sim.TreeDoc, sim.Config{Clients: 4, Record: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.RunRandom(cl, sim.Workload{Seed: seed, OpsPerClient: 7, DeleteRatio: 0.35}, true); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if _, err := sim.CheckConverged(cl); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		h := cl.History()
+		if err := h.WellFormed(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := spec.CheckStrong(h); err != nil {
+			t.Fatalf("seed %d: strong must hold for TreeDoc: %v", seed, err)
+		}
+	}
+}
+
+func TestServerRelay(t *testing.T) {
+	srv := treedoc.NewServer([]opid.ClientID{1, 2}, nil)
+	c1 := treedoc.NewReplica("c1", 1, nil)
+	eff, err := c1.GenerateIns('a', 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := srv.Receive(1, eff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 1 || outs[0].To != 2 {
+		t.Fatalf("forwards wrong: %v", outs)
+	}
+	if got := list.Render(srv.Read()); got != "a" {
+		t.Fatalf("server read %q", got)
+	}
+	if srv.TotalNodes() != 1 {
+		t.Fatal("server node count wrong")
+	}
+}

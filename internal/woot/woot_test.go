@@ -1,0 +1,220 @@
+package woot_test
+
+import (
+	"testing"
+
+	"jupiter/internal/list"
+	"jupiter/internal/opid"
+	"jupiter/internal/sim"
+	"jupiter/internal/spec"
+	"jupiter/internal/woot"
+)
+
+func TestLocalEditing(t *testing.T) {
+	r := woot.NewReplica("c1", 1, nil)
+	for i, ch := range "abc" {
+		if _, err := r.GenerateIns(ch, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.GenerateIns('X', 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := list.Render(r.Document()); got != "aXbc" {
+		t.Fatalf("doc %q", got)
+	}
+	if _, err := r.GenerateDel(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := list.Render(r.Document()); got != "aXc" {
+		t.Fatalf("doc %q", got)
+	}
+	if r.TotalNodes() != 4 {
+		t.Fatalf("nodes = %d, want 4 (tombstone kept)", r.TotalNodes())
+	}
+}
+
+// TestConcurrentSameSpot: the canonical WOOT scenario — concurrent inserts
+// between the same neighbors converge in identifier order at all replicas,
+// regardless of arrival order.
+func TestConcurrentSameSpot(t *testing.T) {
+	r1 := woot.NewReplica("c1", 1, nil)
+	r2 := woot.NewReplica("c2", 2, nil)
+	r3 := woot.NewReplica("c3", 3, nil)
+
+	e1, err := r1.GenerateIns('a', 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := r2.GenerateIns('b', 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e3, err := r3.GenerateIns('c', 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deliver in three different orders.
+	if err := r1.Integrate(e2); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.Integrate(e3); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Integrate(e3); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Integrate(e1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r3.Integrate(e1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r3.Integrate(e2); err != nil {
+		t.Fatal(err)
+	}
+	d1, d2, d3 := list.Render(r1.Document()), list.Render(r2.Document()), list.Render(r3.Document())
+	if d1 != d2 || d2 != d3 {
+		t.Fatalf("diverged: %q %q %q", d1, d2, d3)
+	}
+	if d1 != "abc" { // identifier order: c1 < c2 < c3
+		t.Fatalf("order %q, want %q", d1, "abc")
+	}
+}
+
+// TestInterleavingBetweenTombstones: an insert whose visible neighbors
+// bracket hidden tombstones still lands correctly everywhere.
+func TestInterleavingBetweenTombstones(t *testing.T) {
+	r1 := woot.NewReplica("c1", 1, nil)
+	r2 := woot.NewReplica("c2", 2, nil)
+
+	var effs []woot.Effect
+	for i, ch := range "abcd" {
+		e, err := r1.GenerateIns(ch, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		effs = append(effs, e)
+	}
+	for _, e := range effs {
+		if err := r2.Integrate(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// r1 deletes 'b' and 'c'; r2 concurrently inserts between them.
+	d1, err := r1.GenerateDel(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := r1.GenerateDel(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := r2.GenerateIns('X', 2) // between b and c at r2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.Integrate(ins); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Integrate(d1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Integrate(d2); err != nil {
+		t.Fatal(err)
+	}
+	o1, o2 := list.Render(r1.Document()), list.Render(r2.Document())
+	if o1 != o2 {
+		t.Fatalf("diverged: %q vs %q", o1, o2)
+	}
+	if o1 != "aXd" {
+		t.Fatalf("doc %q, want %q", o1, "aXd")
+	}
+}
+
+func TestIntegrateErrors(t *testing.T) {
+	r := woot.NewReplica("c1", 1, nil)
+	eff, err := r.GenerateIns('a', 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Integrate(eff); err == nil {
+		t.Error("duplicate character must error")
+	}
+	missing := woot.Effect{
+		Kind: woot.EffectIns,
+		Elem: list.Elem{Val: 'z', ID: opid.OpID{Client: 9, Seq: 1}},
+		Prev: opid.OpID{Client: 8, Seq: 8},
+		Next: opid.OpID{Client: 8, Seq: 9},
+	}
+	if err := r.Integrate(missing); err == nil {
+		t.Error("missing bounds must error")
+	}
+	if err := r.Integrate(woot.Effect{Kind: woot.EffectDel, Elem: list.Elem{ID: opid.OpID{Client: 7, Seq: 7}}}); err == nil {
+		t.Error("delete of unknown character must error")
+	}
+	if err := r.Integrate(woot.Effect{Kind: 42}); err == nil {
+		t.Error("unknown kind must error")
+	}
+	if _, err := r.GenerateIns('x', 9); err == nil {
+		t.Error("out-of-range insert must error")
+	}
+	if _, err := r.GenerateDel(9); err == nil {
+		t.Error("out-of-range delete must error")
+	}
+	// Duplicate delete is idempotent.
+	del, err := r.GenerateDel(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Integrate(del); err != nil {
+		t.Fatalf("idempotent delete: %v", err)
+	}
+}
+
+// TestWOOTRandomStrong: convergence and the strong list specification over
+// random executions (the buffer order, tombstones included, is the shared
+// total list order).
+func TestWOOTRandomStrong(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		cl, err := sim.NewCluster(sim.WOOT, sim.Config{Clients: 4, Record: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.RunRandom(cl, sim.Workload{Seed: seed, OpsPerClient: 8, DeleteRatio: 0.35}, true); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if _, err := sim.CheckConverged(cl); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		h := cl.History()
+		if err := h.WellFormed(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := spec.CheckStrong(h); err != nil {
+			t.Fatalf("seed %d: strong must hold for WOOT: %v", seed, err)
+		}
+	}
+}
+
+func TestServerRelay(t *testing.T) {
+	srv := woot.NewServer([]opid.ClientID{1, 2}, nil)
+	c1 := woot.NewReplica("c1", 1, nil)
+	eff, err := c1.GenerateIns('a', 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := srv.Receive(1, eff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 1 || outs[0].To != 2 {
+		t.Fatalf("forwards wrong: %v", outs)
+	}
+	if got := list.Render(srv.Read()); got != "a" {
+		t.Fatalf("server read %q", got)
+	}
+	if srv.TotalNodes() != 1 {
+		t.Fatal("node count wrong")
+	}
+}

@@ -1,0 +1,211 @@
+// Package jupiter is a Go implementation of the replicated list object and
+// the Jupiter protocols from "Specification and Implementation of Replicated
+// List: The Jupiter Protocol Revisited" (Wei, Huang, Lu; PODC 2018 brief
+// announcement / arXiv:1708.04754).
+//
+// It provides:
+//
+//   - the CSS (Compact State-Space) Jupiter protocol, built on the paper's
+//     n-ary ordered state-space (the paper's contribution);
+//   - the classical CSCW Jupiter protocol, provably equivalent under the
+//     same schedules (Theorem 7.1 — checked by this repository's tests);
+//   - an RGA CRDT baseline that satisfies the strong list specification;
+//   - executable checkers for the convergence property and the weak/strong
+//     list specifications of Attiya et al.;
+//   - simulation harnesses: deterministic schedules, seeded random
+//     interleavings, and a concurrent goroutine/channel runtime.
+//
+// Quick start:
+//
+//	cl, _ := jupiter.NewCluster(jupiter.CSS, jupiter.Config{Clients: 2, Record: true})
+//	_ = cl.GenerateIns(1, 'h', 0)
+//	_ = cl.GenerateIns(2, 'i', 0)
+//	_ = jupiter.Quiesce(cl)
+//	doc, _ := jupiter.CheckConverged(cl)
+//	fmt.Println(jupiter.Render(doc)) // the converged list
+//
+// See examples/ for complete programs and DESIGN.md for the paper-to-module
+// map.
+package jupiter
+
+import (
+	"jupiter/internal/core"
+	"jupiter/internal/dcss"
+	"jupiter/internal/editor"
+	"jupiter/internal/list"
+	"jupiter/internal/opid"
+	"jupiter/internal/sim"
+	"jupiter/internal/spec"
+)
+
+// Core identity and data types, re-exported for users of the public API.
+type (
+	// ClientID identifies a client replica (1-based).
+	ClientID = opid.ClientID
+	// OpID uniquely identifies an original operation / inserted element.
+	OpID = opid.OpID
+	// Elem is one element of the replicated list.
+	Elem = list.Elem
+	// Doc is a local document (slice- or tree-backed).
+	Doc = list.Doc
+	// History is the recorded abstract execution consumed by the checkers.
+	History = core.History
+	// Event is a do event of a history.
+	Event = core.Event
+	// Schedule is a deterministic interleaving script (Definition 4.7).
+	Schedule = core.Schedule
+	// Cluster is a deterministic client/server system under test.
+	Cluster = sim.Cluster
+	// Config configures NewCluster.
+	Config = sim.Config
+	// Workload is a seeded synthetic editing workload.
+	Workload = sim.Workload
+	// AsyncConfig configures RunAsync.
+	AsyncConfig = sim.AsyncConfig
+	// AsyncResult is the outcome of a concurrent run.
+	AsyncResult = sim.AsyncResult
+	// SpaceStat describes one replica metadata structure (E1/E3 stats).
+	SpaceStat = sim.SpaceStat
+	// Protocol names a protocol implementation.
+	Protocol = sim.Protocol
+	// Violation describes a specification violation found by a checker.
+	Violation = spec.Violation
+)
+
+// The available protocol implementations.
+const (
+	// CSS is the paper's Compact State-Space Jupiter protocol (Section 6).
+	CSS = sim.CSS
+	// CSCW is the classical Jupiter protocol (Section 5).
+	CSCW = sim.CSCW
+	// RGA is the CRDT baseline satisfying the strong list specification.
+	RGA = sim.RGA
+	// Logoot is the tombstone-free CRDT baseline (also strong).
+	Logoot = sim.Logoot
+	// TreeDoc is the binary-tree CRDT baseline with tombstones (also strong).
+	TreeDoc = sim.TreeDoc
+	// WOOT is the bounded-character CRDT baseline with tombstones (also
+	// strong).
+	WOOT = sim.WOOT
+	// Broken is the deliberately incorrect protocol of Example 8.1, for
+	// exercising the checkers.
+	Broken = sim.Broken
+)
+
+// ServerName is the replica name of the central server in documents and
+// histories.
+const ServerName = opid.ServerName
+
+// NewCluster builds a deterministic cluster running the given protocol.
+func NewCluster(p Protocol, cfg Config) (Cluster, error) {
+	return sim.NewCluster(p, cfg)
+}
+
+// NewDocument returns an empty slice-backed document.
+func NewDocument() Doc { return list.NewDocument() }
+
+// NewTreeDocument returns an empty tree-backed document (O(log n) edits).
+func NewTreeDocument() Doc { return list.NewTreeDocument() }
+
+// FromString builds a document from a string, assigning each rune a unique
+// element identity under the pseudo-client seed.
+func FromString(s string, seed ClientID) Doc { return list.FromString(s, seed) }
+
+// Render converts an element slice to its payload string.
+func Render(elems []Elem) string { return list.Render(elems) }
+
+// Quiesce delivers every in-flight message until the cluster is quiet.
+func Quiesce(cl Cluster) error { return sim.Quiesce(cl) }
+
+// RunRandom drives the cluster through a seeded random interleaving of the
+// workload, then quiesces and records final reads.
+func RunRandom(cl Cluster, w Workload, withReads bool) error {
+	return sim.RunRandom(cl, w, withReads)
+}
+
+// RunSchedule drives the cluster through an explicit schedule; ops supplies
+// the parameters of each generation step.
+func RunSchedule(cl Cluster, sched Schedule, ops func(c ClientID, k int) (ins bool, val rune, pos int)) error {
+	return sim.RunSchedule(cl, sched, ops)
+}
+
+// RunAsync executes a workload with one goroutine per replica, connected by
+// FIFO channels; it returns after global quiescence.
+func RunAsync(p Protocol, cfg AsyncConfig) (*AsyncResult, error) {
+	return sim.RunAsync(p, cfg)
+}
+
+// CheckConverged verifies all replicas hold the identical document and
+// returns it.
+func CheckConverged(cl Cluster) ([]Elem, error) { return sim.CheckConverged(cl) }
+
+// AdvanceFrontier triggers the CSS state-space garbage-collection extension.
+func AdvanceFrontier(cl Cluster) (bool, error) { return sim.AdvanceFrontier(cl) }
+
+// CheckConvergence checks the convergence property Acp (Definition 3.1).
+func CheckConvergence(h *History) error { return spec.CheckConvergence(h) }
+
+// CheckWeak checks the weak list specification Aweak (Definition 3.3).
+func CheckWeak(h *History) error { return spec.CheckWeak(h) }
+
+// CheckStrong checks the strong list specification Astrong (Definition 3.2).
+func CheckStrong(h *History) error { return spec.CheckStrong(h) }
+
+// AsViolation extracts the structured violation from a checker error.
+func AsViolation(err error) (*Violation, bool) { return spec.AsViolation(err) }
+
+// Distributed (server-less) CSS — the paper's future-work extension.
+type (
+	// Mesh is a full mesh of distributed-CSS peers (no central server),
+	// ordered by Lamport-timestamp total-order broadcast.
+	Mesh = dcss.Cluster
+	// MeshPeer is one replica of the distributed protocol.
+	MeshPeer = dcss.Peer
+	// MeshAsyncConfig configures RunMeshAsync.
+	MeshAsyncConfig = dcss.AsyncConfig
+	// MeshAsyncResult is the outcome of a concurrent mesh run.
+	MeshAsyncResult = dcss.AsyncResult
+)
+
+// NewMesh builds an n-peer distributed-CSS mesh.
+func NewMesh(n int, initial Doc, record bool) (*Mesh, error) {
+	return dcss.NewCluster(n, initial, record)
+}
+
+// RunMeshAsync runs the distributed protocol with one goroutine per peer.
+func RunMeshAsync(cfg MeshAsyncConfig) (*MeshAsyncResult, error) {
+	return dcss.RunAsync(cfg)
+}
+
+// Editor layer — caret- and selection-aware editing sessions.
+type (
+	// Editor is a text-editing session over a CSS client with caret and
+	// selection tracking across concurrent remote edits.
+	Editor = editor.Editor
+	// EditorSession runs several editors against one in-process server.
+	EditorSession = editor.Session
+)
+
+// NewEditorSession creates n editors collaborating over an optional initial
+// document. Drive the editors, then call Sync to exchange all edits.
+func NewEditorSession(n int, initial Doc) (*EditorSession, error) {
+	return editor.NewSession(n, initial)
+}
+
+// Workload position profiles.
+type (
+	// Profile selects a workload's position distribution.
+	Profile = sim.Profile
+)
+
+// The available workload profiles.
+const (
+	// ProfileUniform draws edit positions uniformly (default).
+	ProfileUniform = sim.ProfileUniform
+	// ProfileAppend edits only at the end of the document.
+	ProfileAppend = sim.ProfileAppend
+	// ProfileTyping models per-client typing cursors with occasional jumps.
+	ProfileTyping = sim.ProfileTyping
+	// ProfileHotspot concentrates edits near the front.
+	ProfileHotspot = sim.ProfileHotspot
+)
