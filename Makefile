@@ -1,0 +1,37 @@
+# Development entry points. CI (.github/workflows/ci.yml) runs `make ci`.
+
+GO ?= go
+
+.PHONY: all build test race vet fmt-check fuzz bench chaos ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fails (with the offending file list) if any file is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# Short CP1 fuzzing burst beyond the checked-in seed corpus.
+fuzz:
+	$(GO) test -fuzz=FuzzTransformCP1 -fuzztime=30s ./internal/ot
+
+bench:
+	$(GO) test -run xxx -bench=. -benchmem .
+
+# The E10 loss sweep: CSS over the unreliable network at 0/1/5/20% drop.
+chaos:
+	$(GO) test -run xxx -bench=BenchmarkE10_ChaosLossSweep -benchtime=30x .
+
+ci: fmt-check vet build test race

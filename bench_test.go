@@ -651,3 +651,39 @@ func BenchmarkE9_WorkloadProfiles(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkE10_ChaosLossSweep measures the cost of running CSS over the
+// unreliable-network runtime at increasing packet-loss rates (E10,
+// EXPERIMENTS.md): end-to-end run time plus the session layer's overhead in
+// retransmissions per generated operation. Drop 0 routes everything through
+// sessions but injects nothing, isolating the session-layer baseline.
+func BenchmarkE10_ChaosLossSweep(b *testing.B) {
+	const clients, ops = 3, 20
+	for _, loss := range []float64{0, 0.01, 0.05, 0.20} {
+		b.Run(fmt.Sprintf("drop=%.0f%%", loss*100), func(b *testing.B) {
+			b.ReportAllocs()
+			var retrans, ticks float64
+			for i := 0; i < b.N; i++ {
+				res, err := jupiter.RunAsync(jupiter.CSS, jupiter.AsyncConfig{
+					Clients:      clients,
+					OpsPerClient: ops,
+					Seed:         int64(i + 1),
+					DeleteRatio:  0.3,
+					Faults: &jupiter.FaultConfig{
+						Seed:     int64(i + 1),
+						Drop:     loss,
+						DelayMax: 2,
+					},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				retrans += float64(res.Net.Retransmits)
+				ticks += float64(res.Ticks)
+			}
+			n := float64(b.N)
+			b.ReportMetric(retrans/n/(clients*ops), "retransmits/op")
+			b.ReportMetric(ticks/n, "ticks/run")
+		})
+	}
+}

@@ -9,6 +9,16 @@
 //	jupitersim -protocol css -async -clients 4 -ops 200
 //	jupitersim -protocol broken -clients 3 -ops 10      # watch the checkers fire
 //	jupitersim -protocol css -clients 3 -ops 20 -json hist.json
+//
+// Fault injection (chaos mode): any of the fault flags routes the run through
+// the deterministic unreliable-network runtime with session-level
+// retransmission. The command exits non-zero with a one-line diagnosis if the
+// replicas fail to converge or the recorded history violates the weak list
+// specification under the injected faults.
+//
+//	jupitersim -protocol css -drop 0.2 -dup 0.1 -reorder 0.2 -delay 4
+//	jupitersim -protocol css -drop 0.1 -partition 2 -crash 1 -seed 9
+//	jupitersim -protocol css -dup 0.5 -no-dedup    # negative control: must fail
 package main
 
 import (
@@ -42,14 +52,40 @@ func run(args []string, out io.Writer) error {
 		check       = fs.Bool("check", true, "run the specification checkers")
 		gc          = fs.Bool("gc", false, "advance the state-space GC frontier after the run (css only)")
 		jsonOut     = fs.String("json", "", "write the recorded history as JSON to this file")
+
+		drop      = fs.Float64("drop", 0, "chaos: per-packet drop probability [0,1)")
+		dup       = fs.Float64("dup", 0, "chaos: per-packet duplication probability [0,1)")
+		reorder   = fs.Float64("reorder", 0, "chaos: adjacent-packet reorder probability [0,1)")
+		delay     = fs.Int("delay", 0, "chaos: maximum random per-packet delay in ticks")
+		partition = fs.Int("partition", 0, "chaos: number of seeded timed partitions")
+		crash     = fs.Int("crash", 0, "chaos: number of seeded crash/recovery events")
+		noDedup   = fs.Bool("no-dedup", false, "chaos: disable session dedup (negative control; run is expected to fail)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	var faults *jupiter.FaultConfig
+	if *drop > 0 || *dup > 0 || *reorder > 0 || *delay > 0 || *partition > 0 || *crash > 0 || *noDedup {
+		faults = &jupiter.FaultConfig{
+			Seed:         *seed,
+			Drop:         *drop,
+			Dup:          *dup,
+			Reorder:      *reorder,
+			DelayMax:     *delay,
+			DisableDedup: *noDedup,
+		}
+		horizon := jupiter.ChaosHorizon(*ops)
+		faults.AddRandomPartitions(*partition, *clients, horizon)
+		faults.AddRandomCrashes(*crash, *clients, horizon)
+	}
+
 	p := jupiter.Protocol(*protocol)
 	if *mesh {
 		p = "dcss"
+	}
+	if faults != nil && *mesh {
+		return fmt.Errorf("fault injection is not supported on the peer mesh (use -protocol css or cscw)")
 	}
 	fmt.Fprintf(out, "protocol=%s clients=%d ops/client=%d seed=%d delete-ratio=%.2f async=%v\n",
 		p, *clients, *ops, *seed, *deleteRatio, *async)
@@ -113,19 +149,31 @@ func run(args []string, out io.Writer) error {
 		stats []jupiter.SpaceStat
 		final string
 	)
-	if *async {
+	if *async || faults != nil {
 		res, err := jupiter.RunAsync(p, jupiter.AsyncConfig{
 			Clients:      *clients,
 			OpsPerClient: *ops,
 			Seed:         *seed,
 			DeleteRatio:  *deleteRatio,
 			Record:       true,
+			Faults:       faults,
 		})
 		if err != nil {
+			if faults != nil {
+				// The chaos runtime verifies convergence and the weak
+				// specification internally; a failure here is a protocol or
+				// session-layer violation under the injected faults.
+				return fmt.Errorf("chaos run failed (seed %d): %w", *seed, err)
+			}
 			return err
 		}
 		hist = res.History
 		stats = res.Stats
+		if res.Net != nil {
+			n := res.Net
+			fmt.Fprintf(out, "net: ticks=%d sent=%d dropped=%d duplicated=%d reordered=%d delivered=%d retransmits=%d dup-suppressed=%d acks=%d\n",
+				res.Ticks, n.Sent, n.Dropped, n.Duplicated, n.Reordered, n.Delivered, n.Retransmits, n.DupSuppressed, n.AcksSent)
+		}
 		var names []string
 		for name := range res.Docs {
 			names = append(names, name)

@@ -89,6 +89,36 @@ func min(a, b int) int {
 	return b
 }
 
+func TestRunChaosFlags(t *testing.T) {
+	var b strings.Builder
+	args := []string{"-protocol", "css", "-clients", "3", "-ops", "8", "-seed", "9",
+		"-drop", "0.2", "-dup", "0.1", "-reorder", "0.2", "-delay", "4", "-partition", "1", "-crash", "1"}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"net: ticks=", "retransmits=", "converged=true", "spec weak-list    PASS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chaos output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunChaosNegativeControlFails(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-protocol", "css", "-clients", "3", "-ops", "8", "-seed", "3", "-dup", "0.5", "-no-dedup"}, &b)
+	if err == nil || !strings.Contains(err.Error(), "chaos run failed") {
+		t.Fatalf("negative control must fail with a chaos diagnosis, got %v", err)
+	}
+}
+
+func TestRunChaosRejectsMesh(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-mesh", "-clients", "3", "-ops", "5", "-drop", "0.1"}, &b); err == nil {
+		t.Fatal("mesh + fault injection must error")
+	}
+}
+
 func TestRunMeshFlag(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{"-mesh", "-clients", "3", "-ops", "5"}, &b); err != nil {

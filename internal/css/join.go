@@ -78,6 +78,23 @@ func (s *Server) AddClient(id opid.ClientID) error {
 	return nil
 }
 
+// RemoveClient unregisters a departed client (left the session, or crashed
+// with its persisted state lost): it stops receiving redirections and
+// acknowledgements, and it no longer holds back the stability frontier. Its
+// already-serialized operations remain part of the history; operations it
+// generated but never delivered are gone, which is exactly the contract of
+// a lost-state crash.
+func (s *Server) RemoveClient(id opid.ClientID) error {
+	for i, c := range s.clients {
+		if c == id {
+			s.clients = append(s.clients[:i], s.clients[i+1:]...)
+			delete(s.known, id)
+			return nil
+		}
+	}
+	return fmt.Errorf("server: client %s not registered", id)
+}
+
 // NewClientFromSnapshot constructs a client that joins mid-session from a
 // server snapshot. The returned client is fully caught up with the
 // snapshot point; register it with Server.AddClient before it generates.

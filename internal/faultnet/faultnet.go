@@ -1,0 +1,359 @@
+// Package faultnet simulates an unreliable network between Jupiter replicas
+// and rebuilds, on top of it, the reliable-FIFO-exactly-once channel
+// abstraction the protocols assume.
+//
+// The paper's system model (§4.4) connects each client to the server "by
+// TCP": messages are never lost, duplicated, or reordered. A production
+// deployment must EARN that abstraction over a faulty transport. This
+// package provides the two halves:
+//
+//   - Network/Link (this file): a deterministic, seed-driven packet layer
+//     with per-packet drop, duplication, reordering, and delay, plus timed
+//     link partitions. Time is virtual (integer ticks advanced by the
+//     harness), so every fault schedule is exactly reproducible from its
+//     Config.
+//
+//   - Session (session.go): a pair of endpoints restoring the FIFO
+//     exactly-once contract over two unreliable links — monotone sequence
+//     numbers, cumulative acknowledgements, timeout-driven retransmission
+//     with capped exponential backoff, and receiver-side deduplication plus
+//     reorder buffering. Any fault schedule that eventually lets packets
+//     through yields exactly the reliable-channel behavior.
+//
+// The chaos harness (internal/sim, AsyncConfig.Faults) drives CSS and CSCW
+// traffic through sessions over faulty links, injects replica crashes, and
+// re-verifies convergence and the weak list specification under faults.
+package faultnet
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Config describes one deterministic fault schedule. The probabilistic
+// faults (Drop/Dup/Reorder/Delay) are drawn per packet from a PRNG seeded
+// with Seed; the scheduled faults (Partitions, Crashes) fire at fixed
+// virtual-time ticks. The zero value is a perfect network.
+type Config struct {
+	// Seed drives every probabilistic fault decision. Two runs with the
+	// same Config and the same sequence of sends behave identically.
+	Seed int64
+
+	// Drop is the per-packet loss probability, in [0, 1).
+	Drop float64
+	// Dup is the per-packet duplication probability: with probability Dup a
+	// packet is delivered twice.
+	Dup float64
+	// Reorder is the per-packet probability that a freshly sent packet
+	// swaps places with the packet queued immediately before it.
+	Reorder float64
+	// DelayMax is the maximum extra delivery latency in ticks; each packet
+	// is delayed uniformly in [0, DelayMax]. Non-uniform delays are the
+	// second reordering mechanism: a later packet with a shorter delay
+	// overtakes an earlier one.
+	DelayMax int
+
+	// Partitions are timed windows during which selected links drop every
+	// packet handed to them (heal-and-retransmit recovers the traffic).
+	Partitions []Partition
+	// Crashes are replica crash/recovery events, interpreted by the chaos
+	// harness (internal/sim): the replica stops, loses its volatile state,
+	// and later restarts from its persisted snapshot.
+	Crashes []Crash
+
+	// RetransmitTimeout is the session retransmission timeout in ticks
+	// (default 8). BackoffCap caps the exponential backoff multiplier
+	// (default 8, i.e. the timeout never exceeds 8× the base).
+	RetransmitTimeout int
+	BackoffCap        int
+
+	// DisableDedup turns off receiver-side deduplication and reorder
+	// buffering in every session built over this network. It exists as the
+	// chaos harness's NEGATIVE CONTROL: with faults injected and dedup
+	// disabled, the convergence and weak-spec checks MUST fail — proving
+	// the harness actually depends on the session layer it is testing.
+	DisableDedup bool
+}
+
+// Partition severs the links of one client (or of every client) for the
+// half-open tick window [From, Until): packets sent while severed are lost.
+type Partition struct {
+	// Client is the 0-based client index whose links are severed; -1 severs
+	// every link in the network.
+	Client int
+	From   int
+	Until  int
+}
+
+// Crash schedules a replica crash at tick At and its recovery at tick
+// RecoverAt. With LostState false the replica restarts from its persisted
+// snapshot (css.Client.Save / css.RestoreClient) and replays its
+// unacknowledged operations; with LostState true the persisted snapshot is
+// gone too, and the replica rejoins late from a server snapshot under a
+// fresh identity (css.NewClientFromSnapshot).
+type Crash struct {
+	Client    int
+	At        int
+	RecoverAt int
+	LostState bool
+}
+
+// Validate checks the configuration for out-of-range probabilities and
+// inverted windows.
+func (c *Config) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"Drop", c.Drop}, {"Dup", c.Dup}, {"Reorder", c.Reorder}} {
+		if p.v < 0 || p.v >= 1 {
+			return fmt.Errorf("faultnet: %s=%v outside [0,1)", p.name, p.v)
+		}
+	}
+	if c.DelayMax < 0 {
+		return fmt.Errorf("faultnet: DelayMax=%d negative", c.DelayMax)
+	}
+	for _, w := range c.Partitions {
+		if w.Until <= w.From {
+			return fmt.Errorf("faultnet: partition window [%d,%d) empty", w.From, w.Until)
+		}
+	}
+	for _, cr := range c.Crashes {
+		if cr.RecoverAt <= cr.At {
+			return fmt.Errorf("faultnet: crash window [%d,%d) empty", cr.At, cr.RecoverAt)
+		}
+	}
+	return nil
+}
+
+// timeout returns the effective retransmission timeout.
+func (c *Config) timeout() int {
+	if c.RetransmitTimeout > 0 {
+		return c.RetransmitTimeout
+	}
+	return 8
+}
+
+// backoffCap returns the effective backoff multiplier cap.
+func (c *Config) backoffCap() int {
+	if c.BackoffCap > 0 {
+		return c.BackoffCap
+	}
+	return 8
+}
+
+// AddRandomPartitions appends n partition windows at seed-determined times
+// within [0, horizon), each severing one random client (of the given count)
+// for a random span of up to horizon/4 ticks.
+func (c *Config) AddRandomPartitions(n, clients, horizon int) {
+	r := rand.New(rand.NewSource(c.Seed ^ 0x7a27))
+	for i := 0; i < n; i++ {
+		from := r.Intn(horizon)
+		span := 1 + r.Intn(horizon/4+1)
+		c.Partitions = append(c.Partitions, Partition{
+			Client: r.Intn(clients),
+			From:   from,
+			Until:  from + span,
+		})
+	}
+}
+
+// AddRandomCrashes appends up to n crash/recovery events at seed-determined
+// times within [0, horizon), each hitting a distinct client (of the given
+// count) at most once.
+func (c *Config) AddRandomCrashes(n, clients, horizon int) {
+	r := rand.New(rand.NewSource(c.Seed ^ 0xc4a5))
+	perm := r.Perm(clients)
+	if n > clients {
+		n = clients
+	}
+	for i := 0; i < n; i++ {
+		at := r.Intn(horizon)
+		span := 1 + r.Intn(horizon/4+1)
+		c.Crashes = append(c.Crashes, Crash{
+			Client:    perm[i],
+			At:        at,
+			RecoverAt: at + span,
+		})
+	}
+}
+
+// Stats counts what the network and sessions did. All counters are
+// cumulative over the run.
+type Stats struct {
+	// Packet layer.
+	Sent       int // packets handed to Link.Send (incl. retransmissions and acks)
+	Dropped    int // lost to the random Drop draw
+	Severed    int // lost to a partition (link down)
+	Duplicated int // extra copies enqueued by the Dup draw
+	Delayed    int // packets assigned a nonzero delivery delay
+	Reordered  int // packets swapped behind their predecessor
+	Delivered  int // packets handed to a receiver
+
+	// Session layer.
+	DataSent      int // distinct payloads accepted by Endpoint.Send
+	Retransmits   int // data frames re-sent after a timeout
+	DupSuppressed int // received duplicate data frames discarded by dedup
+	AcksSent      int // pure acknowledgement frames sent
+}
+
+// Network is a set of unreliable links sharing one virtual clock, one fault
+// configuration, and one PRNG. It is not safe for concurrent use: the chaos
+// harness is a deterministic single-threaded event loop.
+type Network struct {
+	cfg   Config
+	now   int
+	rng   *rand.Rand
+	links []*Link
+	stats Stats
+}
+
+// New builds a network applying the given fault configuration. cfg is
+// copied; nil means a perfect network.
+func New(cfg *Config) *Network {
+	var c Config
+	if cfg != nil {
+		c = *cfg
+	}
+	return &Network{cfg: c, rng: rand.New(rand.NewSource(c.Seed))}
+}
+
+// Now returns the current virtual time.
+func (n *Network) Now() int { return n.now }
+
+// Tick advances virtual time by one.
+func (n *Network) Tick() { n.now++ }
+
+// Stats returns a copy of the fault/session counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// Config returns the network's (normalized) fault configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// NewLink creates a new unidirectional unreliable link.
+func (n *Network) NewLink(name string) *Link {
+	l := &Link{net: n, name: name}
+	n.links = append(n.links, l)
+	return l
+}
+
+// Pending reports the total number of packets in flight across all links.
+func (n *Network) Pending() int {
+	total := 0
+	for _, l := range n.links {
+		total += len(l.queue)
+	}
+	return total
+}
+
+// packet is one in-flight payload with its delivery deadline. order breaks
+// ties among packets due at the same tick, preserving FIFO unless a fault
+// reordered them.
+type packet struct {
+	payload any
+	due     int
+	order   int
+}
+
+// Link is a unidirectional unreliable channel. Send applies the network's
+// probabilistic faults; Receive returns the packets whose delivery time has
+// come, in (due, order) order.
+type Link struct {
+	net       *Network
+	name      string
+	down      bool
+	queue     []packet
+	nextOrder int
+}
+
+// Name returns the link's diagnostic name.
+func (l *Link) Name() string { return l.name }
+
+// SetDown severs (true) or heals (false) the link. While severed, every
+// packet handed to Send is lost; packets already in flight still arrive
+// (they crossed the cut before it happened).
+func (l *Link) SetDown(down bool) { l.down = down }
+
+// Down reports whether the link is currently severed.
+func (l *Link) Down() bool { return l.down }
+
+// Pending reports the number of packets in flight on this link.
+func (l *Link) Pending() int { return len(l.queue) }
+
+// Send hands a payload to the link, applying the fault draws: partition
+// loss, random drop, duplication, delay, and adjacent reorder.
+func (l *Link) Send(payload any) {
+	n := l.net
+	n.stats.Sent++
+	if l.down {
+		n.stats.Severed++
+		return
+	}
+	if n.cfg.Drop > 0 && n.rng.Float64() < n.cfg.Drop {
+		n.stats.Dropped++
+		return
+	}
+	copies := 1
+	if n.cfg.Dup > 0 && n.rng.Float64() < n.cfg.Dup {
+		copies = 2
+		n.stats.Duplicated++
+	}
+	for i := 0; i < copies; i++ {
+		delay := 0
+		if n.cfg.DelayMax > 0 {
+			delay = n.rng.Intn(n.cfg.DelayMax + 1)
+			if delay > 0 {
+				n.stats.Delayed++
+			}
+		}
+		l.queue = append(l.queue, packet{payload: payload, due: n.now + delay, order: l.nextOrder})
+		l.nextOrder++
+	}
+	if n.cfg.Reorder > 0 && len(l.queue) >= 2 && n.rng.Float64() < n.cfg.Reorder {
+		i, j := len(l.queue)-2, len(l.queue)-1
+		l.queue[i].due, l.queue[j].due = l.queue[j].due, l.queue[i].due
+		l.queue[i].order, l.queue[j].order = l.queue[j].order, l.queue[i].order
+		n.stats.Reordered++
+	}
+}
+
+// Receive removes and returns every packet due at or before the current
+// tick, ordered by (due, order).
+func (l *Link) Receive() []any {
+	var ready []packet
+	kept := l.queue[:0]
+	for _, p := range l.queue {
+		if p.due <= l.net.now {
+			ready = append(ready, p)
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	l.queue = kept
+	// Insertion sort by (due, order): ready is tiny and mostly sorted.
+	for i := 1; i < len(ready); i++ {
+		for j := i; j > 0 && less(ready[j], ready[j-1]); j-- {
+			ready[j], ready[j-1] = ready[j-1], ready[j]
+		}
+	}
+	out := make([]any, len(ready))
+	for i, p := range ready {
+		out[i] = p.payload
+	}
+	l.net.stats.Delivered += len(out)
+	return out
+}
+
+func less(a, b packet) bool {
+	if a.due != b.due {
+		return a.due < b.due
+	}
+	return a.order < b.order
+}
+
+// Clear drops every packet in flight (e.g. packets addressed to a replica
+// that just crashed) and returns how many were lost.
+func (l *Link) Clear() int {
+	lost := len(l.queue)
+	l.queue = l.queue[:0]
+	return lost
+}

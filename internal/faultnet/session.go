@@ -1,0 +1,241 @@
+package faultnet
+
+// Session layer: FIFO exactly-once over a pair of unreliable links.
+//
+// Each Endpoint owns one direction of a bidirectional session. The sender
+// half stamps every payload with a monotone sequence number, buffers it
+// until cumulatively acknowledged, and retransmits on a virtual-time
+// timeout with capped exponential backoff. The receiver half buffers
+// out-of-order arrivals, discards duplicates, delivers payloads strictly in
+// sequence order, and acknowledges cumulatively (every data frame and every
+// pure ack carries the highest in-order sequence received, so acks are
+// idempotent and loss-tolerant — a lost ack is repaired by the re-ack
+// triggered by the ensuing retransmission).
+//
+// Together the two halves restore exactly the channel contract the Jupiter
+// protocols assume of "TCP" (§4.4): every payload handed to Send is
+// delivered to the peer exactly once, in order, provided the underlying
+// links eventually let packets through.
+
+// frame is the wire unit of a session. Seq > 0 marks a data frame; Seq == 0
+// a pure acknowledgement. Every frame carries the sender's cumulative
+// receive acknowledgement.
+type frame struct {
+	Seq     uint64
+	Ack     uint64
+	Payload any
+}
+
+// outstanding is an unacknowledged data frame awaiting retransmission.
+type outstanding struct {
+	seq     uint64
+	payload any
+	sentAt  int // tick of the most recent transmission
+	backoff int // current timeout multiplier (1, 2, 4, ... ≤ cap)
+}
+
+// Endpoint is one side of a session: it sends data frames on out and
+// receives the peer's frames from in.
+type Endpoint struct {
+	name string
+	out  *Link
+	in   *Link
+
+	// Sender state.
+	nextSeq uint64
+	sendCum uint64 // highest sequence cumulatively acked by the peer
+	unacked []outstanding
+
+	// Receiver state.
+	recvCum uint64         // highest sequence delivered in order
+	pending map[uint64]any // out-of-order buffer (volatile; rebuilt by retransmission)
+
+	// noDedup disables receiver-side deduplication and ordering — the
+	// NEGATIVE CONTROL of the chaos harness: with it set, duplicated or
+	// reordered frames reach the protocol layer raw, and the convergence /
+	// weak-spec checks must fail.
+	noDedup bool
+}
+
+// Connect builds the endpoint that sends on out and receives from in. The
+// two directions of a session are two Connect calls with the links swapped:
+//
+//	client := faultnet.Connect("c1", c2s, s2c)
+//	server := faultnet.Connect("s:c1", s2c, c2s)
+//
+// Both links must belong to the same Network.
+func Connect(name string, out, in *Link) *Endpoint {
+	return &Endpoint{
+		name:    name,
+		out:     out,
+		in:      in,
+		pending: make(map[uint64]any),
+		noDedup: out.net.cfg.DisableDedup,
+	}
+}
+
+// Name returns the endpoint's diagnostic name.
+func (e *Endpoint) Name() string { return e.name }
+
+// DisableDedup switches off receiver-side deduplication and reorder
+// buffering (the chaos harness's negative control).
+func (e *Endpoint) DisableDedup() { e.noDedup = true }
+
+// Send accepts one payload for exactly-once in-order delivery to the peer:
+// it is sequenced, buffered until acknowledged, and (re)transmitted.
+func (e *Endpoint) Send(payload any) {
+	e.nextSeq++
+	o := outstanding{seq: e.nextSeq, payload: payload, backoff: 1}
+	e.transmit(&o)
+	e.unacked = append(e.unacked, o)
+	e.out.net.stats.DataSent++
+}
+
+// transmit puts one data frame on the wire, piggybacking the current
+// cumulative ack, and stamps the transmission time.
+func (e *Endpoint) transmit(o *outstanding) {
+	o.sentAt = e.out.net.now
+	e.out.Send(frame{Seq: o.seq, Ack: e.recvCum, Payload: o.payload})
+}
+
+// Deliver drains the incoming link and returns the payloads that became
+// deliverable, in sequence order. Duplicates are discarded (and re-acked);
+// out-of-order frames are buffered. An acknowledgement frame is sent
+// whenever any data frame arrived.
+func (e *Endpoint) Deliver() []any {
+	var delivered []any
+	ackNeeded := false
+	for _, raw := range e.in.Receive() {
+		f, ok := raw.(frame)
+		if !ok {
+			// Foreign payload (not session traffic) — pass through.
+			delivered = append(delivered, raw)
+			continue
+		}
+		e.processAck(f.Ack)
+		if f.Seq == 0 {
+			continue // pure ack
+		}
+		ackNeeded = true
+		if e.noDedup {
+			// Negative control: raw delivery, no dedup, no reordering.
+			if f.Seq > e.recvCum {
+				e.recvCum = f.Seq
+			}
+			delivered = append(delivered, f.Payload)
+			continue
+		}
+		if f.Seq <= e.recvCum {
+			e.out.net.stats.DupSuppressed++
+			continue
+		}
+		if _, dup := e.pending[f.Seq]; dup {
+			e.out.net.stats.DupSuppressed++
+			continue
+		}
+		e.pending[f.Seq] = f.Payload
+		for {
+			p, ok := e.pending[e.recvCum+1]
+			if !ok {
+				break
+			}
+			delete(e.pending, e.recvCum+1)
+			e.recvCum++
+			delivered = append(delivered, p)
+		}
+	}
+	if ackNeeded {
+		e.out.Send(frame{Ack: e.recvCum})
+		e.out.net.stats.AcksSent++
+	}
+	return delivered
+}
+
+// processAck retires every buffered frame covered by a cumulative ack.
+func (e *Endpoint) processAck(ack uint64) {
+	if ack <= e.sendCum {
+		return
+	}
+	e.sendCum = ack
+	kept := e.unacked[:0]
+	for _, o := range e.unacked {
+		if o.seq > ack {
+			kept = append(kept, o)
+		}
+	}
+	e.unacked = kept
+}
+
+// Tick retransmits every data frame whose timeout (base × backoff) has
+// elapsed, doubling its backoff up to the configured cap.
+func (e *Endpoint) Tick() {
+	n := e.out.net
+	base := n.cfg.timeout()
+	cap := n.cfg.backoffCap()
+	for i := range e.unacked {
+		o := &e.unacked[i]
+		if n.now-o.sentAt < base*o.backoff {
+			continue
+		}
+		e.transmit(o)
+		if o.backoff < cap {
+			o.backoff *= 2
+			if o.backoff > cap {
+				o.backoff = cap
+			}
+		}
+		n.stats.Retransmits++
+	}
+}
+
+// Idle reports whether every payload handed to Send has been cumulatively
+// acknowledged by the peer.
+func (e *Endpoint) Idle() bool { return len(e.unacked) == 0 }
+
+// Unacked returns the number of payloads still awaiting acknowledgement.
+func (e *Endpoint) Unacked() int { return len(e.unacked) }
+
+// State is the durable part of an endpoint, persisted across a replica
+// crash alongside the replica's own snapshot (the client's "outbox" and
+// cursor): the sequence counters and the unacknowledged send buffer. The
+// out-of-order receive buffer is deliberately volatile — after a restart
+// the peer's retransmissions rebuild it.
+type State struct {
+	NextSeq uint64
+	SendCum uint64
+	RecvCum uint64
+	Unacked []Payload
+}
+
+// Payload is one buffered unacknowledged payload with its sequence number.
+type Payload struct {
+	Seq uint64
+	Msg any
+}
+
+// Snapshot captures the endpoint's durable state (taken at crash time by
+// the chaos harness, modeling a client that persists its outbox).
+func (e *Endpoint) Snapshot() State {
+	st := State{NextSeq: e.nextSeq, SendCum: e.sendCum, RecvCum: e.recvCum}
+	for _, o := range e.unacked {
+		st.Unacked = append(st.Unacked, Payload{Seq: o.seq, Msg: o.payload})
+	}
+	return st
+}
+
+// Restore resets the endpoint to a previously captured durable state and
+// immediately retransmits the entire unacknowledged buffer (the restart
+// replay: the peer's receiver discards whatever it had already seen).
+func (e *Endpoint) Restore(st State) {
+	e.nextSeq = st.NextSeq
+	e.sendCum = st.SendCum
+	e.recvCum = st.RecvCum
+	e.pending = make(map[uint64]any)
+	e.unacked = e.unacked[:0]
+	for _, p := range st.Unacked {
+		o := outstanding{seq: p.Seq, payload: p.Msg, backoff: 1}
+		e.transmit(&o)
+		e.unacked = append(e.unacked, o)
+		e.out.net.stats.Retransmits++
+	}
+}

@@ -1,0 +1,169 @@
+package faultnet_test
+
+import (
+	"testing"
+
+	"jupiter/internal/css"
+	"jupiter/internal/faultnet"
+	"jupiter/internal/list"
+	"jupiter/internal/opid"
+)
+
+// TestRestoreClientWithDuplicateDeliveries is the integration test the chaos
+// harness's crash path rests on: a css client generates operations, crashes
+// with them still unacknowledged, is rebuilt from its css.Client.Save
+// snapshot, and replays its session outbox — over a network configured to
+// duplicate more than half of all packets. The session layer's receiver-side
+// dedup must shield both the server (from replayed + duplicated ClientMsgs)
+// and the restored client (from duplicated ServerMsgs); at quiescence every
+// replica renders the identical document containing each generated op
+// exactly once.
+func TestRestoreClientWithDuplicateDeliveries(t *testing.T) {
+	cfg := &faultnet.Config{
+		Seed:              42,
+		Dup:               0.6,
+		Reorder:           0.2,
+		DelayMax:          3,
+		RetransmitTimeout: 4,
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	net := faultnet.New(cfg)
+
+	ids := []opid.ClientID{1, 2}
+	server := css.NewServer(ids, nil, nil)
+	clients := []*css.Client{
+		css.NewClient(1, nil, nil),
+		css.NewClient(2, nil, nil),
+	}
+
+	c2s := make([]*faultnet.Link, 2)
+	s2c := make([]*faultnet.Link, 2)
+	cEnd := make([]*faultnet.Endpoint, 2)
+	sEnd := make([]*faultnet.Endpoint, 2)
+	for i := range ids {
+		c2s[i] = net.NewLink("c2s")
+		s2c[i] = net.NewLink("s2c")
+		cEnd[i] = faultnet.Connect("c", c2s[i], s2c[i])
+		sEnd[i] = faultnet.Connect("s", s2c[i], c2s[i])
+	}
+
+	// step drains one tick of session traffic through the protocol for every
+	// live replica, then advances virtual time.
+	alive := []bool{true, true}
+	step := func() {
+		for i := range ids {
+			if !alive[i] {
+				s2c[i].Receive() // packets to a dead host are lost
+				continue
+			}
+			for _, p := range cEnd[i].Deliver() {
+				if err := clients[i].Receive(p.(css.ServerMsg)); err != nil {
+					t.Fatalf("client %d receive: %v", i+1, err)
+				}
+			}
+		}
+		for i := range ids {
+			for _, p := range sEnd[i].Deliver() {
+				outs, err := server.Receive(p.(css.ClientMsg))
+				if err != nil {
+					t.Fatalf("server receive from %d: %v", i+1, err)
+				}
+				for _, a := range outs {
+					sEnd[a.To-1].Send(a.Msg)
+				}
+			}
+		}
+		for i := range ids {
+			if alive[i] {
+				cEnd[i].Tick()
+			}
+			sEnd[i].Tick()
+		}
+		net.Tick()
+	}
+
+	gen := func(i int, val rune, pos int) {
+		m, err := clients[i].GenerateIns(val, pos)
+		if err != nil {
+			t.Fatalf("client %d generate: %v", i+1, err)
+		}
+		cEnd[i].Send(m)
+	}
+
+	// Client 1 generates three ops and crashes before any ack can possibly
+	// return (the endpoint still holds all three unacknowledged). Client 2
+	// keeps working throughout.
+	gen(0, 'a', 0)
+	gen(0, 'b', 1)
+	gen(0, 'c', 2)
+	if cEnd[0].Unacked() != 3 {
+		t.Fatalf("want 3 unacked ops at crash time, have %d", cEnd[0].Unacked())
+	}
+	saved, err := clients[0].Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := cEnd[0].Snapshot()
+	alive[0] = false
+	s2c[0].Clear()
+
+	gen(1, 'x', 0)
+	for i := 0; i < 10; i++ {
+		step()
+	}
+	gen(1, 'y', 0)
+
+	// Restart: rebuild the protocol state from the persisted snapshot and
+	// replay the session outbox. The server has (very likely) already seen
+	// duplicates of some of these frames — dedup must discard the replays.
+	restored, err := css.RestoreClient(saved, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.ID() != 1 {
+		t.Fatalf("restored client has id %v, want 1", restored.ID())
+	}
+	clients[0] = restored
+	alive[0] = true
+	cEnd[0].Restore(sess)
+
+	gen(0, 'd', 0)
+	for i := 0; i < 400; i++ {
+		step()
+		done := net.Pending() == 0
+		for j := range ids {
+			if !cEnd[j].Idle() || !sEnd[j].Idle() {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+	}
+
+	st := net.Stats()
+	if st.DupSuppressed == 0 {
+		t.Fatal("no duplicates suppressed — the test exercised nothing")
+	}
+	if st.Duplicated == 0 {
+		t.Fatal("fault layer injected no duplicates")
+	}
+	for j := range ids {
+		if !cEnd[j].Idle() || !sEnd[j].Idle() {
+			t.Fatalf("session %d did not quiesce (client unacked %d, server unacked %d)",
+				j+1, cEnd[j].Unacked(), sEnd[j].Unacked())
+		}
+	}
+
+	want := list.Render(server.Read())
+	if len(server.Read()) != 6 {
+		t.Fatalf("server holds %d elements, want 6 (exactly-once violated): %q", len(server.Read()), want)
+	}
+	for j, c := range clients {
+		if got := list.Render(c.Read()); got != want {
+			t.Fatalf("client %d diverged: %q vs server %q", j+1, got, want)
+		}
+	}
+}

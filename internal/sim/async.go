@@ -8,6 +8,7 @@ import (
 	"jupiter/internal/core"
 	"jupiter/internal/cscw"
 	"jupiter/internal/css"
+	"jupiter/internal/faultnet"
 	"jupiter/internal/list"
 	"jupiter/internal/logoot"
 	"jupiter/internal/opid"
@@ -18,6 +19,15 @@ import (
 )
 
 // AsyncConfig configures RunAsync.
+//
+// Channel-capacity invariant (Faults == nil): the goroutine runtime wires
+// replicas with buffered channels whose capacities equal the exact total
+// message count of the run (Clients × OpsPerClient inbound to the server,
+// and the same bound per client outbound), so in a correct run no send ever
+// blocks and the run cannot deadlock. RunAsync enforces the invariant
+// explicitly: a send that would block — which can only mean an adapter
+// produced more messages than its contract promises — aborts the run with
+// an error instead of deadlocking it.
 type AsyncConfig struct {
 	Clients      int
 	OpsPerClient int
@@ -25,6 +35,16 @@ type AsyncConfig struct {
 	DeleteRatio  float64
 	Initial      list.Doc
 	Record       bool
+
+	// Faults, when non-nil, replaces the reliable FIFO channels with the
+	// unreliable-network runtime: every message crosses a faultnet link
+	// (seeded drop/duplicate/reorder/delay, timed partitions, replica
+	// crashes) wrapped by a faultnet session that restores the
+	// FIFO-exactly-once contract. Only CSS and CSCW support this mode; the
+	// run is a deterministic virtual-time event loop, and the result is
+	// additionally self-checked (convergence, and the convergence + weak
+	// list specifications when Record is set). See chaos.go.
+	Faults *faultnet.Config
 }
 
 // AsyncResult is what a concurrent run produces after all goroutines have
@@ -34,6 +54,12 @@ type AsyncResult struct {
 	Docs    map[string][]list.Elem
 	History *core.History
 	Stats   []SpaceStat
+
+	// Net and Ticks are set by the unreliable-network runtime only
+	// (AsyncConfig.Faults): the packet/session fault counters and the
+	// virtual-time length of the run.
+	Net   *faultnet.Stats
+	Ticks int
 }
 
 // delivery is a server-to-client message with its destination index.
@@ -67,8 +93,17 @@ type asyncAdapter interface {
 // capacities are sized to
 // the (known, finite) total message count of the run, so no goroutine ever
 // blocks on send — the run cannot deadlock, and every goroutine has a
-// predictable exit point.
+// predictable exit point. The invariant is enforced, not assumed: a send
+// that would block aborts the run with an error (see AsyncConfig).
+//
+// With cfg.Faults set, the reliable channels are replaced by the
+// unreliable-network runtime (chaos.go): CSS/CSCW only, deterministic
+// virtual time, fault injection, session-level retransmission, and
+// crash/recovery.
 func RunAsync(p Protocol, cfg AsyncConfig) (*AsyncResult, error) {
+	if cfg.Faults != nil {
+		return runChaos(p, cfg)
+	}
 	if cfg.Clients < 1 || cfg.OpsPerClient < 0 {
 		return nil, fmt.Errorf("sim: bad async config %+v", cfg)
 	}
@@ -152,7 +187,15 @@ func RunAsync(p Protocol, cfg AsyncConfig) (*AsyncResult, error) {
 				return
 			}
 			for _, d := range outs {
-				clientIn[d.to] <- d.msg // buffered: never blocks
+				select {
+				case clientIn[d.to] <- d.msg:
+				default:
+					// The capacity invariant (see AsyncConfig) is broken:
+					// the adapter produced more messages than the run's
+					// total. Fail loudly instead of deadlocking.
+					fail(fmt.Errorf("sim: async invariant violated: channel to client %d full (cap %d)", d.to+1, total))
+					return
+				}
 			}
 		}
 	}()
@@ -195,7 +238,13 @@ func RunAsync(p Protocol, cfg AsyncConfig) (*AsyncResult, error) {
 						return
 					}
 					gen++
-					serverIn <- envelope{from: i, msg: msg} // buffered: never blocks
+					select {
+					case serverIn <- envelope{from: i, msg: msg}:
+					default:
+						// See the capacity invariant on AsyncConfig.
+						fail(fmt.Errorf("sim: async invariant violated: server channel full (cap %d)", total))
+						return
+					}
 					continue
 				}
 				// Everything generated; block for the remaining messages.
@@ -229,14 +278,53 @@ type cssAsync struct {
 	ids     []opid.ClientID
 	server  *css.Server
 	clients []*css.Client
+	rec     core.Recorder
 }
 
 func newCSSAsync(ids []opid.ClientID, initial list.Doc, rec core.Recorder) *cssAsync {
-	a := &cssAsync{ids: ids, server: css.NewServer(ids, initial, rec)}
+	a := &cssAsync{ids: ids, server: css.NewServer(ids, initial, rec), rec: rec}
 	for _, id := range ids {
 		a.clients = append(a.clients, css.NewClient(id, initial, rec))
 	}
 	return a
+}
+
+// saveClient / restoreClient implement chaosCrashable: a CSS client's crash
+// snapshot is the real css.Client.Save JSON, round-tripped through
+// css.RestoreClient on recovery (the full serialize/deserialize path, not a
+// kept pointer).
+func (a *cssAsync) saveClient(i int) ([]byte, error) { return a.clients[i].Save() }
+
+func (a *cssAsync) restoreClient(i int, data []byte) error {
+	c, err := css.RestoreClient(data, a.rec)
+	if err != nil {
+		return err
+	}
+	a.clients[i] = c
+	return nil
+}
+
+// retireClient / joinClient implement chaosRejoinable: a lost-state crash
+// removes the replica from the server's broadcast set for good, and
+// recovery joins a FRESH client from a server snapshot
+// (css.NewClientFromSnapshot), caught up to everything serialized so far.
+func (a *cssAsync) retireClient(i int) (string, error) {
+	return a.ids[i].String(), a.server.RemoveClient(a.ids[i])
+}
+
+func (a *cssAsync) joinClient() (int, string, error) {
+	id := opid.ClientID(len(a.ids) + 1)
+	snap := a.server.Snapshot()
+	if err := a.server.AddClient(id); err != nil {
+		return 0, "", err
+	}
+	c, err := css.NewClientFromSnapshot(id, snap, a.rec)
+	if err != nil {
+		return 0, "", err
+	}
+	a.ids = append(a.ids, id)
+	a.clients = append(a.clients, c)
+	return len(a.clients) - 1, id.String(), nil
 }
 
 func (a *cssAsync) clientGenIns(i int, val rune, pos int) (any, error) {
@@ -314,6 +402,14 @@ func newCSCWAsync(ids []opid.ClientID, initial list.Doc, rec core.Recorder) *csc
 	}
 	return a
 }
+
+// saveClient / restoreClient implement chaosCrashable for CSCW, which has
+// no persistence format: the replica object itself is retained across the
+// crash (modeling perfect persistence of the full state), so the crash
+// still loses in-flight traffic and volatile session buffers, and recovery
+// still exercises session-level replay and dedup.
+func (a *cscwAsync) saveClient(int) ([]byte, error)  { return nil, nil }
+func (a *cscwAsync) restoreClient(int, []byte) error { return nil }
 
 func (a *cscwAsync) clientGenIns(i int, val rune, pos int) (any, error) {
 	return a.clients[i].GenerateIns(val, pos)

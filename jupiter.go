@@ -32,6 +32,7 @@ import (
 	"jupiter/internal/core"
 	"jupiter/internal/dcss"
 	"jupiter/internal/editor"
+	"jupiter/internal/faultnet"
 	"jupiter/internal/list"
 	"jupiter/internal/opid"
 	"jupiter/internal/sim"
@@ -191,6 +192,30 @@ type (
 func NewEditorSession(n int, initial Doc) (*EditorSession, error) {
 	return editor.NewSession(n, initial)
 }
+
+// Unreliable-network fault injection (chaos testing).
+type (
+	// FaultConfig is a deterministic, seed-driven fault schedule for the
+	// unreliable-network runtime: per-packet drop/duplication/reorder/delay
+	// probabilities plus timed partitions and replica crashes. Setting
+	// AsyncConfig.Faults routes RunAsync through this runtime.
+	FaultConfig = faultnet.Config
+	// FaultPartition severs one client's links (or all, Client == -1) for a
+	// window of virtual time.
+	FaultPartition = faultnet.Partition
+	// FaultCrash stops a replica at a virtual time and recovers it later —
+	// from its persisted snapshot, or (LostState) as a fresh replica rejoined
+	// from a server snapshot.
+	FaultCrash = faultnet.Crash
+	// NetStats counts what the fault layer and the session layer did during
+	// a chaos run (drops, duplicates, retransmissions, suppressed dups, ...).
+	NetStats = faultnet.Stats
+)
+
+// ChaosHorizon returns the virtual-time window within which a chaos run with
+// the given per-client operation count generates its workload — the sensible
+// range for scheduling partitions and crashes.
+func ChaosHorizon(opsPerClient int) int { return sim.ChaosHorizon(opsPerClient) }
 
 // Workload position profiles.
 type (
