@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check fuzz bench chaos ci
+.PHONY: all build test race vet fmt-check fuzz bench bench-smoke bench-compare chaos ci
 
 all: build test
 
@@ -29,6 +29,19 @@ fuzz:
 
 bench:
 	$(GO) test -run xxx -bench=. -benchmem .
+
+# One iteration of every benchmark: proves they all still compile and run.
+bench-smoke:
+	$(GO) test -run NONE -bench . -benchtime=1x .
+
+# Compare two `go test -bench` output files (OLD=..., NEW=...) and fail on
+# regressions past THRESHOLD (ratio) on METRIC. Example:
+#   make bench > old.txt; ...change...; make bench > new.txt
+#   make bench-compare OLD=old.txt NEW=new.txt THRESHOLD=1.20
+METRIC ?= ns/op
+THRESHOLD ?= 0
+bench-compare:
+	$(GO) run ./cmd/benchdiff -metric '$(METRIC)' -threshold $(THRESHOLD) $(OLD) $(NEW)
 
 # The E10 loss sweep: CSS over the unreliable network at 0/1/5/20% drop.
 chaos:

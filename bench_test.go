@@ -255,7 +255,7 @@ func BenchmarkE2_Throughput(b *testing.B) {
 	// the largest CSS point to seconds while preserving the scaling shape.
 	const opsPerClient = 25
 	for _, p := range []jupiter.Protocol{jupiter.CSS, jupiter.CSCW, jupiter.RGA, jupiter.Logoot, jupiter.TreeDoc, jupiter.WOOT} {
-		for _, n := range []int{2, 4, 8} {
+		for _, n := range []int{2, 4, 8, 16} {
 			b.Run(fmt.Sprintf("%s/clients=%d", p, n), func(b *testing.B) {
 				b.ReportAllocs()
 				var st []jupiter.SpaceStat
@@ -650,6 +650,150 @@ func BenchmarkE9_WorkloadProfiles(b *testing.B) {
 			b.ReportMetric(float64(states)/80, "states/op")
 		})
 	}
+}
+
+// e11Chain builds a state-space holding a purely sequential history of depth
+// ops (every operation generated with full knowledge of its predecessors —
+// the shape a server or an always-caught-up client sees), returning the
+// space and the final context set.
+func e11Chain(b *testing.B, ops int) (*statespace.Space, opid.Set) {
+	b.Helper()
+	s := statespace.New(nil)
+	ctx := opid.NewSet()
+	for i := 1; i <= ops; i++ {
+		op := ot.Ins(rune('a'+i%26), 0, id(1, uint64(i)))
+		if _, err := s.Integrate(op, ctx, statespace.OrderKey(i)); err != nil {
+			b.Fatal(err)
+		}
+		ctx = ctx.Add(op.ID)
+	}
+	return s, ctx
+}
+
+// BenchmarkE11_HotPath measures the Algorithm 1 hot path as a function of
+// history length (E11, EXPERIMENTS.md): the per-Integrate cost of state
+// lookup, state creation, and ladder extension at histories of 100 and 1000
+// operations. Each timed iteration integrates a burst of fresh operations
+// into a prebuilt space (rebuilt outside the timer), so ns/op and allocs/op
+// are per e11Burst integrations.
+//
+//   - integrate/seq: the integrated operation's context is the full history
+//     (empty ladder) — isolates context lookup + state creation.
+//   - integrate/ladder=8: the context is 8 operations behind the final
+//     state, so every integration transforms along an 8-rung ladder —
+//     isolates the per-rung state-identity cost.
+//
+// The cluster/* sub-benchmarks measure the same effect end to end for the
+// three state-space protocols (CSS, CSCW for contrast, distributed CSS):
+// whole-run wall time over 4 replicas × 250 ops, reported per applied op.
+func BenchmarkE11_HotPath(b *testing.B) {
+	const e11Burst = 64
+	for _, hist := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("integrate/seq/hist=%d", hist), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s, ctx := e11Chain(b, hist)
+				ops := make([]ot.Op, e11Burst)
+				ctxs := make([]opid.Set, e11Burst)
+				for j := range ops {
+					ops[j] = ot.Ins('x', 0, id(1, uint64(hist+j+1)))
+					ctxs[j] = ctx
+					ctx = ctx.Add(ops[j].ID)
+				}
+				b.StartTimer()
+				for j := range ops {
+					if _, err := s.Integrate(ops[j], ctxs[j], statespace.OrderKey(hist+j+1)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*e11Burst), "ns/integrate")
+		})
+		b.Run(fmt.Sprintf("integrate/ladder=8/hist=%d", hist), func(b *testing.B) {
+			const lag = 8
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s, full := e11Chain(b, hist)
+				// Client 2 integrates while lag operations behind the final
+				// state: its context is the history minus the last lag ops of
+				// client 1, plus its own previous operations.
+				ctx := opid.NewSet()
+				for k := range full {
+					if k.Seq <= uint64(hist-lag) {
+						ctx = ctx.Add(k)
+					}
+				}
+				ops := make([]ot.Op, e11Burst)
+				ctxs := make([]opid.Set, e11Burst)
+				for j := range ops {
+					ops[j] = ot.Ins('y', 0, id(2, uint64(j+1)))
+					ctxs[j] = ctx
+					ctx = ctx.Add(ops[j].ID)
+				}
+				b.StartTimer()
+				for j := range ops {
+					if _, err := s.Integrate(ops[j], ctxs[j], statespace.OrderKey(hist+j+1)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*e11Burst), "ns/integrate")
+		})
+	}
+
+	const clients, opsPerClient = 4, 250
+	for _, p := range []jupiter.Protocol{jupiter.CSS, jupiter.CSCW} {
+		b.Run(fmt.Sprintf("cluster/%s/ops=%d", p, clients*opsPerClient), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cl, err := jupiter.NewCluster(p, jupiter.Config{Clients: clients})
+				if err != nil {
+					b.Fatal(err)
+				}
+				w := jupiter.Workload{Seed: int64(i + 1), OpsPerClient: opsPerClient, DeleteRatio: 0.3}
+				if err := jupiter.RunRandom(cl, w, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*clients*opsPerClient), "ns/op-applied")
+		})
+	}
+	b.Run(fmt.Sprintf("cluster/dcss/ops=%d", clients*opsPerClient), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cl, err := dcss.NewCluster(clients, nil, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := rand.New(rand.NewSource(int64(i + 1)))
+			for k := 0; k < opsPerClient; k++ {
+				for _, pid := range cl.Peers() {
+					doc, err := cl.Document(pid)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := cl.GenerateIns(pid, rune('a'+k%26), r.Intn(len(doc)+1)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				for _, from := range cl.Peers() {
+					for _, to := range cl.Peers() {
+						if from != to {
+							if _, err := cl.Deliver(from, to); err != nil {
+								b.Fatal(err)
+							}
+						}
+					}
+				}
+			}
+			if err := cl.Quiesce(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*clients*opsPerClient), "ns/op-applied")
+	})
 }
 
 // BenchmarkE10_ChaosLossSweep measures the cost of running CSS over the

@@ -1,0 +1,209 @@
+// Command benchdiff compares two `go test -bench` output files and reports
+// per-benchmark deltas, replacing eyeballed benchstat diffs in this repo's
+// workflow (see `make bench-compare`).
+//
+// Usage:
+//
+//	benchdiff [-metric ns/op] [-threshold 1.20] old.txt new.txt
+//
+// Every benchmark present in both files is reported with old value, new
+// value, and delta for each measurement unit the two runs share (ns/op,
+// B/op, allocs/op, and any custom ReportMetric units such as ns/integrate).
+// If -threshold is set to a ratio r > 0, the command exits non-zero when any
+// benchmark's -metric value regressed by more than that ratio (new > old*r),
+// making it usable as a CI gate. Benchmarks present in only one file are
+// listed but never gate.
+//
+// The parser understands the standard benchmark output line:
+//
+//	BenchmarkName-8   	  100	  12345 ns/op	  678 B/op	  9 allocs/op
+//
+// The -N GOMAXPROCS suffix is stripped, so runs from machines with
+// different core counts still pair up.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result holds one benchmark's measurements by unit.
+type result struct {
+	name  string
+	iters int64
+	vals  map[string]float64
+	order []string // units in appearance order
+}
+
+// stripCount removes the trailing -N GOMAXPROCS suffix from a benchmark name.
+func stripCount(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// parseLine parses one benchmark result line, reporting ok=false for
+// non-benchmark lines (headers, PASS, pkg banners).
+func parseLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{name: stripCount(fields[0]), iters: iters, vals: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		unit := fields[i+1]
+		if _, dup := r.vals[unit]; !dup {
+			r.order = append(r.order, unit)
+		}
+		r.vals[unit] = v
+	}
+	if len(r.vals) == 0 {
+		return result{}, false
+	}
+	return r, true
+}
+
+// parseFile reads a -bench output file. Repeated runs of one benchmark are
+// averaged (equal weight per line, matching benchstat's default intent
+// without the statistics).
+func parseFile(path string) (map[string]result, []string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	out := map[string]result{}
+	var names []string
+	counts := map[string]int{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		r, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		prev, seen := out[r.name]
+		if !seen {
+			out[r.name] = r
+			names = append(names, r.name)
+			counts[r.name] = 1
+			continue
+		}
+		// Running mean over repeated lines.
+		n := float64(counts[r.name])
+		for unit, v := range r.vals {
+			if pv, ok := prev.vals[unit]; ok {
+				prev.vals[unit] = (pv*n + v) / (n + 1)
+			} else {
+				prev.vals[unit] = v
+				prev.order = append(prev.order, unit)
+			}
+		}
+		counts[r.name]++
+		out[r.name] = prev
+	}
+	return out, names, sc.Err()
+}
+
+// delta formats the relative change from old to new.
+func delta(oldV, newV float64) string {
+	if oldV == 0 {
+		if newV == 0 {
+			return "0.00%"
+		}
+		return "new≠0"
+	}
+	return fmt.Sprintf("%+.2f%%", (newV-oldV)/oldV*100)
+}
+
+func run(metric string, threshold float64, oldPath, newPath string, w *strings.Builder) (regressed []string, err error) {
+	oldRes, oldNames, err := parseFile(oldPath)
+	if err != nil {
+		return nil, fmt.Errorf("parse %s: %w", oldPath, err)
+	}
+	newRes, _, err := parseFile(newPath)
+	if err != nil {
+		return nil, fmt.Errorf("parse %s: %w", newPath, err)
+	}
+	if len(oldRes) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines", oldPath)
+	}
+
+	fmt.Fprintf(w, "%-55s %15s %15s %10s  %s\n", "benchmark", "old", "new", "delta", "unit")
+	for _, name := range oldNames {
+		o := oldRes[name]
+		n, ok := newRes[name]
+		if !ok {
+			fmt.Fprintf(w, "%-55s %15s %15s %10s  (only in %s)\n", name, "-", "-", "-", oldPath)
+			continue
+		}
+		for _, unit := range o.order {
+			nv, ok := n.vals[unit]
+			if !ok {
+				continue
+			}
+			ov := o.vals[unit]
+			fmt.Fprintf(w, "%-55s %15.2f %15.2f %10s  %s\n", name, ov, nv, delta(ov, nv), unit)
+			if unit == metric && threshold > 0 && nv > ov*threshold {
+				regressed = append(regressed, fmt.Sprintf("%s: %s %.2f -> %.2f (> %.2fx)", name, unit, ov, nv, threshold))
+			}
+		}
+	}
+	var added []string
+	for name := range newRes {
+		if _, ok := oldRes[name]; !ok {
+			added = append(added, name)
+		}
+	}
+	sort.Strings(added)
+	for _, name := range added {
+		fmt.Fprintf(w, "%-55s %15s %15s %10s  (only in %s)\n", name, "-", "-", "-", newPath)
+	}
+	return regressed, nil
+}
+
+func main() {
+	metric := flag.String("metric", "ns/op", "unit gated by -threshold")
+	threshold := flag.Float64("threshold", 0, "fail when new > old*threshold on -metric (0 disables)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [flags] old.txt new.txt\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var b strings.Builder
+	regressed, err := run(*metric, *threshold, flag.Arg(0), flag.Arg(1), &b)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	fmt.Print(b.String())
+	if len(regressed) > 0 {
+		fmt.Fprintf(os.Stderr, "\nREGRESSIONS (threshold %.2fx on %s):\n", *threshold, *metric)
+		for _, r := range regressed {
+			fmt.Fprintln(os.Stderr, " ", r)
+		}
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const oldBench = `goos: linux
+goarch: amd64
+pkg: jupiter
+BenchmarkE11_HotPath/integrate/seq/hist=100-8   5   3628292 ns/op   56689 ns/integrate   877875 B/op   5446 allocs/op
+BenchmarkE2_Throughput/css/clients=2-8        100    100000 ns/op
+BenchmarkOnlyOld-8                             10      5000 ns/op
+PASS
+`
+
+const newBench = `goos: linux
+BenchmarkE11_HotPath/integrate/seq/hist=100-16  5    410010 ns/op    6403 ns/integrate    57216 B/op    329 allocs/op
+BenchmarkE2_Throughput/css/clients=2-16       100    125000 ns/op
+BenchmarkOnlyNew-16                            10      7000 ns/op
+PASS
+`
+
+func writeBench(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkFoo/bar=1-8   5   3628292 ns/op   877875 B/op   5446 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if r.name != "BenchmarkFoo/bar=1" {
+		t.Errorf("name = %q, want GOMAXPROCS suffix stripped", r.name)
+	}
+	if r.vals["ns/op"] != 3628292 || r.vals["B/op"] != 877875 || r.vals["allocs/op"] != 5446 {
+		t.Errorf("vals = %v", r.vals)
+	}
+	for _, bad := range []string{"PASS", "goos: linux", "ok  jupiter  1.2s", "BenchmarkX no-iters"} {
+		if _, ok := parseLine(bad); ok {
+			t.Errorf("parsed non-benchmark line %q", bad)
+		}
+	}
+}
+
+func TestRunReportsDeltas(t *testing.T) {
+	oldPath := writeBench(t, "old.txt", oldBench)
+	newPath := writeBench(t, "new.txt", newBench)
+	var b strings.Builder
+	regressed, err := run("ns/op", 0, oldPath, newPath, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressed) != 0 {
+		t.Errorf("threshold disabled, got regressions %v", regressed)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"-88.70%",          // integrate ns/op: 3628292 -> 410010
+		"-93.96%",          // allocs/op: 5446 -> 329
+		"+25.00%",          // E2 ns/op: 100000 -> 125000
+		"BenchmarkOnlyOld", // unmatched benchmarks still listed
+		"BenchmarkOnlyNew",
+		"ns/integrate", // custom ReportMetric units survive
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunThresholdGate(t *testing.T) {
+	oldPath := writeBench(t, "old.txt", oldBench)
+	newPath := writeBench(t, "new.txt", newBench)
+
+	// 1.30x tolerance: the +25% E2 regression passes.
+	var b strings.Builder
+	regressed, err := run("ns/op", 1.30, oldPath, newPath, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressed) != 0 {
+		t.Errorf("1.30x threshold, got regressions %v", regressed)
+	}
+
+	// 1.10x tolerance: the +25% E2 regression must be flagged, and only it.
+	b.Reset()
+	regressed, err = run("ns/op", 1.10, oldPath, newPath, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressed) != 1 || !strings.Contains(regressed[0], "BenchmarkE2_Throughput/css/clients=2") {
+		t.Errorf("1.10x threshold, regressions = %v, want just the E2 bench", regressed)
+	}
+
+	// Gating on a different metric: allocs/op improved everywhere.
+	b.Reset()
+	regressed, err = run("allocs/op", 1.10, oldPath, newPath, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressed) != 0 {
+		t.Errorf("allocs/op gate, got regressions %v", regressed)
+	}
+}
+
+func TestRunAveragesRepeatedLines(t *testing.T) {
+	oldPath := writeBench(t, "old.txt", "BenchmarkX-8 1 100 ns/op\nBenchmarkX-8 1 200 ns/op\n")
+	newPath := writeBench(t, "new.txt", "BenchmarkX-8 1 150 ns/op\n")
+	var b strings.Builder
+	if _, err := run("ns/op", 0, oldPath, newPath, &b); err != nil {
+		t.Fatal(err)
+	}
+	// mean(100,200)=150 vs 150 -> +0.00%
+	if !strings.Contains(b.String(), "+0.00%") {
+		t.Errorf("repeated lines not averaged:\n%s", b.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	empty := writeBench(t, "empty.txt", "PASS\n")
+	other := writeBench(t, "other.txt", newBench)
+	var b strings.Builder
+	if _, err := run("ns/op", 0, empty, other, &b); err == nil {
+		t.Error("expected error for file with no benchmark lines")
+	}
+	if _, err := run("ns/op", 0, filepath.Join(t.TempDir(), "missing.txt"), other, &b); err == nil {
+		t.Error("expected error for missing file")
+	}
+}

@@ -161,7 +161,7 @@ func (c *Client) generate(op ot.Op) (ClientMsg, error) {
 	}
 	c.pending = append(c.pending, op)
 	c.dss.extendLocal()
-	c.processed = c.processed.Add(op.ID)
+	c.processed.Put(op.ID)
 	if c.rec != nil {
 		c.rec.Record(c.id.String(), op, c.doc.Elems(), ctx)
 	}
@@ -194,7 +194,7 @@ func (c *Client) Receive(m ServerMsg) error {
 		if err := ot.Apply(c.doc, o); err != nil {
 			return fmt.Errorf("%s: execute %s: %w", c.id, o, err)
 		}
-		c.processed = c.processed.Add(o.ID)
+		c.processed.Put(o.ID)
 		return nil
 	default:
 		return fmt.Errorf("%s: unknown server message kind %d", c.id, m.Kind)
@@ -298,7 +298,7 @@ func (s *Server) Receive(m ClientMsg) ([]Addressed, error) {
 	if err := ot.Apply(s.doc, o); err != nil {
 		return nil, fmt.Errorf("server: execute %s: %w", o, err)
 	}
-	s.processed = s.processed.Add(o.ID)
+	s.processed.Put(o.ID)
 
 	out := make([]Addressed, 0, len(s.clients))
 	for _, c := range s.clients {

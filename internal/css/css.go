@@ -74,14 +74,15 @@ type Addressed struct {
 }
 
 // replica holds the state shared by the server and clients: the n-ary
-// ordered state-space, the current document, and the set of processed
-// original operations (Definition 4.5's replica state representation).
+// ordered state-space and the current document (Definition 4.5's replica
+// state representation). The set of processed original operations is not
+// stored separately — it is, by construction, exactly the operation set of
+// the space's final state, materialized on demand at message boundaries.
 type replica struct {
-	name      string
-	space     *statespace.Space
-	doc       list.Doc
-	processed opid.Set
-	rec       core.Recorder
+	name  string
+	space *statespace.Space
+	doc   list.Doc
+	rec   core.Recorder
 
 	// Compact-context support: whether this replica sends compact contexts,
 	// and its running view of the serialization order for expanding them.
@@ -102,13 +103,16 @@ func newReplica(name string, initial list.Doc, rec core.Recorder, opts []statesp
 		doc = list.NewDocument()
 	}
 	return replica{
-		name:      name,
-		space:     statespace.New(initial, opts...),
-		doc:       doc,
-		processed: opid.NewSet(),
-		rec:       rec,
+		name:  name,
+		space: statespace.New(initial, opts...),
+		doc:   doc,
+		rec:   rec,
 	}
 }
+
+// processed returns the replica's processed-operations set (the final
+// state's operation set), materialized fresh for the caller.
+func (r *replica) processed() opid.Set { return r.space.Final().Ops() }
 
 // integrate runs the uniform processing for one operation and executes the
 // transformed result on the document, returning the executed form.
@@ -117,10 +121,31 @@ func (r *replica) integrate(o ot.Op, ctx opid.Set, key statespace.OrderKey, loca
 	if err != nil {
 		return ot.Op{}, fmt.Errorf("%s: %w", r.name, err)
 	}
+	return r.execute(exec, local)
+}
+
+// integrateLocal is the local-generation fast path: a locally generated
+// operation's matching state is by definition the replica's final state, so
+// it is integrated there directly, with no context resolution. The context
+// (the final state's operation set, materialized for the wire and the
+// history record) is returned.
+func (r *replica) integrateLocal(o ot.Op, key statespace.OrderKey) (opid.Set, error) {
+	sigma := r.space.Final()
+	ctx := sigma.Ops()
+	exec, err := r.space.IntegrateAt(o, sigma, key)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", r.name, err)
+	}
+	if _, err := r.execute(exec, true); err != nil {
+		return nil, err
+	}
+	return ctx, nil
+}
+
+func (r *replica) execute(exec ot.Op, local bool) (ot.Op, error) {
 	if err := ot.Apply(r.doc, exec); err != nil {
 		return ot.Op{}, fmt.Errorf("%s: execute %s: %w", r.name, exec, err)
 	}
-	r.processed = r.processed.Add(o.ID)
 	if r.onExec != nil {
 		r.onExec(exec, local)
 	}
@@ -191,8 +216,8 @@ func (c *Client) GenerateDel(pos int) (ClientMsg, error) {
 }
 
 func (c *Client) generate(op ot.Op) (ClientMsg, error) {
-	ctx := c.processed.Clone()
-	if _, err := c.integrate(op, ctx, statespace.PendingKey, true); err != nil {
+	ctx, err := c.integrateLocal(op, statespace.PendingKey)
+	if err != nil {
 		return ClientMsg{}, err
 	}
 	c.record(op, ctx)
@@ -250,7 +275,7 @@ func (c *Client) Read() []list.Elem {
 	id := opid.OpID{Client: -c.id - 1000, Seq: c.readSeq}
 	w := c.doc.Elems()
 	if c.rec != nil {
-		c.rec.Record(c.name, ot.Read(id), w, c.processed.Clone())
+		c.rec.Record(c.name, ot.Read(id), w, c.processed())
 	}
 	return w
 }
@@ -332,12 +357,13 @@ func (s *Server) Receive(m ClientMsg) ([]Addressed, error) {
 		Origin: m.From,
 	})
 	// The message context is a lower bound on what its sender has processed,
-	// and the sender has certainly processed its own operation.
+	// and the sender has certainly processed its own operation. The known
+	// sets are private accumulators, so they grow in place.
 	k := s.known[m.From]
 	for id := range m.Ctx {
-		k = k.Add(id)
+		k.Put(id)
 	}
-	s.known[m.From] = k.Add(m.Op.ID)
+	k.Put(m.Op.ID)
 	out := make([]Addressed, 0, len(s.clients))
 	for _, c := range s.clients {
 		if c == m.From {
@@ -366,7 +392,7 @@ func (s *Server) Read() []list.Elem {
 	id := opid.OpID{Client: -1, Seq: s.readSeq}
 	w := s.doc.Elems()
 	if s.rec != nil {
-		s.rec.Record(s.name, ot.Read(id), w, s.processed.Clone())
+		s.rec.Record(s.name, ot.Read(id), w, s.processed())
 	}
 	return w
 }
@@ -386,7 +412,7 @@ func (s *Server) StableFrontier() opid.Set {
 				return frontier
 			}
 		}
-		frontier = frontier.Add(id)
+		frontier.Put(id)
 	}
 	return frontier
 }
@@ -409,11 +435,10 @@ func (s *Server) AdvanceFrontier() ([]Addressed, error) {
 	delta := len(frontier) - s.frontierAt
 	cur := s.space.Initial()
 	for k := 0; k < delta; k++ {
-		edges := cur.Edges()
-		if len(edges) == 0 {
+		if cur.EdgeCount() == 0 {
 			return nil, fmt.Errorf("server: frontier walk stuck at %s", cur)
 		}
-		e := edges[0]
+		e := cur.EdgeAt(0)
 		if err := ot.Apply(s.frontierDoc, e.Op); err != nil {
 			return nil, fmt.Errorf("server: frontier doc: %w", err)
 		}

@@ -329,10 +329,10 @@ func TestFigure7StrongViolation(t *testing.T) {
 	// end at state {1,2,3,4}, whose list is "ba".
 	spaces, _ := sim.SpacesOf(cl)
 	final := spaces[0].Final()
-	if got := final.Doc.String(); got != "ba" {
+	if got := final.Doc().String(); got != "ba" {
 		t.Errorf("final state doc %q, want %q", got, "ba")
 	}
-	if len(final.Ops) != 4 {
+	if final.Len() != 4 {
 		t.Errorf("final state %s, want 4 ops", final)
 	}
 }

@@ -72,7 +72,7 @@ func (s *Server) AddClient(id opid.ClientID) error {
 	// The joiner has processed everything up to the snapshot point.
 	known := opid.NewSet(s.frontierOps...)
 	for _, m := range s.replay {
-		known = known.Add(m.Op.ID)
+		known.Put(m.Op.ID)
 	}
 	s.known[id] = known
 	return nil
@@ -108,11 +108,10 @@ func NewClientFromSnapshot(id opid.ClientID, snap *Snapshot, rec core.Recorder, 
 	}
 	c := &Client{
 		replica: replica{
-			name:      id.String(),
-			space:     statespace.NewAt(root, doc, opts...),
-			doc:       doc.Clone(),
-			processed: root.Clone(),
-			rec:       rec,
+			name:  id.String(),
+			space: statespace.NewAt(root, doc, opts...),
+			doc:   doc.Clone(),
+			rec:   rec,
 		},
 		id: id,
 	}

@@ -58,7 +58,7 @@ func (c *Client) Save() ([]byte, error) {
 	for _, e := range c.doc.Elems() {
 		st.Doc = append(st.Doc, elemStateJSON{Val: string(e.Val), C: int32(e.ID.Client), S: e.ID.Seq})
 	}
-	for _, id := range c.processed.Sorted() {
+	for _, id := range c.processed().Sorted() {
 		st.Processed = append(st.Processed, elemStateJSON{C: int32(id.Client), S: id.Seq})
 	}
 	for _, e := range c.order.entries {
@@ -85,18 +85,25 @@ func RestoreClient(data []byte, rec core.Recorder) (*Client, error) {
 			return nil, fmt.Errorf("css: restore: %w", err)
 		}
 	}
-	processed := opid.NewSet()
+	// The persisted processed set is retained in the format for forward
+	// compatibility but not needed on restore: it is definitionally the
+	// restored space's final operation set. Verify rather than trust it.
+	restored := st.Space.Final().Ops()
+	if len(st.Processed) != len(restored) {
+		return nil, fmt.Errorf("css: restore: processed set size %d disagrees with space final state %d", len(st.Processed), len(restored))
+	}
 	for _, e := range st.Processed {
-		processed = processed.Add(opid.OpID{Client: opid.ClientID(e.C), Seq: e.S})
+		if !restored.Contains(opid.OpID{Client: opid.ClientID(e.C), Seq: e.S}) {
+			return nil, fmt.Errorf("css: restore: processed op c%d:%d not in space final state", e.C, e.S)
+		}
 	}
 	c := &Client{
 		replica: replica{
-			name:      opid.ClientID(st.ID).String(),
-			space:     st.Space,
-			doc:       doc,
-			processed: processed,
-			rec:       rec,
-			compact:   st.Compact,
+			name:    opid.ClientID(st.ID).String(),
+			space:   st.Space,
+			doc:     doc,
+			rec:     rec,
+			compact: st.Compact,
 		},
 		id:         opid.ClientID(st.ID),
 		nextSeq:    st.NextSeq,

@@ -77,16 +77,15 @@ func orderKey(ts tob.Timestamp) statespace.OrderKey {
 
 // Peer is one replica of the distributed CSS protocol.
 type Peer struct {
-	id        opid.ClientID
-	peers     []opid.ClientID
-	clock     *tob.Clock
-	space     *statespace.Space
-	doc       list.Doc
-	processed opid.Set
-	queue     []Msg // pending remote operations, sorted by timestamp
-	nextSeq   uint64
-	readSeq   uint64
-	rec       core.Recorder
+	id      opid.ClientID
+	peers   []opid.ClientID
+	clock   *tob.Clock
+	space   *statespace.Space
+	doc     list.Doc
+	queue   []Msg // pending remote operations, sorted by timestamp
+	nextSeq uint64
+	readSeq uint64
+	rec     core.Recorder
 
 	// GC bookkeeping: delivered operations in total order, the latest
 	// horizon heard from each peer, and how far compaction has advanced.
@@ -116,14 +115,13 @@ func NewPeer(id opid.ClientID, peers []opid.ClientID, initial list.Doc, rec core
 		}
 	}
 	return &Peer{
-		id:        id,
-		peers:     append([]opid.ClientID(nil), peers...),
-		clock:     tob.NewClock(id, peers),
-		space:     statespace.New(initial, opts...),
-		doc:       doc,
-		processed: opid.NewSet(),
-		rec:       rec,
-		horizons:  horizons,
+		id:       id,
+		peers:    append([]opid.ClientID(nil), peers...),
+		clock:    tob.NewClock(id, peers),
+		space:    statespace.New(initial, opts...),
+		doc:      doc,
+		rec:      rec,
+		horizons: horizons,
 	}
 }
 
@@ -161,8 +159,16 @@ func (p *Peer) GenerateDel(pos int) (Msg, error) {
 
 func (p *Peer) generate(op ot.Op) (Msg, error) {
 	ts := p.clock.Tick()
-	ctx := p.processed.Clone()
-	if err := p.integrate(op, ctx, ts); err != nil {
+	// Local-generation fast path: the matching state of a locally generated
+	// operation is by definition the final state, so integrate there
+	// directly; the context set is materialized once, for the wire.
+	sigma := p.space.Final()
+	ctx := sigma.Ops()
+	exec, err := p.space.IntegrateAt(op, sigma, orderKey(ts))
+	if err != nil {
+		return Msg{}, fmt.Errorf("%s: %w", p.id, err)
+	}
+	if err := p.execute(op, exec, ts); err != nil {
 		return Msg{}, err
 	}
 	if p.rec != nil {
@@ -176,10 +182,14 @@ func (p *Peer) integrate(op ot.Op, ctx opid.Set, ts tob.Timestamp) error {
 	if err != nil {
 		return fmt.Errorf("%s: %w", p.id, err)
 	}
+	return p.execute(op, exec, ts)
+}
+
+// execute applies the transformed operation and records the delivery.
+func (p *Peer) execute(op, exec ot.Op, ts tob.Timestamp) error {
 	if err := ot.Apply(p.doc, exec); err != nil {
 		return fmt.Errorf("%s: execute %s: %w", p.id, exec, err)
 	}
-	p.processed = p.processed.Add(op.ID)
 	// Record in total order. Own (optimistic) deliveries can land ahead of
 	// remote ones with smaller timestamps, so insert sorted.
 	i := len(p.delivered)
@@ -238,7 +248,7 @@ func (p *Peer) MaybeCompact() (bool, error) {
 		if !inAllQueued {
 			break
 		}
-		ops = ops.Add(d.id)
+		ops.Put(d.id)
 		cut++
 	}
 	if cut <= p.compactedAt {
@@ -300,7 +310,7 @@ func (p *Peer) Read() []list.Elem {
 	id := opid.OpID{Client: -p.id - 4000, Seq: p.readSeq}
 	w := p.doc.Elems()
 	if p.rec != nil {
-		p.rec.Record(p.id.String(), ot.Read(id), w, p.processed.Clone())
+		p.rec.Record(p.id.String(), ot.Read(id), w, p.space.Final().Ops())
 	}
 	return w
 }

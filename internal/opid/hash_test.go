@@ -1,0 +1,92 @@
+package opid
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randSet draws a random set over a small identifier universe, so random
+// pairs collide (are equal) often enough to exercise both property branches.
+func randSet(r *rand.Rand) Set {
+	s := NewSet()
+	n := r.Intn(8)
+	for i := 0; i < n; i++ {
+		s.Put(OpID{Client: ClientID(1 + r.Intn(3)), Seq: uint64(1 + r.Intn(4))})
+	}
+	return s
+}
+
+// TestSetHashEqualityMatchesSetEquality is the property the intern table
+// relies on: equal sets always hash equally, and — over a small universe
+// where a 64-bit hash collision is effectively impossible — unequal sets
+// hash differently. Key() must agree with both.
+func TestSetHashEqualityMatchesSetEquality(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		a, b := randSet(r), randSet(r)
+		eq := a.Equal(b)
+		if hashEq := a.Hash() == b.Hash(); hashEq != eq {
+			t.Fatalf("Hash equality %v but Equal %v for %s and %s", hashEq, eq, a, b)
+		}
+		if keyEq := a.Key() == b.Key(); keyEq != eq {
+			t.Fatalf("Key equality %v but Equal %v for %s and %s", keyEq, eq, a, b)
+		}
+		// Equal must agree with mutual Subset.
+		if eq != (a.Subset(b) && b.Subset(a)) {
+			t.Fatalf("Equal/Subset disagree for %s and %s", a, b)
+		}
+	}
+}
+
+// TestSetHashIncremental pins the incremental derivation the state-space
+// uses: the hash of σ∪{id} is Hash(σ) XOR Hash(id), for ids not in σ.
+func TestSetHashIncremental(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	for i := 0; i < 2000; i++ {
+		s := randSet(r)
+		id := OpID{Client: ClientID(1 + r.Intn(5)), Seq: uint64(1 + r.Intn(6))}
+		if s.Contains(id) {
+			continue
+		}
+		if got, want := s.Add(id).Hash(), s.Hash()^id.Hash(); got != want {
+			t.Fatalf("Hash(%s ∪ {%s}) = %x, want %x", s, id, got, want)
+		}
+	}
+	if NewSet().Hash() != 0 {
+		t.Fatal("empty set must hash to 0 (identity of XOR)")
+	}
+}
+
+// TestSetPutMatchesAdd checks the in-place mutator against the copying one.
+func TestSetPutMatchesAdd(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 1000; i++ {
+		s := randSet(r)
+		id := OpID{Client: ClientID(1 + r.Intn(5)), Seq: uint64(1 + r.Intn(6))}
+		want := s.Add(id)
+		s.Put(id)
+		if !s.Equal(want) {
+			t.Fatalf("Put produced %s, Add produced %s", s, want)
+		}
+	}
+}
+
+// TestOpIDHashDeterministic: the hash must be a pure function of the
+// identifier (it seeds reproducible, cross-process structures), and distinct
+// small identifiers must not collide.
+func TestOpIDHashDeterministic(t *testing.T) {
+	seen := make(map[uint64]OpID)
+	for c := ClientID(-4); c <= 4; c++ {
+		for seq := uint64(0); seq < 64; seq++ {
+			id := OpID{Client: c, Seq: seq}
+			h := id.Hash()
+			if h != id.Hash() {
+				t.Fatalf("Hash(%s) not deterministic", id)
+			}
+			if prev, dup := seen[h]; dup {
+				t.Fatalf("Hash collision between %s and %s", prev, id)
+			}
+			seen[h] = id
+		}
+	}
+}

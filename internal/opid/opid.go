@@ -57,6 +57,19 @@ func (id OpID) String() string {
 	return fmt.Sprintf("%s:%d", id.Client, id.Seq)
 }
 
+// Hash returns a well-mixed 64-bit hash of the identifier (splitmix64 over
+// the packed (Client, Seq) pair). It is deterministic across processes, so
+// hash-derived structures are reproducible run to run.
+func (id OpID) Hash() uint64 {
+	x := uint64(uint32(id.Client))<<32 ^ id.Seq*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
 // Set is an immutable-by-convention set of operation identifiers. It is used
 // to represent operation contexts (Definition 4.6) and state identities in
 // the n-ary ordered state-space (Section 6.1), where "a state σ is
@@ -87,6 +100,26 @@ func (s Set) Add(id OpID) Set {
 	}
 	out[id] = struct{}{}
 	return out
+}
+
+// Put adds id to the set in place. It is the mutating counterpart of Add for
+// sets a caller privately owns (accumulators, expansion buffers): never call
+// it on a set that has been shared as a context or state identity — those
+// stay immutable by convention.
+func (s Set) Put(id OpID) {
+	s[id] = struct{}{}
+}
+
+// Hash returns an order-independent 64-bit hash of the set: the XOR of the
+// element hashes (empty set = 0). Two equal sets always hash equally, and
+// the hash of s ∪ {id} is Hash(s) ^ id.Hash() — the incremental identity
+// derivation the state-space intern table is built on.
+func (s Set) Hash() uint64 {
+	var h uint64
+	for k := range s {
+		h ^= k.Hash()
+	}
+	return h
 }
 
 // Clone returns a copy of the set.

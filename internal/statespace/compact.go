@@ -2,9 +2,10 @@ package statespace
 
 import (
 	"fmt"
-)
 
-import "jupiter/internal/opid"
+	"jupiter/internal/opid"
+	"jupiter/internal/ot"
+)
 
 // CompactTo garbage-collects the space down to the states at or above the
 // given stability frontier, re-rooting the space at the frontier state.
@@ -25,8 +26,12 @@ import "jupiter/internal/opid"
 //     path again (all such states contain the matching state's set).
 //
 // States whose operation sets do not contain the frontier are dropped.
+// Survivors' creation-parent chains may pass through dropped states, so
+// each survivor gets its materialized operation set cached as its base (and,
+// under WithDocs, its document materialized) and its chain links cleared —
+// dropped State objects then become garbage-collectible.
 func (s *Space) CompactTo(frontier opid.Set) error {
-	root, ok := s.states[frontier.Key()]
+	root, ok := s.lookup(frontier, "")
 	if !ok {
 		return fmt.Errorf("statespace: no state at frontier %s", frontier)
 	}
@@ -34,29 +39,35 @@ func (s *Space) CompactTo(frontier opid.Set) error {
 		return nil // nothing to do
 	}
 
-	keep := make(map[string]*State, len(s.states))
-	for k, st := range s.states {
-		if frontier.Subset(st.Ops) {
-			keep[k] = st
+	kept := make(map[*State]opid.Set, s.numStates)
+	for _, st := range s.byID {
+		if st == nil {
+			continue
+		}
+		ops := st.Ops()
+		if frontier.Subset(ops) {
+			kept[st] = ops
 		}
 	}
 
 	// Drop edges that cross out of the kept set and rebuild the indexes.
 	edgesByOrig := make(map[opid.OpID][]*Edge)
+	ext := make(map[extKey]*State)
 	numEdges := 0
-	for _, st := range keep {
-		kept := st.edges[:0]
+	for st := range kept {
+		edges := st.edges[:0]
 		for _, e := range st.edges {
-			if _, ok := keep[e.To.key]; ok {
-				kept = append(kept, e)
+			if _, ok := kept[e.To]; ok {
+				edges = append(edges, e)
 				edgesByOrig[e.Op.ID] = append(edgesByOrig[e.Op.ID], e)
+				ext[extKey{st.id, e.Op.ID}] = e.To
 				numEdges++
 			}
 		}
-		st.edges = kept
+		st.edges = edges
 		parents := st.parents[:0]
 		for _, e := range st.parents {
-			if _, ok := keep[e.From.key]; ok {
+			if _, ok := kept[e.From]; ok {
 				parents = append(parents, e)
 			}
 		}
@@ -64,6 +75,20 @@ func (s *Space) CompactTo(frontier opid.Set) error {
 	}
 	// The new root keeps no parents: everything before the frontier is gone.
 	root.parents = nil
+
+	// Detach survivors from dropped chain states: anchor each at its own
+	// materialized base (and materialized document, when docs are recorded,
+	// since lazy document chains may also cross dropped states).
+	for st, ops := range kept {
+		if s.recordDocs {
+			st.Doc()
+		}
+		st.docParent = nil
+		st.docOp = ot.Op{}
+		st.base = ops
+		st.parent = nil
+		st.added = opid.OpID{}
+	}
 
 	// Retain order keys only for operations still labeling edges or still
 	// pending (a pending operation's promote must continue to work even if
@@ -78,12 +103,29 @@ func (s *Space) CompactTo(frontier opid.Set) error {
 		}
 	}
 
-	s.states = keep
+	// Rebuild the dense and intern indexes over the survivors; StateIDs are
+	// stable across compaction (holes stay nil).
+	byHash := make(map[uint64]*State, len(kept))
+	for i, st := range s.byID {
+		if st == nil {
+			continue
+		}
+		if _, ok := kept[st]; !ok {
+			s.byID[i] = nil
+			continue
+		}
+		h := st.hash ^ tagHash(st.tag)
+		st.collide = byHash[h]
+		byHash[h] = st
+	}
+	s.byHash = byHash
+	s.numStates = len(kept)
 	s.initial = root
 	s.edgesByOrig = edgesByOrig
+	s.ext = ext
 	s.orderOf = orderOf
 	s.numEdges = numEdges
-	if _, ok := s.states[s.final.key]; !ok {
+	if _, ok := kept[s.final]; !ok {
 		return fmt.Errorf("statespace: compaction removed the final state %s", s.final)
 	}
 	return nil
@@ -92,6 +134,6 @@ func (s *Space) CompactTo(frontier opid.Set) error {
 // Contains reports whether the space still holds a state for the given
 // operation set (useful after compaction).
 func (s *Space) Contains(ops opid.Set) bool {
-	_, ok := s.states[ops.Key()]
+	_, ok := s.lookup(ops, "")
 	return ok
 }

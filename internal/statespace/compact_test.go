@@ -36,7 +36,7 @@ func TestCompactToChain(t *testing.T) {
 	if s.NumStates() != 4 {
 		t.Fatalf("after compaction: %d states, want 4", s.NumStates())
 	}
-	if !s.Initial().Ops.Equal(frontier) {
+	if !s.Initial().Ops().Equal(frontier) {
 		t.Fatalf("new root = %s", s.Initial())
 	}
 	if len(s.Initial().Parents()) != 0 {
@@ -106,7 +106,7 @@ func TestCompactThenIntegrate(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The space's final state now carries everything.
-	if got := len(s.Final().Ops); got != 6 {
+	if got := s.Final().Len(); got != 6 {
 		t.Fatalf("final has %d ops, want 6", got)
 	}
 }

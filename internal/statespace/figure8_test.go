@@ -85,22 +85,22 @@ func TestFigure8UnionSpace(t *testing.T) {
 	}
 
 	// Documents along the two paths match Figure 8 exactly.
-	if got := stateL.Doc.String(); got != "ayxc" {
+	if got := stateL.Doc().String(); got != "ayxc" {
 		t.Fatalf("state L doc = %q, want %q", got, "ayxc")
 	}
-	if got := stateR.Doc.String(); got != "axyc" {
+	if got := stateR.Doc().String(); got != "axyc" {
 		t.Fatalf("state R doc = %q, want %q", got, "axyc")
 	}
 	st13, _ := space.StateOf(s13)
-	if got := st13.Doc.String(); got != "aybxc" {
+	if got := st13.Doc().String(); got != "aybxc" {
 		t.Fatalf("state {1,3} doc = %q, want %q", got, "aybxc")
 	}
 	st23, _ := space.StateOf(s23)
-	if got := st23.Doc.String(); got != "ayc" {
+	if got := st23.Doc().String(); got != "ayc" {
 		t.Fatalf("state {2,3} doc = %q, want %q", got, "ayc")
 	}
 	st12, _ := space.StateOf(s12)
-	if got := st12.Doc.String(); got != "axc" {
+	if got := st12.Doc().String(); got != "axc" {
 		t.Fatalf("state {1,2} doc = %q, want %q", got, "axc")
 	}
 

@@ -3,6 +3,7 @@ package statespace
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 
 	"jupiter/internal/list"
 	"jupiter/internal/opid"
@@ -115,25 +116,30 @@ func opFromJSON(j opJSON) (ot.Op, error) {
 	}
 }
 
-// MarshalJSON implements json.Marshaler.
+// MarshalJSON implements json.Marshaler. The canonical operation-set keys
+// and sorted sets are computed from the interned representation here — the
+// on-disk format is identical to what the pre-interning encoder produced.
 func (s *Space) MarshalJSON() ([]byte, error) {
 	out := spaceJSON{
-		States:  make(map[string]stateJSON, len(s.states)),
-		Initial: s.initial.key,
-		Final:   s.final.key,
+		States:  make(map[string]stateJSON, s.numStates),
+		Initial: s.initial.Key(),
+		Final:   s.final.Key(),
 		Orders:  make(map[string]uint64),
 	}
 	edged := make(map[opid.OpID]bool)
-	for key, st := range s.states {
-		sj := stateJSON{Ops: make([]compJSON, 0, len(st.Ops)), Edges: make([]edgeJSON, 0, len(st.edges))}
-		for _, id := range st.Ops.Sorted() {
+	for _, st := range s.byID {
+		if st == nil {
+			continue
+		}
+		sj := stateJSON{Ops: make([]compJSON, 0, st.depth), Edges: make([]edgeJSON, 0, len(st.edges))}
+		for _, id := range st.Ops().Sorted() {
 			sj.Ops = append(sj.Ops, compOf(id))
 		}
 		for _, e := range st.edges {
-			sj.Edges = append(sj.Edges, edgeJSON{Op: opToJSON(e.Op), To: e.To.key, Key: uint64(e.key)})
+			sj.Edges = append(sj.Edges, edgeJSON{Op: opToJSON(e.Op), To: e.To.Key(), Key: uint64(e.key)})
 			edged[e.Op.ID] = true
 		}
-		out.States[key] = sj
+		out.States[st.Key()] = sj
 	}
 	for id, key := range s.orderOf {
 		if !edged[id] {
@@ -150,16 +156,37 @@ func (s *Space) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &in); err != nil {
 		return fmt.Errorf("statespace: %w", err)
 	}
-	states := make(map[string]*State, len(in.States))
-	for key, sj := range in.States {
+	// Restored states anchor at their materialized base sets; StateIDs are
+	// assigned in canonical key order so a reload is fully deterministic.
+	keys := make([]string, 0, len(in.States))
+	for key := range in.States {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+
+	s.byHash = make(map[uint64]*State, len(keys))
+	s.byID = make([]*State, 0, len(keys))
+	s.ext = make(map[extKey]*State)
+	s.numStates = 0
+	s.edgesByOrig = make(map[opid.OpID][]*Edge)
+	s.orderOf = make(map[opid.OpID]OrderKey)
+	s.numEdges = 0
+	s.recordDocs = false
+	s.verifyCP1 = false
+
+	states := make(map[string]*State, len(keys))
+	for _, key := range keys {
+		sj := in.States[key]
 		ops := opid.NewSet()
 		for _, c := range sj.Ops {
-			ops = ops.Add(idOf(c))
+			ops.Put(idOf(c))
 		}
 		if ops.Key() != key {
 			return fmt.Errorf("statespace: state key %q does not match its ops %s", key, ops)
 		}
-		states[key] = &State{Ops: ops, key: key}
+		st := &State{base: ops, hash: ops.Hash(), depth: len(ops), key: key}
+		s.intern(st)
+		states[key] = st
 	}
 	init, ok := states[in.Initial]
 	if !ok {
@@ -169,15 +196,8 @@ func (s *Space) UnmarshalJSON(data []byte) error {
 	if !ok {
 		return fmt.Errorf("statespace: missing final state %q", in.Final)
 	}
-
-	s.states = states
 	s.initial = init
 	s.final = final
-	s.edgesByOrig = make(map[opid.OpID][]*Edge)
-	s.orderOf = make(map[opid.OpID]OrderKey)
-	s.numEdges = 0
-	s.recordDocs = false
-	s.verifyCP1 = false
 
 	for key, sj := range in.States {
 		from := states[key]
@@ -195,6 +215,7 @@ func (s *Space) UnmarshalJSON(data []byte) error {
 			e := &Edge{Op: op, From: from, To: to, key: OrderKey(ej.Key)}
 			from.edges = append(from.edges, e)
 			to.parents = append(to.parents, e)
+			s.ext[extKey{from.id, op.ID}] = to
 			s.edgesByOrig[op.ID] = append(s.edgesByOrig[op.ID], e)
 			s.orderOf[op.ID] = OrderKey(ej.Key)
 			s.numEdges++

@@ -1,0 +1,94 @@
+package statespace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"jupiter/internal/list"
+	"jupiter/internal/opid"
+	"jupiter/internal/ot"
+)
+
+func listElem(v rune, id opid.OpID) list.Elem { return list.Elem{Val: v, ID: id} }
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenSpace builds a deterministic space exercising every persisted
+// feature: multi-rung ladders, sibling ordering, a pending (unacknowledged)
+// operation, and a promoted order key.
+func goldenSpace(t *testing.T) *Space {
+	t.Helper()
+	s := New(nil)
+	o1 := ot.Ins('a', 0, id(1, 1))
+	o2 := ot.Ins('b', 0, id(2, 1))
+	o3 := ot.Del(listElem('a', id(1, 1)), 0, id(3, 1))
+	o4 := ot.Ins('d', 1, id(1, 2))
+	empty := set()
+	if _, err := s.Integrate(o1, empty, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Integrate(o2, empty, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Integrate(o3, set(o1.ID), 3); err != nil {
+		t.Fatal(err)
+	}
+	// A pending own operation, later promoted — exercises both the
+	// PendingKey edge encoding path and re-keying.
+	if _, err := s.Integrate(o4, set(o1.ID, o2.ID), PendingKey); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Promote(o4.ID, 4); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestPersistGoldenBytes pins the canonical JSON encoding of a state-space:
+// the serialized form must stay byte-identical across internal
+// representation changes (the interned-identity refactor in particular), so
+// persisted replica state written by any build reloads under any other.
+func TestPersistGoldenBytes(t *testing.T) {
+	s := goldenSpace(t)
+	got, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "space_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("encoding drifted from golden.\n got: %s\nwant: %s", got, want)
+	}
+
+	// The golden bytes must also reload into a space that re-serializes
+	// identically (full round trip through the decoder).
+	back := New(nil)
+	if err := json.Unmarshal(want, back); err != nil {
+		t.Fatal(err)
+	}
+	again, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, want) {
+		t.Errorf("round trip not byte-identical.\n got: %s\nwant: %s", again, want)
+	}
+	if back.Render() != s.Render() {
+		t.Errorf("round trip changed structure:\n got:\n%s\nwant:\n%s", back.Render(), s.Render())
+	}
+}

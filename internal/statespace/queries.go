@@ -17,14 +17,8 @@ import (
 // including sibling order — this is the executable form of Proposition 6.6's
 // "the same n-ary ordered state-space".
 func (s *Space) Render() string {
-	keys := make([]string, 0, len(s.states))
-	for k := range s.states {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
 	var b strings.Builder
-	for _, k := range keys {
-		st := s.states[k]
+	for _, st := range s.sortedStates() {
 		fmt.Fprintf(&b, "%s:", st)
 		for _, e := range st.edges {
 			fmt.Fprintf(&b, " [%s -> %s]", e.Op, e.To)
@@ -47,22 +41,16 @@ func (s *Space) Fingerprint() uint64 {
 func (s *Space) Dot() string {
 	var b strings.Builder
 	b.WriteString("digraph statespace {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n")
-	keys := make([]string, 0, len(s.states))
-	for k := range s.states {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
 	label := func(st *State) string {
-		if st.Doc != nil {
-			return fmt.Sprintf("%s\\n%q", st, st.Doc.String())
+		if d := st.Doc(); d != nil {
+			return fmt.Sprintf("%s\\n%q", st, d.String())
 		}
 		return st.String()
 	}
-	for _, k := range keys {
-		st := s.states[k]
-		fmt.Fprintf(&b, "  %q [label=%q];\n", st.key, label(st))
+	for _, st := range s.sortedStates() {
+		fmt.Fprintf(&b, "  %q [label=%q];\n", st.Key(), label(st))
 		for i, e := range st.edges {
-			fmt.Fprintf(&b, "  %q -> %q [label=%q, taillabel=\"%d\"];\n", st.key, e.To.key, e.Op.String(), i)
+			fmt.Fprintf(&b, "  %q -> %q [label=%q, taillabel=\"%d\"];\n", st.Key(), e.To.Key(), e.Op.String(), i)
 		}
 	}
 	b.WriteString("}\n")
@@ -127,7 +115,7 @@ func (s *Space) LCA(a, b *State) (*State, []*State, error) {
 			lowest = append(lowest, c)
 		}
 	}
-	sort.Slice(lowest, func(i, j int) bool { return lowest[i].key < lowest[j].key })
+	sort.Slice(lowest, func(i, j int) bool { return lowest[i].Key() < lowest[j].Key() })
 	if len(lowest) != 1 {
 		return nil, lowest, fmt.Errorf("%w: %s and %s have %d lowest common ancestors", ErrAmbiguousLCA, a, b, len(lowest))
 	}
@@ -194,10 +182,11 @@ func DisjointPaths(p1, p2 []*Edge) bool {
 // Compatible reports whether the documents of two states are compatible
 // (Definition 8.2). Requires WithDocs.
 func (s *Space) Compatible(a, b *State) (bool, error) {
-	if a.Doc == nil || b.Doc == nil {
+	da, db := a.Doc(), b.Doc()
+	if da == nil || db == nil {
 		return false, fmt.Errorf("statespace: Compatible requires WithDocs")
 	}
-	return list.Compatible(a.Doc.Elems(), b.Doc.Elems()), nil
+	return list.Compatible(da.Elems(), db.Elems()), nil
 }
 
 // CheckPairwiseCompatibility verifies Theorem 8.7: every pair of states in
@@ -213,7 +202,7 @@ func (s *Space) CheckPairwiseCompatibility() error {
 			}
 			if !ok {
 				return fmt.Errorf("statespace: states %s (%q) and %s (%q) are incompatible",
-					states[i], states[i].Doc.String(), states[j], states[j].Doc.String())
+					states[i], states[i].Doc().String(), states[j], states[j].Doc().String())
 			}
 		}
 	}
@@ -227,20 +216,33 @@ func (s *Space) CheckPairwiseCompatibility() error {
 //   - sibling transitions are strictly ordered and pairwise-concurrent
 //     (distinct original operations, none in another's path);
 //   - Lemma 6.3: every root-to-state path is simple;
-//   - state identity: an edge from σ labeled o leads exactly to σ∪{o};
+//   - state identity: an edge from σ labeled o leads exactly to σ∪{o},
+//     checked against the lazily materialized sets AND the interned
+//     incremental identities (depth, hash), so the two representations are
+//     verified against each other;
 //   - Lemma 8.4: every pair of states has a unique LCA (checked when
 //     checkLCA is true — quadratic, so optional).
 func (s *Space) CheckInvariants(n int, checkLCA bool) error {
-	for _, st := range s.states {
+	for _, st := range s.byID {
+		if st == nil {
+			continue
+		}
+		ops := st.Ops()
+		if len(ops) != st.depth {
+			return fmt.Errorf("statespace: state %s depth %d disagrees with |ops| %d", st, st.depth, len(ops))
+		}
+		if ops.Hash() != st.hash {
+			return fmt.Errorf("statespace: state %s interned hash disagrees with set hash", st)
+		}
 		if len(st.edges) > n {
 			return fmt.Errorf("statespace: state %s has %d children, n=%d (Lemma 6.1)", st, len(st.edges), n)
 		}
 		for i, e := range st.edges {
-			want := st.Ops.Add(e.Op.ID)
-			if !want.Equal(e.To.Ops) {
+			want := ops.Add(e.Op.ID)
+			if !want.Equal(e.To.Ops()) {
 				return fmt.Errorf("statespace: edge %s leads to %s, want %s", e, e.To, want)
 			}
-			if st.Ops.Contains(e.Op.ID) {
+			if ops.Contains(e.Op.ID) {
 				return fmt.Errorf("statespace: edge %s repeats op already in source state", e)
 			}
 			if i > 0 && !edgeLess(st.edges[i-1], e) {
@@ -251,7 +253,7 @@ func (s *Space) CheckInvariants(n int, checkLCA bool) error {
 	// Simple paths: since each edge adds exactly one op (checked above) and
 	// state sets grow along edges, all paths are automatically simple; we
 	// additionally verify reachability bookkeeping.
-	if _, ok := s.states[s.final.key]; !ok {
+	if int(s.final.id) >= len(s.byID) || s.byID[s.final.id] != s.final {
 		return fmt.Errorf("statespace: final state %s not registered", s.final)
 	}
 	if checkLCA {
@@ -269,11 +271,13 @@ func (s *Space) CheckInvariants(n int, checkLCA bool) error {
 
 // sortedStates returns all states in canonical key order.
 func (s *Space) sortedStates() []*State {
-	states := make([]*State, 0, len(s.states))
-	for _, st := range s.states {
-		states = append(states, st)
+	states := make([]*State, 0, s.numStates)
+	for _, st := range s.byID {
+		if st != nil {
+			states = append(states, st)
+		}
 	}
-	sort.Slice(states, func(i, j int) bool { return states[i].key < states[j].key })
+	sort.Slice(states, func(i, j int) bool { return states[i].Key() < states[j].Key() })
 	return states
 }
 
@@ -283,20 +287,25 @@ func (s *Space) States() []*State {
 }
 
 // ByteSize estimates the retained size of the space in bytes: a rough model
-// counting states, their op-sets, edges, and document snapshots. Used by the
-// E3 metadata-overhead experiment; absolute numbers are estimates, relative
-// comparisons between protocols are meaningful.
+// counting states (a fixed struct plus the materialized base set when one is
+// cached — chain states carry their single added identifier inline), edges,
+// and document snapshots. Used by the E3 metadata-overhead experiment;
+// absolute numbers are estimates, relative comparisons between protocols are
+// meaningful.
 func (s *Space) ByteSize() int {
 	const (
-		statePtrOverhead = 48
-		opIDSize         = 12
-		edgeSize         = 64
+		stateOverhead = 96
+		opIDSize      = 12
+		edgeSize      = 64
 	)
 	total := 0
-	for _, st := range s.states {
-		total += statePtrOverhead + len(st.Ops)*opIDSize + len(st.key)
-		if st.Doc != nil {
-			total += st.Doc.Len() * (opIDSize + 4)
+	for _, st := range s.byID {
+		if st == nil {
+			continue
+		}
+		total += stateOverhead + len(st.base)*opIDSize + len(st.key)
+		if st.doc != nil {
+			total += st.doc.Len() * (opIDSize + 4)
 		}
 		total += len(st.edges) * edgeSize
 	}
@@ -334,30 +343,30 @@ func (b *Builder) Edge(from opid.Set, op ot.Op, key OrderKey) *Builder {
 // several distinct states over the same operation set — the situation of
 // Figure 8, where an incorrect protocol produces two different states
 // {1,2,3}, one holding "ayxc" and one holding "axyc". The CSS protocol can
-// never produce such a space (Proposition 6.6); the tags exist so tests can
+// never produce such a space (Proposition 6.6); the tags participate in the
+// interned identity (they are mixed into the intern hash) so tests can
 // reproduce the paper's counterexamples.
 func (b *Builder) EdgeTagged(from opid.Set, fromTag string, op ot.Op, key OrderKey, toTag string) *Builder {
 	if b.err != nil {
 		return b
 	}
 	s := b.space
-	src, ok := s.states[taggedKey(from, fromTag)]
+	src, ok := s.lookup(from, fromTag)
 	if !ok {
 		b.err = fmt.Errorf("builder: unknown source state %s tag %q", from, fromTag)
 		return b
 	}
 	destOps := from.Add(op.ID)
-	destKey := taggedKey(destOps, toTag)
-	dst, exists := s.states[destKey]
+	dst, exists := s.lookup(destOps, toTag)
 	if !exists {
-		dst = &State{Ops: destOps, key: destKey}
-		s.states[destKey] = dst
-		d := src.Doc.Clone()
+		dst = &State{base: destOps, hash: destOps.Hash(), depth: len(destOps), tag: toTag}
+		d := src.Doc().Clone()
 		if err := ot.Apply(d, op); err != nil {
 			b.err = fmt.Errorf("builder: apply %s at %s: %w", op, src, err)
 			return b
 		}
-		dst.Doc = d
+		dst.doc = d
+		s.intern(dst)
 	}
 	if err := s.linkEdge(src, dst, op, key); err != nil {
 		b.err = err
@@ -366,7 +375,7 @@ func (b *Builder) EdgeTagged(from opid.Set, fromTag string, op ot.Op, key OrderK
 	if _, known := s.orderOf[op.ID]; !known {
 		s.orderOf[op.ID] = key
 	}
-	if len(dst.Ops) > len(s.final.Ops) {
+	if dst.depth > s.final.depth {
 		s.final = dst
 	}
 	return b
@@ -374,16 +383,7 @@ func (b *Builder) EdgeTagged(from opid.Set, fromTag string, op ot.Op, key OrderK
 
 // State returns the built state identified by the operation set and tag.
 func (b *Builder) State(ops opid.Set, tag string) (*State, bool) {
-	st, ok := b.space.states[taggedKey(ops, tag)]
-	return st, ok
-}
-
-// taggedKey computes the map key of a possibly-tagged state.
-func taggedKey(ops opid.Set, tag string) string {
-	if tag == "" {
-		return ops.Key()
-	}
-	return ops.Key() + "#" + tag
+	return b.space.lookup(ops, tag)
 }
 
 // Build returns the constructed space or the first error encountered.

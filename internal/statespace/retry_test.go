@@ -1,0 +1,71 @@
+package statespace
+
+import (
+	"errors"
+	"testing"
+
+	"jupiter/internal/ot"
+)
+
+// TestIntegrateRetryAfterNoMatchingState is the regression test for the
+// orderOf-poisoning bug: Integrate used to register the operation's order
+// key before any failable step, so a failed integration (wrong context, or
+// a stuck leftmost path) made every retry of the same operation report
+// ErrDuplicateOp forever. An operation must only be registered once its
+// integration fully succeeds.
+func TestIntegrateRetryAfterNoMatchingState(t *testing.T) {
+	s := New(nil)
+	o1 := ot.Ins('a', 0, id(1, 1))
+	if _, err := s.Integrate(o1, set(), 1); err != nil {
+		t.Fatal(err)
+	}
+
+	o2 := ot.Ins('b', 1, id(2, 1))
+	// First delivery carries a bogus context naming a state that does not
+	// exist: injected ErrNoMatchingState.
+	if _, err := s.Integrate(o2, set(id(9, 9)), 2); !errors.Is(err, ErrNoMatchingState) {
+		t.Fatalf("got %v, want ErrNoMatchingState", err)
+	}
+	// The retry with the correct context must succeed — not ErrDuplicateOp.
+	if _, err := s.Integrate(o2, set(o1.ID), 2); err != nil {
+		t.Fatalf("retry after failed integration: %v", err)
+	}
+	if !s.Final().Ops().Equal(set(o1.ID, o2.ID)) {
+		t.Fatalf("final state %s, want {o1,o2}", s.Final())
+	}
+	// And a genuine duplicate is still rejected.
+	if _, err := s.Integrate(o2, set(o1.ID), 2); !errors.Is(err, ErrDuplicateOp) {
+		t.Fatalf("got %v, want ErrDuplicateOp", err)
+	}
+}
+
+// TestIntegrateRetryAfterStuckPath injects a failure later in Integrate —
+// after context resolution, inside leftmostPath — and checks the operation
+// can still be retried. The space is hand-built (relaxed) so that a state
+// exists whose leftmost path cannot reach the final state: {2} has no
+// outgoing transitions while the final state is {1}.
+func TestIntegrateRetryAfterStuckPath(t *testing.T) {
+	b := NewBuilder(nil)
+	o1 := ot.Ins('a', 0, id(1, 1))
+	o2 := ot.Ins('b', 0, id(2, 1))
+	b.Edge(set(), o1, 1)
+	b.Edge(set(), o2, 2)
+	s, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Final().Ops().Equal(set(o1.ID)) {
+		t.Fatalf("builder final %s, want {o1}", s.Final())
+	}
+
+	o3 := ot.Ins('c', 0, id(3, 1))
+	// Matching state {2} exists, but its leftmost path is stuck (no edges,
+	// not the final state): Integrate fails after resolving the context.
+	if _, err := s.Integrate(o3, set(o2.ID), 3); err == nil {
+		t.Fatal("expected stuck-path error")
+	}
+	// Retrying the SAME operation at a live state must work.
+	if _, err := s.Integrate(o3, set(o1.ID), 3); err != nil {
+		t.Fatalf("retry after stuck path: %v", err)
+	}
+}

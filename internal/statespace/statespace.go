@@ -12,6 +12,19 @@
 // totally ordered "according to the total order among operations established
 // by the server".
 //
+// Interned state identities. Conceptually a state IS an operation set, but
+// representing it as one makes Algorithm 1 quadratic in history length:
+// every lookup would sort-and-stringify a set into a map key and every
+// ladder rung would clone a context map. Instead each state carries a dense
+// uint32 StateID and an order-independent 64-bit set hash; a child's
+// identity derives incrementally from its parent's (hash ^ added-op hash,
+// O(1)), the intern index resolves an explicit set in O(|set|) with no
+// allocation, and a child-extension index maps (parent StateID, added OpID)
+// to the child. The operation set itself is materialized lazily by walking
+// the creation-parent chain (State.Ops), so creating a state is O(1).
+// Explicit sets remain the wire and specification format; they are resolved
+// to interned states only at the message boundary.
+//
 // Order keys. Every transition carries an order key: the server-assigned
 // global sequence number of its underlying original operation, or
 // PendingKey for a client's own not-yet-acknowledged operations. A pending
@@ -23,6 +36,7 @@ package statespace
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"sort"
 
@@ -39,6 +53,11 @@ type OrderKey uint64
 // serialized by the server (a client's own in-flight operation).
 const PendingKey OrderKey = math.MaxUint64
 
+// StateID is the dense interned identity of a state within one Space. IDs
+// are assigned in creation order and never reused; they are meaningful only
+// relative to their owning space.
+type StateID uint32
+
 // Errors reported by state-space operations.
 var (
 	// ErrNoMatchingState reports that an operation's context does not name a
@@ -52,41 +71,175 @@ var (
 	// the CSS protocol. It can (and does) occur for hand-built spaces such as
 	// the Figure 8 counterexample.
 	ErrAmbiguousLCA = errors.New("statespace: lowest common ancestor is not unique")
+	// ErrForeignState reports passing a *State to a space that does not own it.
+	ErrForeignState = errors.New("statespace: state belongs to a different space")
 )
 
 // State is a node of the state-space.
 type State struct {
-	// Ops is the set of original operations processed to reach this state.
-	Ops opid.Set
-	// Doc is the list value at this state; populated only when the space was
-	// created with WithDocs (scenario tests and the compatibility queries
-	// need it, the protocol itself does not).
-	Doc list.Doc
+	id    StateID
+	hash  uint64 // order-independent hash of the operation set
+	depth int    // |operation set|
+
+	// Identity representation: either base holds the materialized set
+	// (roots, restored spaces, compaction survivors), or the set is
+	// parent's set ∪ {added} (the creation-parent chain).
+	parent *State
+	added  opid.OpID
+	base   opid.Set
+
+	// tag disambiguates hand-built states sharing an operation set
+	// (Builder.EdgeTagged); always empty for protocol-built states.
+	tag string
+
+	key     string // canonical Ops().Key() (+ "#tag"), memoized by Key()
+	collide *State // next state on the same intern hash chain
+
+	// Document representation (WithDocs): doc is the materialized value;
+	// when nil with docParent set, the value derives lazily as docParent's
+	// document + docOp (copy-on-write: ladder rungs cost nothing until read).
+	doc       list.Doc
+	docParent *State
+	docOp     ot.Op
 
 	edges   []*Edge // outgoing transitions, in sibling (total) order
 	parents []*Edge // incoming transitions, unordered
-	key     string  // canonical Ops.Key(), cached
 }
 
-// Edges returns the outgoing transitions in sibling order (leftmost first).
+// ID returns the state's dense interned identity within its space.
+func (st *State) ID() StateID { return st.id }
+
+// Len returns the size of the state's operation set without materializing it.
+func (st *State) Len() int { return st.depth }
+
+// Contains reports whether the state's operation set contains id, walking
+// the creation-parent chain (O(depth), no allocation).
+func (st *State) Contains(id opid.OpID) bool {
+	cur := st
+	for cur.base == nil {
+		if cur.added == id {
+			return true
+		}
+		cur = cur.parent
+	}
+	return cur.base.Contains(id)
+}
+
+// Ops materializes the state's operation set by walking the creation-parent
+// chain. The returned set is a fresh copy owned by the caller.
+func (st *State) Ops() opid.Set {
+	out := make(opid.Set, st.depth)
+	cur := st
+	for cur.base == nil {
+		out[cur.added] = struct{}{}
+		cur = cur.parent
+	}
+	for k := range cur.base {
+		out[k] = struct{}{}
+	}
+	return out
+}
+
+// equalsSet reports whether the state's operation set (and tag) equals ops.
+// Every chain-added operation is distinct from the rest of its parent's set,
+// so size equality plus membership of each chain/base element is equality.
+func (st *State) equalsSet(ops opid.Set, tag string) bool {
+	if st.tag != tag || st.depth != len(ops) {
+		return false
+	}
+	cur := st
+	for cur.base == nil {
+		if !ops.Contains(cur.added) {
+			return false
+		}
+		cur = cur.parent
+	}
+	for k := range cur.base {
+		if !ops.Contains(k) {
+			return false
+		}
+	}
+	return true
+}
+
+// Edges returns a copy of the outgoing transitions in sibling order
+// (leftmost first). For allocation-free iteration use EdgeCount/EdgeAt.
 func (st *State) Edges() []*Edge {
 	out := make([]*Edge, len(st.edges))
 	copy(out, st.edges)
 	return out
 }
 
-// Parents returns the incoming transitions.
+// EdgeCount returns the number of outgoing transitions.
+func (st *State) EdgeCount() int { return len(st.edges) }
+
+// EdgeAt returns the i-th outgoing transition in sibling order without
+// copying the edge list.
+func (st *State) EdgeAt(i int) *Edge { return st.edges[i] }
+
+// Parents returns a copy of the incoming transitions.
 func (st *State) Parents() []*Edge {
 	out := make([]*Edge, len(st.parents))
 	copy(out, st.parents)
 	return out
 }
 
-// Key returns the canonical identity of the state.
-func (st *State) Key() string { return st.key }
+// ParentCount returns the number of incoming transitions.
+func (st *State) ParentCount() int { return len(st.parents) }
+
+// ParentAt returns the i-th incoming transition without copying.
+func (st *State) ParentAt(i int) *Edge { return st.parents[i] }
+
+// Key returns the canonical string identity of the state (the sorted
+// operation-set encoding, plus the builder tag if any). It is computed on
+// first use and memoized; protocol hot paths never call it.
+func (st *State) Key() string {
+	if st.key == "" && (st.depth > 0 || st.tag != "") {
+		k := st.Ops().Key()
+		if st.tag != "" {
+			k += "#" + st.tag
+		}
+		st.key = k
+	}
+	return st.key
+}
+
+// Doc returns the list value at this state, or nil when the space does not
+// record documents (see WithDocs). Ladder-rung documents are derived lazily
+// (copy-on-write): the first read clones the nearest materialized ancestor
+// document and replays the transformed operations down to this state,
+// caching every value on the way. Derivation failure panics — a transformed
+// operation that cannot apply is a protocol bug, caught eagerly under
+// WithCP1Check.
+func (st *State) Doc() list.Doc {
+	if st.doc != nil || st.docParent == nil {
+		return st.doc
+	}
+	// Walk up to the nearest materialized document, then replay downward.
+	chain := []*State{st}
+	cur := st.docParent
+	for cur.doc == nil && cur.docParent != nil {
+		chain = append(chain, cur)
+		cur = cur.docParent
+	}
+	if cur.doc == nil {
+		return nil
+	}
+	d := cur.doc
+	for i := len(chain) - 1; i >= 0; i-- {
+		ns := chain[i]
+		nd := d.Clone()
+		if err := ot.Apply(nd, ns.docOp); err != nil {
+			panic(fmt.Sprintf("statespace: derive doc at %s via %s: %v", ns, ns.docOp, err))
+		}
+		ns.doc = nd
+		d = nd
+	}
+	return st.doc
+}
 
 // String renders the state as its operation set, e.g. "{c1:1,c3:1}".
-func (st *State) String() string { return st.Ops.String() }
+func (st *State) String() string { return st.Ops().String() }
 
 // Edge is a transition of the state-space, labeled with an original or
 // transformed operation.
@@ -105,14 +258,25 @@ func (e *Edge) String() string {
 	return fmt.Sprintf("%s --%s--> %s", e.From, e.Op, e.To)
 }
 
+// extKey indexes a child state by its parent identity and added operation.
+type extKey struct {
+	parent StateID
+	op     opid.OpID
+}
+
 // Space is an n-ary ordered state-space.
 type Space struct {
-	states      map[string]*State
+	byHash      map[uint64]*State // intern index: set hash (^ tag hash) → chain
+	byID        []*State          // dense StateID → state (nil after compaction)
+	ext         map[extKey]*State // child-extension index
+	numStates   int
 	initial     *State
 	final       *State
 	edgesByOrig map[opid.OpID][]*Edge
 	orderOf     map[opid.OpID]OrderKey
 	numEdges    int
+
+	pathBuf []*Edge // reusable leftmostPath scratch (hot path, no allocs)
 
 	recordDocs bool
 	verifyCP1  bool
@@ -130,14 +294,16 @@ type Option func(*Space)
 
 // WithDocs makes the space maintain the list value at every state. Required
 // for compatibility queries and the figure-exact scenario tests; costs
-// memory proportional to states × document length.
+// memory proportional to states × document length (lazily, as states are
+// read).
 func WithDocs() Option {
 	return func(s *Space) { s.recordDocs = true }
 }
 
 // WithCP1Check makes Algorithm 1 verify, at every ladder step, that both
 // sides of the OT commutative square (Figure 1c) produce the same document.
-// Implies WithDocs. Used by tests; too expensive for benchmarks.
+// Implies WithDocs, materialized eagerly. Used by tests; too expensive for
+// benchmarks.
 func WithCP1Check() Option {
 	return func(s *Space) { s.recordDocs = true; s.verifyCP1 = true }
 }
@@ -156,25 +322,60 @@ func New(initialDoc list.Doc, opts ...Option) *Space {
 // (the same contract as CompactTo).
 func NewAt(root opid.Set, initialDoc list.Doc, opts ...Option) *Space {
 	s := &Space{
-		states:      make(map[string]*State),
+		byHash:      make(map[uint64]*State),
+		ext:         make(map[extKey]*State),
 		edgesByOrig: make(map[opid.OpID][]*Edge),
 		orderOf:     make(map[opid.OpID]OrderKey),
 	}
 	for _, opt := range opts {
 		opt(s)
 	}
-	init := &State{Ops: root.Clone(), key: root.Key()}
+	init := &State{base: root.Clone(), hash: root.Hash(), depth: len(root)}
 	if s.recordDocs {
 		if initialDoc != nil {
-			init.Doc = initialDoc.Clone()
+			init.doc = initialDoc.Clone()
 		} else {
-			init.Doc = list.NewDocument()
+			init.doc = list.NewDocument()
 		}
 	}
-	s.states[init.key] = init
+	s.intern(init)
 	s.initial = init
 	s.final = init
 	return s
+}
+
+// tagHash mixes a builder tag into the intern index key (0 for untagged).
+func tagHash(tag string) uint64 {
+	if tag == "" {
+		return 0
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(tag))
+	return h.Sum64()
+}
+
+// intern assigns the state its dense ID and links it into the hash index.
+// The caller has already checked that no equal state exists.
+func (s *Space) intern(st *State) {
+	st.id = StateID(len(s.byID))
+	s.byID = append(s.byID, st)
+	h := st.hash ^ tagHash(st.tag)
+	st.collide = s.byHash[h]
+	s.byHash[h] = st
+	s.numStates++
+}
+
+// lookup resolves an explicit operation set (and builder tag) to its
+// interned state: one commutative hash pass plus, on a hash hit, an
+// O(|ops|) chain-walk verification. No allocation.
+func (s *Space) lookup(ops opid.Set, tag string) (*State, bool) {
+	h := ops.Hash() ^ tagHash(tag)
+	for st := s.byHash[h]; st != nil; st = st.collide {
+		if st.equalsSet(ops, tag) {
+			return st, true
+		}
+	}
+	return nil, false
 }
 
 // Initial returns the initial state σ0.
@@ -185,14 +386,20 @@ func (s *Space) Initial() *State { return s.initial }
 func (s *Space) Final() *State { return s.final }
 
 // NumStates returns the number of states.
-func (s *Space) NumStates() int { return len(s.states) }
+func (s *Space) NumStates() int { return s.numStates }
 
 // NumEdges returns the number of transitions.
 func (s *Space) NumEdges() int { return s.numEdges }
 
 // StateOf returns the state identified by the given operation set, if any.
 func (s *Space) StateOf(ops opid.Set) (*State, bool) {
-	st, ok := s.states[ops.Key()]
+	return s.lookup(ops, "")
+}
+
+// Child returns the state reached from parent by adding the given original
+// operation, using the child-extension index (O(1)).
+func (s *Space) Child(parent *State, id opid.OpID) (*State, bool) {
+	st, ok := s.ext[extKey{parent.id, id}]
 	return st, ok
 }
 
@@ -217,12 +424,27 @@ func (s *Space) Integrate(o ot.Op, ctx opid.Set, key OrderKey) (ot.Op, error) {
 	if _, dup := s.orderOf[o.ID]; dup {
 		return ot.Op{}, fmt.Errorf("%w: %s", ErrDuplicateOp, o.ID)
 	}
-	sigma, ok := s.states[ctx.Key()]
+	sigma, ok := s.lookup(ctx, "")
 	if !ok {
 		return ot.Op{}, fmt.Errorf("%w: op %s ctx %s", ErrNoMatchingState, o, ctx)
 	}
-	s.orderOf[o.ID] = key
+	return s.integrateAt(o, sigma, key)
+}
 
+// IntegrateAt is Integrate with an already-resolved matching state: replicas
+// that track their context as an interned state (e.g. a client integrating a
+// local operation at its own final state) skip set resolution entirely.
+func (s *Space) IntegrateAt(o ot.Op, sigma *State, key OrderKey) (ot.Op, error) {
+	if _, dup := s.orderOf[o.ID]; dup {
+		return ot.Op{}, fmt.Errorf("%w: %s", ErrDuplicateOp, o.ID)
+	}
+	if int(sigma.id) >= len(s.byID) || s.byID[sigma.id] != sigma {
+		return ot.Op{}, fmt.Errorf("%w: %s", ErrForeignState, sigma)
+	}
+	return s.integrateAt(o, sigma, key)
+}
+
+func (s *Space) integrateAt(o ot.Op, sigma *State, key OrderKey) (ot.Op, error) {
 	// Compute the leftmost path BEFORE adding o's transitions: the path runs
 	// to the final state, which does not include o.
 	path, err := s.leftmostPath(sigma)
@@ -230,7 +452,7 @@ func (s *Space) Integrate(o ot.Op, ctx opid.Set, key OrderKey) (ot.Op, error) {
 		return ot.Op{}, fmt.Errorf("integrate %s: %w", o, err)
 	}
 	if s.audit {
-		entry := AuditEntry{Op: o, Ctx: ctx.Clone(), Key: key, Path: make([]opid.OpID, len(path))}
+		entry := AuditEntry{Op: o, Ctx: sigma.Ops(), Key: key, Path: make([]opid.OpID, len(path))}
 		for i, e := range path {
 			entry.Path[i] = e.Op.ID
 		}
@@ -250,7 +472,7 @@ func (s *Space) Integrate(o ot.Op, ctx opid.Set, key OrderKey) (ot.Op, error) {
 		fT := ot.Transform(f.Op, cur) // f{o...}: the top op including o
 		cur = ot.Transform(cur, f.Op) // o{...f}: o including one more op
 
-		ns, err := s.newState(f.To.Ops.Add(o.ID))
+		ns, err := s.newChild(f.To, o.ID)
 		if err != nil {
 			return ot.Op{}, err
 		}
@@ -272,27 +494,35 @@ func (s *Space) Integrate(o ot.Op, ctx opid.Set, key OrderKey) (ot.Op, error) {
 		prev = ns
 	}
 
+	// Register the operation only now: a failed integration (no matching
+	// state, stuck leftmost path) must leave the space able to retry the
+	// same operation rather than reporting ErrDuplicateOp forever.
+	s.orderOf[o.ID] = key
 	s.final = prev
 	return cur, nil
 }
 
-// snapshotDoc computes the document at the fresh state ns from its vertical
-// parent (top, via vop) and, when CP1 checking is on, cross-validates it
-// against the horizontal parent (prevNew, via hop).
+// snapshotDoc records the document at the fresh ladder state ns: lazily
+// (copy-on-write via State.Doc) in plain WithDocs mode, eagerly under CP1
+// checking, where both sides of the commutative square (vertical parent top
+// via vop, horizontal parent prevNew via hop) are computed and compared.
 func (s *Space) snapshotDoc(ns, top *State, vop ot.Op, prevNew *State, hop ot.Op) error {
-	d := top.Doc.Clone()
+	ns.docParent = top
+	ns.docOp = vop
+	if !s.verifyCP1 {
+		return nil
+	}
+	d := top.Doc().Clone()
 	if err := ot.Apply(d, vop); err != nil {
 		return fmt.Errorf("statespace: snapshot via %s: %w", vop, err)
 	}
-	ns.Doc = d
-	if s.verifyCP1 {
-		d2 := prevNew.Doc.Clone()
-		if err := ot.Apply(d2, hop); err != nil {
-			return fmt.Errorf("statespace: cp1 side via %s: %w", hop, err)
-		}
-		if !list.ElemsEqual(d.Elems(), d2.Elems()) {
-			return fmt.Errorf("statespace: CP1 square broken at %s: %q vs %q", ns, d.String(), d2.String())
-		}
+	ns.doc = d
+	d2 := prevNew.Doc().Clone()
+	if err := ot.Apply(d2, hop); err != nil {
+		return fmt.Errorf("statespace: cp1 side via %s: %w", hop, err)
+	}
+	if !list.ElemsEqual(d.Elems(), d2.Elems()) {
+		return fmt.Errorf("statespace: CP1 square broken at %s: %q vs %q", ns, d.String(), d2.String())
 	}
 	return nil
 }
@@ -300,7 +530,7 @@ func (s *Space) snapshotDoc(ns, top *State, vop ot.Op, prevNew *State, hop ot.Op
 // addTransition creates the state σ∪{o} and links σ to it with o, placed in
 // sibling order; the new state's document is derived when docs are recorded.
 func (s *Space) addTransition(sigma *State, o ot.Op, key OrderKey) (*State, error) {
-	ns, err := s.newState(sigma.Ops.Add(o.ID))
+	ns, err := s.newChild(sigma, o.ID)
 	if err != nil {
 		return nil, err
 	}
@@ -308,25 +538,40 @@ func (s *Space) addTransition(sigma *State, o ot.Op, key OrderKey) (*State, erro
 		return nil, err
 	}
 	if s.recordDocs {
-		d := sigma.Doc.Clone()
-		if err := ot.Apply(d, o); err != nil {
-			return nil, fmt.Errorf("statespace: apply %s at %s: %w", o, sigma, err)
+		ns.docParent = sigma
+		ns.docOp = o
+		if s.verifyCP1 {
+			d := sigma.Doc().Clone()
+			if err := ot.Apply(d, o); err != nil {
+				return nil, fmt.Errorf("statespace: apply %s at %s: %w", o, sigma, err)
+			}
+			ns.doc = d
 		}
-		ns.Doc = d
 	}
 	return ns, nil
 }
 
-// newState allocates a fresh state for the given operation set. Ladder
-// states are always new: the integrated operation is new to this replica,
-// so no existing state's set can contain it.
-func (s *Space) newState(ops opid.Set) (*State, error) {
-	key := ops.Key()
-	if _, exists := s.states[key]; exists {
-		return nil, fmt.Errorf("statespace: state %s unexpectedly exists", ops)
+// newChild allocates a fresh state for parent's set extended with added, in
+// O(1): the identity hash derives incrementally from the parent's. Ladder
+// states are always new — the integrated operation is new to this replica,
+// so no existing state's set can contain it; the child-extension and intern
+// indexes enforce that.
+func (s *Space) newChild(parent *State, added opid.OpID) (*State, error) {
+	if dup, ok := s.ext[extKey{parent.id, added}]; ok {
+		return nil, fmt.Errorf("statespace: state %s unexpectedly exists", dup)
 	}
-	st := &State{Ops: ops, key: key}
-	s.states[key] = st
+	hash := parent.hash ^ added.Hash()
+	if s.byHash[hash] != nil {
+		// Hash occupied: either a genuine duplicate (error) or an
+		// astronomically unlikely collision — disambiguate exactly.
+		ops := parent.Ops()
+		ops.Put(added)
+		if dup, ok := s.lookup(ops, ""); ok {
+			return nil, fmt.Errorf("statespace: state %s unexpectedly exists", dup)
+		}
+	}
+	st := &State{hash: hash, depth: parent.depth + 1, parent: parent, added: added}
+	s.intern(st)
 	return st, nil
 }
 
@@ -349,6 +594,7 @@ func (s *Space) linkEdge(from, to *State, op ot.Op, key OrderKey) error {
 	copy(from.edges[idx+1:], from.edges[idx:])
 	from.edges[idx] = e
 	to.parents = append(to.parents, e)
+	s.ext[extKey{from.id, op.ID}] = to
 	s.edgesByOrig[op.ID] = append(s.edgesByOrig[op.ID], e)
 	s.numEdges++
 	return nil
@@ -389,9 +635,10 @@ func (s *Space) Promote(id opid.OpID, key OrderKey) error {
 
 // leftmostPath returns the transitions along the leftmost path from st to
 // the final state. By Lemma 6.4 the path exists and carries exactly the
-// operations of O \ σ in total order.
+// operations of O \ σ in total order. The returned slice aliases the
+// space's reusable scratch buffer: it is valid until the next Integrate.
 func (s *Space) leftmostPath(st *State) ([]*Edge, error) {
-	var path []*Edge
+	path := s.pathBuf[:0]
 	cur := st
 	for cur != s.final {
 		if len(cur.edges) == 0 {
@@ -400,17 +647,24 @@ func (s *Space) leftmostPath(st *State) ([]*Edge, error) {
 		e := cur.edges[0]
 		path = append(path, e)
 		cur = e.To
-		if len(path) > len(s.states) {
+		if len(path) > s.numStates {
 			return nil, fmt.Errorf("statespace: leftmost path from %s exceeds state count (cycle?)", st)
 		}
 	}
+	s.pathBuf = path
 	return path, nil
 }
 
 // LeftmostPath exposes the leftmost path from st to the final state for
-// tests and tools (Lemma 6.4).
+// tests and tools (Lemma 6.4). The returned slice is the caller's.
 func (s *Space) LeftmostPath(st *State) ([]*Edge, error) {
-	return s.leftmostPath(st)
+	path, err := s.leftmostPath(st)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Edge, len(path))
+	copy(out, path)
+	return out, nil
 }
 
 // AuditEntry records one Integrate call: the original operation, its

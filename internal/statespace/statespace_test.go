@@ -105,7 +105,7 @@ func TestFigure3Algorithm1(t *testing.T) {
 	}
 
 	// Final state contains everything.
-	if !s.Final().Ops.Equal(set(o1.ID, o2.ID, o3.ID, o4.ID)) {
+	if !s.Final().Ops().Equal(set(o1.ID, o2.ID, o3.ID, o4.ID)) {
 		t.Fatalf("final state is %s", s.Final())
 	}
 
@@ -141,7 +141,7 @@ func TestLeftmostPathLemma64(t *testing.T) {
 		// Path ops = O \ σ.
 		want := opid.NewSet()
 		for _, o := range ops {
-			if !st.Ops.Contains(o.ID) {
+			if !st.Contains(o.ID) {
 				want = want.Add(o.ID)
 			}
 		}
@@ -411,12 +411,12 @@ func TestRandomServerIntegration(t *testing.T) {
 			// random-prefix context cannot guarantee that for a reused
 			// client identity.
 			cl := int32(k + 1)
-			if st.Doc.Len() > 0 && r.Intn(3) == 0 {
-				pos := r.Intn(st.Doc.Len())
-				e, _ := st.Doc.Get(pos)
+			if st.Doc().Len() > 0 && r.Intn(3) == 0 {
+				pos := r.Intn(st.Doc().Len())
+				e, _ := st.Doc().Get(pos)
 				op = ot.Del(e, pos, id(cl, uint64(k+1)))
 			} else {
-				op = ot.Ins(rune('a'+k), r.Intn(st.Doc.Len()+1), id(cl, uint64(k+1)))
+				op = ot.Ins(rune('a'+k), r.Intn(st.Doc().Len()+1), id(cl, uint64(k+1)))
 			}
 			if _, err := s.Integrate(op, ctx, OrderKey(k+1)); err != nil {
 				t.Fatalf("trial %d op %d: %v", trial, k, err)
@@ -438,7 +438,7 @@ func TestRandomServerIntegration(t *testing.T) {
 			}
 			want := opid.NewSet()
 			for _, o := range order {
-				if !st.Ops.Contains(o.ID) {
+				if !st.Contains(o.ID) {
 					want = want.Add(o.ID)
 				}
 			}
