@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check fuzz bench bench-smoke bench-compare chaos ci
+.PHONY: all build test race vet fmt-check fuzz fuzz-wire bench bench-smoke bench-compare chaos serve-demo ci
 
 all: build test
 
@@ -27,6 +27,10 @@ fmt-check:
 fuzz:
 	$(GO) test -fuzz=FuzzTransformCP1 -fuzztime=30s ./internal/ot
 
+# Short adversarial-input burst against the wire frame codec.
+fuzz-wire:
+	$(GO) test -fuzz=FuzzWireDecode -fuzztime=10s ./internal/wire
+
 bench:
 	$(GO) test -run xxx -bench=. -benchmem .
 
@@ -47,4 +51,9 @@ bench-compare:
 chaos:
 	$(GO) test -run xxx -bench=BenchmarkE10_ChaosLossSweep -benchtime=30x .
 
-ci: fmt-check vet build test race
+# End-to-end jupiterd smoke: two TCP clients, a forced reconnect, metrics,
+# convergence assertion. Exits non-zero on divergence.
+serve-demo:
+	sh scripts/serve_demo.sh
+
+ci: fmt-check vet build test race fuzz-wire serve-demo

@@ -15,12 +15,20 @@ import (
 	"math/rand"
 	"testing"
 
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+
 	"jupiter"
+	netclient "jupiter/internal/client"
 	"jupiter/internal/css"
 	"jupiter/internal/dcss"
 	"jupiter/internal/list"
 	"jupiter/internal/opid"
 	"jupiter/internal/ot"
+	"jupiter/internal/server"
 	"jupiter/internal/sim"
 	"jupiter/internal/statespace"
 )
@@ -828,6 +836,115 @@ func BenchmarkE10_ChaosLossSweep(b *testing.B) {
 			n := float64(b.N)
 			b.ReportMetric(retrans/n/(clients*ops), "retransmits/op")
 			b.ReportMetric(ticks/n, "ticks/run")
+		})
+	}
+}
+
+// BenchmarkE12_LoopbackTCP measures the real network runtime end to end
+// (E12, EXPERIMENTS.md): jupiterd serving on the loopback interface with
+// 1/4/16 TCP clients generating a random workload, timed from first insert
+// to every replica having processed every serialized operation. The
+// inproc/* sub-benchmarks run the identical workload through the in-process
+// goroutine runtime (sim.RunAsync) as the no-network baseline, so the pair
+// isolates what the wire codec, kernel sockets, and per-client frame
+// bookkeeping cost per applied operation.
+//
+// The metrics endpoint is probed live during each net/* sub-benchmark: the
+// bench fails if jupiterd stops serving counters while under load.
+func BenchmarkE12_LoopbackTCP(b *testing.B) {
+	const opsEach = 25
+	for _, n := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("net/clients=%d", n), func(b *testing.B) {
+			eng := server.New(server.Config{Addr: "127.0.0.1:0", MetricsAddr: "127.0.0.1:0"})
+			if err := eng.Start(); err != nil {
+				b.Fatal(err)
+			}
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer cancel()
+				_ = eng.Shutdown(ctx)
+			}()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+			defer cancel()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				doc := fmt.Sprintf("e12-%d-%d", n, i)
+				cs := make([]*netclient.Client, n)
+				for j := range cs {
+					c, err := netclient.Dial(netclient.Config{Addr: eng.Addr(), Doc: doc, Seed: int64(j + 1)})
+					if err != nil {
+						b.Fatal(err)
+					}
+					cs[j] = c
+				}
+				b.StartTimer()
+				var wg sync.WaitGroup
+				for j, c := range cs {
+					wg.Add(1)
+					go func(j int, c *netclient.Client) {
+						defer wg.Done()
+						r := rand.New(rand.NewSource(int64(i*1000 + j + 1)))
+						for k := 0; k < opsEach; k++ {
+							doc := c.Document()
+							if len(doc) > 0 && r.Float64() < 0.3 {
+								if err := c.Delete(r.Intn(len(doc))); err != nil {
+									b.Error(err)
+									return
+								}
+							} else {
+								if err := c.Insert(rune('a'+k%26), r.Intn(len(doc)+1)); err != nil {
+									b.Error(err)
+									return
+								}
+							}
+						}
+					}(j, c)
+				}
+				wg.Wait()
+				for _, c := range cs {
+					if err := c.WaitServerSeq(ctx, uint64(n*opsEach)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				if i == 0 {
+					// Live metrics probe while the engine is under bench load.
+					resp, err := http.Get("http://" + eng.MetricsAddr() + "/")
+					if err != nil {
+						b.Fatalf("metrics endpoint down during bench: %v", err)
+					}
+					var m map[string]any
+					if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+						b.Fatalf("metrics decode: %v", err)
+					}
+					resp.Body.Close()
+					if m["ops_applied"].(float64) < float64(n*opsEach) {
+						b.Fatalf("metrics ops_applied = %v, want >= %d", m["ops_applied"], n*opsEach)
+					}
+					b.Logf("live metrics: ops_applied=%v resumes=%v backpressure_disconnects=%v apply_latency=%v",
+						m["ops_applied"], m["resumes_total"], m["backpressure_disconnects_total"], m["apply_latency"])
+				}
+				for _, c := range cs {
+					_ = c.Close()
+				}
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n*opsEach), "ns/op-applied")
+		})
+		b.Run(fmt.Sprintf("inproc/clients=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := jupiter.RunAsync(jupiter.CSS, jupiter.AsyncConfig{
+					Clients:      n,
+					OpsPerClient: opsEach,
+					Seed:         int64(i + 1),
+					DeleteRatio:  0.3,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n*opsEach), "ns/op-applied")
 		})
 	}
 }

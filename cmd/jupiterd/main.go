@@ -1,0 +1,76 @@
+// Command jupiterd runs the CSS Jupiter server over TCP: a multi-document
+// collaborative-editing daemon speaking the internal/wire frame protocol,
+// with a metrics endpoint serving live JSON counters.
+//
+// Examples:
+//
+//	jupiterd -addr 127.0.0.1:9170 -metrics 127.0.0.1:9171
+//	jupiterd -addr :9170 -gc-every 64 -v
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: listeners close,
+// every client receives a shutdown error frame, queued frames drain, and
+// document apply loops stop. Clients that reconnect to a future instance
+// start fresh sessions (document state is in-memory only).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"jupiter/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "jupiterd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("jupiterd", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", "127.0.0.1:9170", "TCP listen address for the wire protocol")
+		metricsAddr = fs.String("metrics", "127.0.0.1:9171", "HTTP listen address for metrics JSON (empty to disable)")
+		maxFrame    = fs.Int("max-frame", 0, "maximum wire frame size in bytes (0 = default)")
+		sendQueue   = fs.Int("send-queue", 0, "per-client outbound queue capacity (0 = default)")
+		gcEvery     = fs.Int("gc-every", 0, "advance the state-space GC frontier every N applied ops (0 = never)")
+		verbose     = fs.Bool("v", false, "log connection and session events")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := server.Config{
+		Addr:        *addr,
+		MetricsAddr: *metricsAddr,
+		MaxFrame:    *maxFrame,
+		SendQueue:   *sendQueue,
+		GCEvery:     *gcEvery,
+	}
+	if *verbose {
+		cfg.Logf = log.Printf
+	}
+	eng := server.New(cfg)
+	if err := eng.Start(); err != nil {
+		return err
+	}
+	log.Printf("jupiterd: serving on %s", eng.Addr())
+	if ma := eng.MetricsAddr(); ma != "" {
+		log.Printf("jupiterd: metrics on http://%s/", ma)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	log.Printf("jupiterd: %v, shutting down", s)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return eng.Shutdown(ctx)
+}

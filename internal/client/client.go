@@ -1,0 +1,553 @@
+// Package client is the network counterpart of internal/server: a
+// css.Client replica speaking the internal/wire protocol over TCP, with
+// automatic reconnection.
+//
+// Lifecycle. Dial connects, performs the Hello/Welcome handshake (rooting
+// the replica at the server's join snapshot), and starts a manager goroutine
+// that owns the connection: it reads server frames, applies them to the
+// replica, and — whenever the connection drops — redials with exponential
+// backoff plus jitter and resumes the session (presenting the last processed
+// frame sequence so the server replays only the missed suffix).
+//
+// Edits while disconnected are fine: operations are generated locally
+// (optimistic local-first execution, exactly the paper's client behavior)
+// and buffered; every operation stays in the resend buffer until the server
+// acknowledges it with the protocol-level MsgAck, and the whole buffer is
+// replayed after each reconnect. The server deduplicates by per-client
+// operation sequence, so replaying is always safe.
+//
+// Sync() is the write barrier: it blocks until every locally generated
+// operation has been serialized and acknowledged. WaitServerSeq(n) is the
+// read barrier: it blocks until the replica has processed every serialized
+// operation up to global sequence n. Together they give tests and tools a
+// convergence point without polling.
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"jupiter/internal/core"
+	"jupiter/internal/css"
+	"jupiter/internal/list"
+	"jupiter/internal/opid"
+	"jupiter/internal/wire"
+)
+
+// Config configures a Client.
+type Config struct {
+	// Addr is the server's TCP address.
+	Addr string
+	// Doc is the document to join.
+	Doc string
+	// MaxFrame caps wire frames (0 = wire.DefaultMaxFrame).
+	MaxFrame int
+	// DialTimeout bounds one dial attempt (0 = 5s).
+	DialTimeout time.Duration
+	// MinBackoff/MaxBackoff bound the reconnect backoff (0 = 25ms / 2s).
+	MinBackoff time.Duration
+	MaxBackoff time.Duration
+	// Seed seeds the backoff jitter (0 = 1).
+	Seed int64
+	// Recorder, when non-nil, records the replica's do events (shared,
+	// thread-safe recorder in tests).
+	Recorder core.Recorder
+	// Logf, when non-nil, receives one line per connection event.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) dialTimeout() time.Duration {
+	if c.DialTimeout <= 0 {
+		return 5 * time.Second
+	}
+	return c.DialTimeout
+}
+
+func (c *Config) minBackoff() time.Duration {
+	if c.MinBackoff <= 0 {
+		return 25 * time.Millisecond
+	}
+	return c.MinBackoff
+}
+
+func (c *Config) maxBackoff() time.Duration {
+	if c.MaxBackoff <= 0 {
+		return 2 * time.Second
+	}
+	return c.MaxBackoff
+}
+
+// Client is a connected (or reconnecting) replica of one document.
+type Client struct {
+	cfg Config
+
+	mu   sync.Mutex
+	cond *sync.Cond // signaled on any state change under mu
+
+	replica      *css.Client     // the protocol replica; nil never after Dial
+	id           opid.ClientID   // assigned by the server at first join
+	resend       []css.ClientMsg // generated, not yet protocol-acked, in order
+	lastFrameSeq uint64          // last server frame applied (resume point)
+	serverSeq    uint64          // highest global op sequence processed
+	connGen      int             // bumped on every successful handshake
+	connected    bool
+	closed       bool
+	termErr      error // terminal failure (bad resume etc.)
+
+	// Connection plumbing; writeMu serializes frame writes between the
+	// manager (acks, replays) and generators (ops). Lock order: mu, then
+	// writeMu.
+	writeMu sync.Mutex
+	nc      net.Conn
+	codec   *wire.Codec
+
+	rng *rand.Rand // jitter; guarded by the manager goroutine only
+
+	wg sync.WaitGroup
+}
+
+// Errors.
+var (
+	ErrClosed = errors.New("client: closed")
+)
+
+// Dial connects, joins the document as a new client, and starts the
+// reconnect manager. It returns once the replica is rooted and usable.
+func Dial(cfg Config) (*Client, error) {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	c := &Client{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	c.cond = sync.NewCond(&c.mu)
+	if err := c.connect(); err != nil {
+		return nil, err
+	}
+	c.wg.Add(1)
+	go c.manage()
+	return c, nil
+}
+
+// ID returns the server-assigned client identifier.
+func (c *Client) ID() opid.ClientID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.id
+}
+
+// logf logs via the configured logger.
+func (c *Client) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// connect dials and performs one handshake (new join or resume). On success
+// the connection is installed and buffered operations are replayed.
+func (c *Client) connect() error {
+	nc, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.dialTimeout())
+	if err != nil {
+		return err
+	}
+	codec := wire.NewCodec(nc, c.cfg.MaxFrame)
+
+	c.mu.Lock()
+	hello := wire.Hello{Doc: c.cfg.Doc}
+	if c.replica != nil {
+		hello.ClientID = int32(c.id)
+		hello.LastFrameSeq = c.lastFrameSeq
+	}
+	c.mu.Unlock()
+
+	_ = nc.SetDeadline(time.Now().Add(c.cfg.dialTimeout()))
+	if err := codec.Write(&wire.Frame{Type: wire.THello, Hello: &hello}); err != nil {
+		nc.Close()
+		return err
+	}
+	f, err := codec.Read()
+	if err != nil {
+		nc.Close()
+		return err
+	}
+	_ = nc.SetDeadline(time.Time{})
+
+	switch f.Type {
+	case wire.TWelcome:
+	case wire.TError:
+		nc.Close()
+		err := fmt.Errorf("client: server rejected session: %s: %s", f.Error.Code, f.Error.Msg)
+		if f.Error.Code == wire.CodeBadResume {
+			c.fail(err)
+		}
+		return err
+	default:
+		nc.Close()
+		return fmt.Errorf("client: unexpected handshake frame %q", f.Type)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		nc.Close()
+		return ErrClosed
+	}
+	if c.replica == nil {
+		if f.Welcome.Snapshot == nil {
+			nc.Close()
+			return fmt.Errorf("client: welcome without snapshot for a new session")
+		}
+		replica, err := css.NewClientFromSnapshot(opid.ClientID(f.Welcome.ClientID), f.Welcome.Snapshot, c.cfg.Recorder)
+		if err != nil {
+			nc.Close()
+			return fmt.Errorf("client: root from snapshot: %w", err)
+		}
+		c.replica = replica
+		c.id = opid.ClientID(f.Welcome.ClientID)
+		// Everything in the snapshot is already serialized; reads of it are
+		// consistent from global sequence = number of replayed ops.
+		c.serverSeq = uint64(len(f.Welcome.Snapshot.FrontierIDs) + len(f.Welcome.Snapshot.Replay))
+	} else if !f.Welcome.Resume {
+		nc.Close()
+		return fmt.Errorf("client: expected resume welcome")
+	}
+	c.nc = nc
+	c.codec = codec
+	c.connected = true
+	c.connGen++
+	pending := append([]css.ClientMsg(nil), c.resend...)
+	c.cond.Broadcast()
+
+	// Replay unacknowledged operations in order. Holding writeMu (under mu)
+	// keeps a concurrent generator from interleaving a newer op before an
+	// older one.
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	for i := range pending {
+		if err := codec.Write(&wire.Frame{Type: wire.TOp, Op: &wire.Op{Msg: pending[i]}}); err != nil {
+			// The manager will notice the dead connection and retry.
+			break
+		}
+	}
+	c.logf("client c%d: connected to %s (%d ops replayed)", c.id, c.cfg.Addr, len(pending))
+	return nil
+}
+
+// manage owns reconnection: read frames until the connection dies, then
+// redial with backoff until closed.
+func (c *Client) manage() {
+	defer c.wg.Done()
+	for {
+		c.mu.Lock()
+		for !c.connected && !c.closed && c.termErr == nil {
+			c.mu.Unlock()
+			if !c.backoffAndRedial() {
+				return
+			}
+			c.mu.Lock()
+		}
+		if c.closed || c.termErr != nil {
+			c.mu.Unlock()
+			return
+		}
+		codec := c.codec
+		nc := c.nc
+		gen := c.connGen
+		c.mu.Unlock()
+
+		c.readFrames(codec, gen)
+
+		nc.Close()
+		c.mu.Lock()
+		if c.connGen == gen {
+			c.connected = false
+			c.cond.Broadcast()
+		}
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return
+		}
+	}
+}
+
+// backoffAndRedial sleeps the next backoff (with jitter) and tries one
+// connect; it reports false when the client is done for good.
+func (c *Client) backoffAndRedial() bool {
+	backoff := c.cfg.minBackoff()
+	for attempt := 0; ; attempt++ {
+		d := backoff + time.Duration(c.rng.Int63n(int64(backoff)/2+1))
+		timer := time.NewTimer(d)
+		<-timer.C
+		c.mu.Lock()
+		if c.closed || c.termErr != nil {
+			c.mu.Unlock()
+			return false
+		}
+		c.mu.Unlock()
+		err := c.connect()
+		if err == nil {
+			return true
+		}
+		if errors.Is(err, ErrClosed) {
+			return false
+		}
+		c.mu.Lock()
+		terminal := c.termErr != nil
+		c.mu.Unlock()
+		if terminal {
+			return false
+		}
+		c.logf("client c%d: redial: %v", c.ID(), err)
+		backoff *= 2
+		if backoff > c.cfg.maxBackoff() {
+			backoff = c.cfg.maxBackoff()
+		}
+	}
+}
+
+// readFrames applies server frames until the connection errors. gen guards
+// against applying frames from a stale connection after a racing reconnect.
+func (c *Client) readFrames(codec *wire.Codec, gen int) {
+	for {
+		f, err := codec.Read()
+		if err != nil {
+			return
+		}
+		switch f.Type {
+		case wire.TServer:
+			if !c.applyServerFrame(f.Server, gen) {
+				return
+			}
+			// Frame-level ack: lets the server trim its retained outbox.
+			c.writeMu.Lock()
+			err := codec.Write(&wire.Frame{Type: wire.TAck, Ack: &wire.Ack{Seq: f.Server.Seq}})
+			c.writeMu.Unlock()
+			if err != nil {
+				return
+			}
+		case wire.TError:
+			if f.Error.Code == wire.CodeBadResume {
+				c.fail(fmt.Errorf("client: server rejected resume: %s", f.Error.Msg))
+			}
+			c.logf("client c%d: server error: %s: %s", c.ID(), f.Error.Code, f.Error.Msg)
+			return
+		case wire.TBye:
+			return
+		default:
+			c.logf("client c%d: unexpected frame %q", c.ID(), f.Type)
+			return
+		}
+	}
+}
+
+// applyServerFrame integrates one server message into the replica.
+func (c *Client) applyServerFrame(s *wire.Server, gen int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || c.connGen != gen {
+		return false
+	}
+	if s.Seq != c.lastFrameSeq+1 {
+		// FIFO violation (or duplicate after a torn resume): drop the
+		// connection and resume from the last good frame.
+		c.logf("client c%d: frame gap: got %d want %d", c.id, s.Seq, c.lastFrameSeq+1)
+		return false
+	}
+	if err := c.replica.Receive(s.Msg); err != nil {
+		c.fail(fmt.Errorf("client: apply frame %d: %w", s.Seq, err))
+		return false
+	}
+	c.lastFrameSeq = s.Seq
+	switch s.Msg.Kind {
+	case css.MsgAck:
+		if len(c.resend) > 0 && c.resend[0].Op.ID == s.Msg.AckID {
+			c.resend = c.resend[1:]
+		} else {
+			// Out-of-order ack would be a protocol bug; scrub defensively.
+			kept := c.resend[:0]
+			for _, m := range c.resend {
+				if m.Op.ID != s.Msg.AckID {
+					kept = append(kept, m)
+				}
+			}
+			c.resend = kept
+		}
+		if s.Msg.Seq > c.serverSeq {
+			c.serverSeq = s.Msg.Seq
+		}
+	case css.MsgBroadcast:
+		if s.Msg.Seq > c.serverSeq {
+			c.serverSeq = s.Msg.Seq
+		}
+	}
+	c.cond.Broadcast()
+	return true
+}
+
+// fail records a terminal error and wakes every waiter.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.termErr == nil {
+		c.termErr = err
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// generate runs one local edit and ships (or buffers) the message.
+func (c *Client) generate(gen func(*css.Client) (css.ClientMsg, error)) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	if c.termErr != nil {
+		defer c.mu.Unlock()
+		return c.termErr
+	}
+	msg, err := gen(c.replica)
+	if err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	c.resend = append(c.resend, msg)
+	connected := c.connected
+	codec := c.codec
+	if !connected {
+		c.mu.Unlock()
+		return nil // buffered; replayed on reconnect
+	}
+	// Ship while holding writeMu acquired under mu, so concurrent edits
+	// leave the client in generation order.
+	c.writeMu.Lock()
+	c.mu.Unlock()
+	err = codec.Write(&wire.Frame{Type: wire.TOp, Op: &wire.Op{Msg: msg}})
+	c.writeMu.Unlock()
+	if err != nil {
+		// Connection died under us; the op stays in the resend buffer.
+		c.logf("client c%d: send failed (buffered): %v", c.ID(), err)
+	}
+	return nil
+}
+
+// Insert generates Ins(val, pos) locally and propagates it.
+func (c *Client) Insert(val rune, pos int) error {
+	return c.generate(func(r *css.Client) (css.ClientMsg, error) { return r.GenerateIns(val, pos) })
+}
+
+// Delete generates a delete of the element at pos and propagates it.
+func (c *Client) Delete(pos int) error {
+	return c.generate(func(r *css.Client) (css.ClientMsg, error) { return r.GenerateDel(pos) })
+}
+
+// Document returns the replica's current list value.
+func (c *Client) Document() []list.Elem {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.replica.Document()
+}
+
+// Text returns the document rendered as a string.
+func (c *Client) Text() string { return list.Render(c.Document()) }
+
+// Read records a do(Read, w) event in the history and returns the list.
+func (c *Client) Read() []list.Elem {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.replica.Read()
+}
+
+// ServerSeq returns the highest global sequence number processed so far.
+func (c *Client) ServerSeq() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.serverSeq
+}
+
+// Pending returns how many local operations await acknowledgement.
+func (c *Client) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.resend)
+}
+
+// wait blocks until pred (under mu) holds, the context ends, or the client
+// terminally fails.
+func (c *Client) wait(ctx context.Context, pred func() bool) error {
+	done := make(chan struct{})
+	defer close(done)
+	stop := context.AfterFunc(ctx, func() {
+		c.mu.Lock()
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	})
+	defer stop()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for !pred() {
+		if c.termErr != nil {
+			return c.termErr
+		}
+		if c.closed {
+			return ErrClosed
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		c.cond.Wait()
+	}
+	return nil
+}
+
+// Sync blocks until every locally generated operation has been serialized
+// and acknowledged by the server (the write barrier).
+func (c *Client) Sync(ctx context.Context) error {
+	return c.wait(ctx, func() bool { return len(c.resend) == 0 })
+}
+
+// WaitServerSeq blocks until the replica has processed every operation up
+// to and including global sequence seq (the read barrier).
+func (c *Client) WaitServerSeq(ctx context.Context, seq uint64) error {
+	return c.wait(ctx, func() bool { return c.serverSeq >= seq })
+}
+
+// DropConnection forcibly closes the current TCP connection (a test hook
+// simulating a network failure); the manager redials and resumes.
+func (c *Client) DropConnection() {
+	c.mu.Lock()
+	nc := c.nc
+	c.mu.Unlock()
+	if nc != nil {
+		nc.Close()
+	}
+}
+
+// Close stops the client for good.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.closed = true
+	nc := c.nc
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	if nc != nil {
+		// Best-effort goodbye, then cut.
+		c.writeMu.Lock()
+		if c.codec != nil {
+			_ = nc.SetWriteDeadline(time.Now().Add(100 * time.Millisecond))
+			_ = c.codec.Write(&wire.Frame{Type: wire.TBye})
+		}
+		c.writeMu.Unlock()
+		nc.Close()
+	}
+	c.wg.Wait()
+	return nil
+}

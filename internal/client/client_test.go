@@ -1,0 +1,32 @@
+package client
+
+import (
+	"testing"
+	"time"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	if got := c.dialTimeout(); got != 5*time.Second {
+		t.Errorf("dialTimeout = %v", got)
+	}
+	if got := c.minBackoff(); got != 25*time.Millisecond {
+		t.Errorf("minBackoff = %v", got)
+	}
+	if got := c.maxBackoff(); got != 2*time.Second {
+		t.Errorf("maxBackoff = %v", got)
+	}
+	c = Config{DialTimeout: time.Second, MinBackoff: time.Millisecond, MaxBackoff: time.Minute}
+	if c.dialTimeout() != time.Second || c.minBackoff() != time.Millisecond || c.maxBackoff() != time.Minute {
+		t.Errorf("explicit config not honored: %+v", c)
+	}
+}
+
+func TestDialFailsFast(t *testing.T) {
+	// Nothing listens on this port; Dial must return an error rather than
+	// spinning in the background.
+	_, err := Dial(Config{Addr: "127.0.0.1:1", Doc: "d", DialTimeout: 500 * time.Millisecond})
+	if err == nil {
+		t.Fatal("expected dial error")
+	}
+}

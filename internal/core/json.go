@@ -9,70 +9,81 @@ import (
 	"jupiter/internal/ot"
 )
 
-// The wire representation of histories. cmd/speccheck consumes this format,
-// and cmd/jupitersim can emit it, so recorded executions can be archived and
-// re-checked offline.
+// The wire representation of operations, elements, and histories.
+// cmd/speccheck consumes the history format, cmd/jupitersim can emit it, and
+// the network runtime (internal/wire, internal/server, internal/client)
+// reuses the operation/element/identifier encodings for its frames, so a
+// recorded execution and a captured network trace speak the same JSON.
 
-type opIDJSON struct {
+// OpIDJSON is the wire form of an opid.OpID.
+type OpIDJSON struct {
 	Client int32  `json:"client"`
 	Seq    uint64 `json:"seq"`
 }
 
-type elemJSON struct {
+// ElemJSON is the wire form of a list.Elem.
+type ElemJSON struct {
 	Val string   `json:"val"`
-	ID  opIDJSON `json:"id"`
+	ID  OpIDJSON `json:"id"`
 }
 
-type opJSON struct {
+// OpJSON is the wire form of an ot.Op.
+type OpJSON struct {
 	Kind string    `json:"kind"` // "ins", "del", "nop", "read"
 	Val  string    `json:"val,omitempty"`
-	Elem *elemJSON `json:"elem,omitempty"`
+	Elem *ElemJSON `json:"elem,omitempty"`
 	Pos  int       `json:"pos"`
-	ID   opIDJSON  `json:"id"`
+	ID   OpIDJSON  `json:"id"`
 	Pri  int32     `json:"pri"`
 }
 
 type eventJSON struct {
 	Replica  string     `json:"replica"`
-	Op       opJSON     `json:"op"`
-	Returned []elemJSON `json:"returned"`
-	Visible  []opIDJSON `json:"visible"`
+	Op       OpJSON     `json:"op"`
+	Returned []ElemJSON `json:"returned"`
+	Visible  []OpIDJSON `json:"visible"`
 }
 
 type historyJSON struct {
-	Seed   []elemJSON  `json:"seed,omitempty"`
+	Seed   []ElemJSON  `json:"seed,omitempty"`
 	Events []eventJSON `json:"events"`
 }
 
-func idToJSON(id opid.OpID) opIDJSON {
-	return opIDJSON{Client: int32(id.Client), Seq: id.Seq}
+// IDToJSON converts an operation identifier to its wire form.
+func IDToJSON(id opid.OpID) OpIDJSON {
+	return OpIDJSON{Client: int32(id.Client), Seq: id.Seq}
 }
 
-func idFromJSON(j opIDJSON) opid.OpID {
+// IDFromJSON converts a wire identifier back.
+func IDFromJSON(j OpIDJSON) opid.OpID {
 	return opid.OpID{Client: opid.ClientID(j.Client), Seq: j.Seq}
 }
 
-func elemToJSON(e list.Elem) elemJSON {
-	return elemJSON{Val: string(e.Val), ID: idToJSON(e.ID)}
+// ElemToJSON converts a list element to its wire form.
+func ElemToJSON(e list.Elem) ElemJSON {
+	return ElemJSON{Val: string(e.Val), ID: IDToJSON(e.ID)}
 }
 
-func elemFromJSON(j elemJSON) (list.Elem, error) {
+// ElemFromJSON converts a wire element back, validating the value is a
+// single rune.
+func ElemFromJSON(j ElemJSON) (list.Elem, error) {
 	r := []rune(j.Val)
 	if len(r) != 1 {
 		return list.Elem{}, fmt.Errorf("history json: element value %q is not a single rune", j.Val)
 	}
-	return list.Elem{Val: r[0], ID: idFromJSON(j.ID)}, nil
+	return list.Elem{Val: r[0], ID: IDFromJSON(j.ID)}, nil
 }
 
-func opToJSON(o ot.Op) opJSON {
-	j := opJSON{Pos: o.Pos, ID: idToJSON(o.ID), Pri: o.Pri}
+// OpToJSON converts an operation to its wire form.
+func OpToJSON(o ot.Op) OpJSON {
+	j := OpJSON{Pos: o.Pos, ID: IDToJSON(o.ID), Pri: o.Pri}
 	switch o.Kind {
 	case ot.KindIns:
 		j.Kind = "ins"
 		j.Val = string(o.Elem.Val)
 	case ot.KindDel:
 		j.Kind = "del"
-		e := elemToJSON(o.Elem)
+		e := ElemToJSON(o.Elem)
 		j.Elem = &e
 	case ot.KindNop:
 		j.Kind = "nop"
@@ -82,8 +93,9 @@ func opToJSON(o ot.Op) opJSON {
 	return j
 }
 
-func opFromJSON(j opJSON) (ot.Op, error) {
-	id := idFromJSON(j.ID)
+// OpFromJSON converts a wire operation back, validating kind and payload.
+func OpFromJSON(j OpJSON) (ot.Op, error) {
+	id := IDFromJSON(j.ID)
 	switch j.Kind {
 	case "ins":
 		r := []rune(j.Val)
@@ -97,7 +109,7 @@ func opFromJSON(j opJSON) (ot.Op, error) {
 		if j.Elem == nil {
 			return ot.Op{}, fmt.Errorf("history json: delete without element")
 		}
-		e, err := elemFromJSON(*j.Elem)
+		e, err := ElemFromJSON(*j.Elem)
 		if err != nil {
 			return ot.Op{}, err
 		}
@@ -113,24 +125,42 @@ func opFromJSON(j opJSON) (ot.Op, error) {
 	}
 }
 
+// SetToJSON converts an identifier set to its wire form, in canonical order.
+func SetToJSON(s opid.Set) []OpIDJSON {
+	out := make([]OpIDJSON, 0, len(s))
+	for _, id := range s.Sorted() {
+		out = append(out, IDToJSON(id))
+	}
+	return out
+}
+
+// SetFromJSON converts a wire identifier list back to a set.
+func SetFromJSON(js []OpIDJSON) opid.Set {
+	s := opid.NewSet()
+	for _, j := range js {
+		s.Put(IDFromJSON(j))
+	}
+	return s
+}
+
 // MarshalJSON implements json.Marshaler.
 func (h *History) MarshalJSON() ([]byte, error) {
 	out := historyJSON{Events: make([]eventJSON, 0, len(h.Events))}
 	for _, e := range h.Seed {
-		out.Seed = append(out.Seed, elemToJSON(e))
+		out.Seed = append(out.Seed, ElemToJSON(e))
 	}
 	for _, e := range h.Events {
 		ev := eventJSON{
 			Replica:  e.Replica,
-			Op:       opToJSON(e.Op),
-			Returned: make([]elemJSON, 0, len(e.Returned)),
-			Visible:  make([]opIDJSON, 0, len(e.Visible)),
+			Op:       OpToJSON(e.Op),
+			Returned: make([]ElemJSON, 0, len(e.Returned)),
+			Visible:  make([]OpIDJSON, 0, len(e.Visible)),
 		}
 		for _, el := range e.Returned {
-			ev.Returned = append(ev.Returned, elemToJSON(el))
+			ev.Returned = append(ev.Returned, ElemToJSON(el))
 		}
 		for _, id := range e.Visible.Sorted() {
-			ev.Visible = append(ev.Visible, idToJSON(id))
+			ev.Visible = append(ev.Visible, IDToJSON(id))
 		}
 		out.Events = append(out.Events, ev)
 	}
@@ -146,20 +176,20 @@ func (h *History) UnmarshalJSON(data []byte) error {
 	h.Events = nil
 	h.Seed = nil
 	for _, ej := range in.Seed {
-		e, err := elemFromJSON(ej)
+		e, err := ElemFromJSON(ej)
 		if err != nil {
 			return err
 		}
 		h.Seed = append(h.Seed, e)
 	}
 	for _, ev := range in.Events {
-		op, err := opFromJSON(ev.Op)
+		op, err := OpFromJSON(ev.Op)
 		if err != nil {
 			return err
 		}
 		returned := make([]list.Elem, 0, len(ev.Returned))
 		for _, ej := range ev.Returned {
-			e, err := elemFromJSON(ej)
+			e, err := ElemFromJSON(ej)
 			if err != nil {
 				return err
 			}
@@ -167,7 +197,7 @@ func (h *History) UnmarshalJSON(data []byte) error {
 		}
 		visible := opid.NewSet()
 		for _, ij := range ev.Visible {
-			visible = visible.Add(idFromJSON(ij))
+			visible = visible.Add(IDFromJSON(ij))
 		}
 		h.Append(ev.Replica, op, returned, visible)
 	}

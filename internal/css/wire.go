@@ -1,0 +1,195 @@
+package css
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"jupiter/internal/core"
+	"jupiter/internal/opid"
+)
+
+// JSON wire encodings for the protocol messages, so the network runtime
+// (internal/wire) can carry them in frames. The operation, element, and
+// identifier encodings are the shared ones from internal/core: a captured
+// network trace and a recorded history speak the same JSON.
+//
+// Explicit contexts are encoded as sorted identifier arrays; compact
+// contexts (compactctx.go) as the three-counter struct. Decoding validates
+// that exactly the fields the paper's message grammar requires are present
+// (an operation, and at least one context form for updates).
+
+type compactCtxJSON struct {
+	Origin int32  `json:"origin"`
+	Remote int    `json:"remote"`
+	OwnSeq uint64 `json:"ownSeq"`
+}
+
+func compactToJSON(c *CompactCtx) *compactCtxJSON {
+	if c == nil {
+		return nil
+	}
+	return &compactCtxJSON{Origin: int32(c.Origin), Remote: c.Remote, OwnSeq: c.OwnSeq}
+}
+
+func compactFromJSON(j *compactCtxJSON) *CompactCtx {
+	if j == nil {
+		return nil
+	}
+	return &CompactCtx{Origin: opid.ClientID(j.Origin), Remote: j.Remote, OwnSeq: j.OwnSeq}
+}
+
+// Ctx deliberately has no omitempty: an empty context (the session's first
+// operation) must encode as [] and stay distinct from null (context carried
+// in compact form instead).
+type clientMsgJSON struct {
+	From    int32           `json:"from"`
+	Op      core.OpJSON     `json:"op"`
+	Ctx     []core.OpIDJSON `json:"ctx"`
+	Compact *compactCtxJSON `json:"compact,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (m ClientMsg) MarshalJSON() ([]byte, error) {
+	j := clientMsgJSON{
+		From:    int32(m.From),
+		Op:      core.OpToJSON(m.Op),
+		Compact: compactToJSON(m.Compact),
+	}
+	if m.Ctx != nil {
+		j.Ctx = core.SetToJSON(m.Ctx)
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (m *ClientMsg) UnmarshalJSON(data []byte) error {
+	var j clientMsgJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return fmt.Errorf("css: client msg: %w", err)
+	}
+	op, err := core.OpFromJSON(j.Op)
+	if err != nil {
+		return fmt.Errorf("css: client msg: %w", err)
+	}
+	if j.Ctx == nil && j.Compact == nil {
+		return fmt.Errorf("css: client msg from c%d with neither explicit nor compact context", j.From)
+	}
+	m.From = opid.ClientID(j.From)
+	m.Op = op
+	m.Ctx = nil
+	if j.Ctx != nil {
+		m.Ctx = core.SetFromJSON(j.Ctx)
+	}
+	m.Compact = compactFromJSON(j.Compact)
+	return nil
+}
+
+// Ctx has no omitempty for the same reason as clientMsgJSON: a broadcast of
+// the session's first operation carries the empty context, which must stay
+// non-nil across a round trip.
+type serverMsgJSON struct {
+	Kind    uint8           `json:"kind"`
+	Op      *core.OpJSON    `json:"op,omitempty"`
+	Ctx     []core.OpIDJSON `json:"ctx"`
+	Compact *compactCtxJSON `json:"compact,omitempty"`
+	Seq     uint64          `json:"seq,omitempty"`
+	AckID   *core.OpIDJSON  `json:"ackId,omitempty"`
+	Origin  int32           `json:"origin,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (m ServerMsg) MarshalJSON() ([]byte, error) {
+	j := serverMsgJSON{
+		Kind:    uint8(m.Kind),
+		Compact: compactToJSON(m.Compact),
+		Seq:     m.Seq,
+		Origin:  int32(m.Origin),
+	}
+	if m.Kind == MsgBroadcast {
+		op := core.OpToJSON(m.Op)
+		j.Op = &op
+	}
+	if m.Ctx != nil {
+		j.Ctx = core.SetToJSON(m.Ctx)
+	}
+	if !m.AckID.Zero() {
+		id := core.IDToJSON(m.AckID)
+		j.AckID = &id
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (m *ServerMsg) UnmarshalJSON(data []byte) error {
+	var j serverMsgJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return fmt.Errorf("css: server msg: %w", err)
+	}
+	kind := ServerMsgKind(j.Kind)
+	switch kind {
+	case MsgBroadcast, MsgAck, MsgFrontier:
+	default:
+		return fmt.Errorf("css: server msg: unknown kind %d", j.Kind)
+	}
+	if kind == MsgBroadcast && j.Op == nil {
+		return fmt.Errorf("css: server msg: broadcast without operation")
+	}
+	*m = ServerMsg{Kind: kind, Seq: j.Seq, Origin: opid.ClientID(j.Origin)}
+	if j.Op != nil {
+		op, err := core.OpFromJSON(*j.Op)
+		if err != nil {
+			return fmt.Errorf("css: server msg: %w", err)
+		}
+		m.Op = op
+	}
+	if j.Ctx != nil {
+		m.Ctx = core.SetFromJSON(j.Ctx)
+	}
+	m.Compact = compactFromJSON(j.Compact)
+	if j.AckID != nil {
+		m.AckID = core.IDFromJSON(*j.AckID)
+	}
+	return nil
+}
+
+type snapshotJSON struct {
+	FrontierIDs []core.OpIDJSON `json:"frontierIds"`
+	FrontierDoc []core.ElemJSON `json:"frontierDoc"`
+	Replay      []ServerMsg     `json:"replay"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s *Snapshot) MarshalJSON() ([]byte, error) {
+	j := snapshotJSON{
+		FrontierIDs: make([]core.OpIDJSON, 0, len(s.FrontierIDs)),
+		FrontierDoc: make([]core.ElemJSON, 0, len(s.FrontierDoc)),
+		Replay:      s.Replay,
+	}
+	for _, id := range s.FrontierIDs {
+		j.FrontierIDs = append(j.FrontierIDs, core.IDToJSON(id))
+	}
+	for _, e := range s.FrontierDoc {
+		j.FrontierDoc = append(j.FrontierDoc, core.ElemToJSON(e))
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (s *Snapshot) UnmarshalJSON(data []byte) error {
+	var j snapshotJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return fmt.Errorf("css: snapshot: %w", err)
+	}
+	*s = Snapshot{Replay: j.Replay}
+	for _, ij := range j.FrontierIDs {
+		s.FrontierIDs = append(s.FrontierIDs, core.IDFromJSON(ij))
+	}
+	for _, ej := range j.FrontierDoc {
+		e, err := core.ElemFromJSON(ej)
+		if err != nil {
+			return fmt.Errorf("css: snapshot: %w", err)
+		}
+		s.FrontierDoc = append(s.FrontierDoc, e)
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package css
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"jupiter/internal/list"
+	"jupiter/internal/opid"
+	"jupiter/internal/ot"
+)
+
+func roundTrip[T any](t *testing.T, in T, out *T) {
+	t.Helper()
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		t.Fatalf("unmarshal %s: %v", data, err)
+	}
+}
+
+func TestClientMsgRoundTrip(t *testing.T) {
+	id := opid.OpID{Client: 2, Seq: 7}
+	msgs := []ClientMsg{
+		{From: 2, Op: ot.Ins('x', 3, id), Ctx: opid.NewSet(opid.OpID{Client: 1, Seq: 1}, opid.OpID{Client: 2, Seq: 6})},
+		{From: 2, Op: ot.Ins('x', 0, id), Ctx: opid.NewSet()},
+		{From: 2, Op: ot.Del(list.Elem{Val: 'q', ID: opid.OpID{Client: 1, Seq: 1}}, 0, id),
+			Compact: &CompactCtx{Origin: 2, Remote: 5, OwnSeq: 7}},
+	}
+	for _, m := range msgs {
+		var back ClientMsg
+		roundTrip(t, m, &back)
+		if !reflect.DeepEqual(m, back) {
+			t.Errorf("round trip changed message:\n in: %+v\nout: %+v", m, back)
+		}
+	}
+}
+
+func TestClientMsgRejectsMissingContext(t *testing.T) {
+	var m ClientMsg
+	err := json.Unmarshal([]byte(`{"from":1,"op":{"kind":"ins","val":"a","pos":0,"id":{"client":1,"seq":1},"pri":1}}`), &m)
+	if err == nil {
+		t.Fatal("expected error for update without any context")
+	}
+}
+
+func TestServerMsgRoundTrip(t *testing.T) {
+	id := opid.OpID{Client: 3, Seq: 4}
+	msgs := []ServerMsg{
+		{Kind: MsgBroadcast, Op: ot.Ins('a', 0, id), Ctx: opid.NewSet(), Seq: 1, Origin: 3},
+		{Kind: MsgBroadcast, Op: ot.Ins('b', 1, id), Ctx: opid.NewSet(opid.OpID{Client: 1, Seq: 1}), Seq: 2, Origin: 3},
+		{Kind: MsgBroadcast, Op: ot.Del(list.Elem{Val: 'a', ID: id}, 0, opid.OpID{Client: 1, Seq: 2}),
+			Compact: &CompactCtx{Origin: 1, Remote: 2, OwnSeq: 2}, Seq: 3, Origin: 1},
+		{Kind: MsgAck, AckID: id, Seq: 9, Origin: 3},
+		{Kind: MsgFrontier, Ctx: opid.NewSet(id)},
+	}
+	for _, m := range msgs {
+		var back ServerMsg
+		roundTrip(t, m, &back)
+		if !reflect.DeepEqual(m, back) {
+			t.Errorf("round trip changed message:\n in: %+v\nout: %+v", m, back)
+		}
+	}
+}
+
+func TestServerMsgRejectsBadKind(t *testing.T) {
+	var m ServerMsg
+	if err := json.Unmarshal([]byte(`{"kind":99}`), &m); err == nil {
+		t.Fatal("expected error for unknown message kind")
+	}
+	if err := json.Unmarshal([]byte(`{"kind":1,"seq":1}`), &m); err == nil {
+		t.Fatal("expected error for broadcast without operation")
+	}
+}
+
+// TestSnapshotRoundTrip drives a real session, takes a join snapshot, and
+// checks a decoded copy still bootstraps an identical late joiner.
+func TestSnapshotRoundTrip(t *testing.T) {
+	ids := []opid.ClientID{1, 2}
+	srv := NewServer(ids, nil, nil)
+	c1 := NewClient(1, nil, nil)
+	c2 := NewClient(2, nil, nil)
+	feed := func(m ClientMsg) {
+		t.Helper()
+		outs, err := srv.Receive(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range outs {
+			var c *Client
+			if o.To == 1 {
+				c = c1
+			} else {
+				c = c2
+			}
+			if err := c.Receive(o.Msg); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i, val := range "hello" {
+		m, err := c1.GenerateIns(val, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feed(m)
+	}
+	if _, err := srv.AdvanceFrontier(); err != nil {
+		t.Fatal(err)
+	}
+	snap := srv.Snapshot()
+	var back Snapshot
+	roundTrip(t, *snap, &back)
+	joiner, err := NewClientFromSnapshot(3, &back, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := list.Render(joiner.Document()), list.Render(srv.Document()); got != want {
+		t.Fatalf("joiner document %q != server document %q", got, want)
+	}
+}

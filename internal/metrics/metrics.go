@@ -1,0 +1,236 @@
+// Package metrics is a tiny stdlib-only observability registry for the
+// network runtime: named counters, gauges, and fixed-bucket latency
+// histograms, exposed as one JSON document over HTTP (expvar-style, but
+// self-contained and snapshot-consistent per instrument).
+//
+// Instruments are created on first use and safe for concurrent access;
+// counters and gauges are lock-free atomics, histograms take a short mutex
+// per observation. The registry is deliberately small — jupiterd needs live
+// counters during benches and demos, not a metrics vendor.
+package metrics
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can move both ways.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets are the histogram upper bounds in microseconds: powers of two
+// from 1µs to ~8.4s, plus overflow. 24 buckets cover network-runtime
+// latencies from in-process apply to multi-second stalls.
+const numBuckets = 24
+
+// Histogram is a fixed-bucket latency histogram over durations.
+type Histogram struct {
+	mu      sync.Mutex
+	count   int64
+	sum     time.Duration
+	max     time.Duration
+	buckets [numBuckets]int64
+}
+
+// bucketOf maps a duration to its bucket index (log2 of microseconds).
+func bucketOf(d time.Duration) int {
+	us := d.Microseconds()
+	if us < 1 {
+		return 0
+	}
+	b := 0
+	for us > 0 && b < numBuckets-1 {
+		us >>= 1
+		b++
+	}
+	return b
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.mu.Lock()
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+	h.buckets[bucketOf(d)]++
+	h.mu.Unlock()
+}
+
+// HistSnapshot is a consistent view of a histogram.
+type HistSnapshot struct {
+	Count int64   `json:"count"`
+	SumMs float64 `json:"sumMs"`
+	AvgMs float64 `json:"avgMs"`
+	MaxMs float64 `json:"maxMs"`
+	P50Ms float64 `json:"p50Ms"`
+	P99Ms float64 `json:"p99Ms"`
+}
+
+// quantile returns the upper bound (in ms) of the bucket holding the q-th
+// observation — a bucketed upper estimate, good enough for dashboards.
+func quantile(buckets *[numBuckets]int64, count int64, q float64) float64 {
+	if count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(count))
+	if rank >= count {
+		rank = count - 1
+	}
+	var seen int64
+	for i, n := range buckets {
+		seen += n
+		if seen > rank {
+			// Bucket i spans [2^(i-1), 2^i) microseconds.
+			return float64(int64(1)<<uint(i)) / 1000.0
+		}
+	}
+	return float64(int64(1)<<uint(numBuckets)) / 1000.0
+}
+
+// Snapshot returns a consistent view.
+func (h *Histogram) Snapshot() HistSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistSnapshot{
+		Count: h.count,
+		SumMs: float64(h.sum) / float64(time.Millisecond),
+		MaxMs: float64(h.max) / float64(time.Millisecond),
+		P50Ms: quantile(&h.buckets, h.count, 0.50),
+		P99Ms: quantile(&h.buckets, h.count, 0.99),
+	}
+	if h.count > 0 {
+		s.AvgMs = s.SumMs / float64(h.count)
+	}
+	return s
+}
+
+// Registry holds named instruments.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot renders every instrument into one sorted JSON-friendly map.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	counters := make(map[string]*Counter, len(r.counters))
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, c := range r.counters {
+		names = append(names, n)
+		counters[n] = c
+	}
+	for n, g := range r.gauges {
+		names = append(names, n)
+		gauges[n] = g
+	}
+	for n, h := range r.hists {
+		names = append(names, n)
+		hists[n] = h
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	out := make(map[string]any, len(names))
+	for _, n := range names {
+		switch {
+		case counters[n] != nil:
+			out[n] = counters[n].Value()
+		case gauges[n] != nil:
+			out[n] = gauges[n].Value()
+		case hists[n] != nil:
+			out[n] = hists[n].Snapshot()
+		}
+	}
+	return out
+}
+
+// Handler serves the registry as an indented JSON document.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+}

@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("ops").Inc()
+				r.Gauge("depth").Add(1)
+				r.Gauge("depth").Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("ops").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Gauge("depth").Value(); got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for i := 0; i < 99; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	h.Observe(500 * time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.P50Ms > 1 {
+		t.Fatalf("p50 = %vms, want sub-millisecond", s.P50Ms)
+	}
+	if s.P99Ms < 100 {
+		t.Fatalf("p99 = %vms, want to land in the ~500ms bucket", s.P99Ms)
+	}
+	if s.MaxMs < 499 || s.MaxMs > 501 {
+		t.Fatalf("max = %vms", s.MaxMs)
+	}
+}
+
+func TestBucketOfMonotone(t *testing.T) {
+	prev := -1
+	for _, d := range []time.Duration{0, time.Microsecond, 10 * time.Microsecond,
+		time.Millisecond, 10 * time.Millisecond, time.Second, time.Hour} {
+		b := bucketOf(d)
+		if b < prev || b >= numBuckets {
+			t.Fatalf("bucketOf(%v) = %d (prev %d)", d, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestHandlerServesJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("frames_in").Add(42)
+	r.Gauge("clients_connected").Set(3)
+	r.Histogram("apply_latency").Observe(2 * time.Millisecond)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got["frames_in"].(float64) != 42 {
+		t.Fatalf("frames_in = %v", got["frames_in"])
+	}
+	if got["clients_connected"].(float64) != 3 {
+		t.Fatalf("clients_connected = %v", got["clients_connected"])
+	}
+	hist, ok := got["apply_latency"].(map[string]any)
+	if !ok || hist["count"].(float64) != 1 {
+		t.Fatalf("apply_latency = %v", got["apply_latency"])
+	}
+}

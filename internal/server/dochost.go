@@ -1,0 +1,322 @@
+package server
+
+import (
+	"time"
+
+	"jupiter/internal/css"
+	"jupiter/internal/list"
+	"jupiter/internal/opid"
+	"jupiter/internal/wire"
+)
+
+// docHost runs one document: a css.Server owned exclusively by a single
+// apply-loop goroutine. Connection readers submit work as closures on the
+// request queue; the loop executes them serially, which IS the protocol's
+// serialization order. Submitters block when the queue is full — that is
+// the natural backpressure path for a client producing faster than the
+// document can apply (its own TCP reader stalls; nobody else's does).
+type docHost struct {
+	eng  *Engine
+	name string
+
+	reqs   chan func()
+	stopCh chan struct{}
+
+	// Everything below is owned by the apply loop.
+	srv     *css.Server
+	clients map[opid.ClientID]*clientSlot
+	nextID  int32
+	applied uint64
+}
+
+// clientSlot is one client session: the retained outbox keyed by frame
+// sequence numbers, the resume/dedup bookkeeping, and the currently attached
+// connection (nil while the client is away).
+type clientSlot struct {
+	id opid.ClientID
+
+	// outbox holds every frame sent but not yet acknowledged, in frame-seq
+	// order; outbox[0].Seq == ackedSeq+1 whenever non-empty.
+	outbox   []wire.Server
+	nextSeq  uint64 // last frame sequence assigned
+	ackedSeq uint64 // highest frame sequence the client confirmed
+
+	lastOpSeq uint64 // highest operation sequence received (dedup on resend)
+
+	conn *conn
+}
+
+func newDocHost(e *Engine, name string) *docHost {
+	return &docHost{
+		eng:     e,
+		name:    name,
+		reqs:    make(chan func(), 1024),
+		stopCh:  make(chan struct{}),
+		srv:     css.NewServer(nil, nil, e.cfg.Recorder),
+		clients: make(map[opid.ClientID]*clientSlot),
+	}
+}
+
+func (h *docHost) run() {
+	defer h.eng.wg.Done()
+	for {
+		select {
+		case f := <-h.reqs:
+			f()
+		case <-h.stopCh:
+			// Drain whatever was already queued, then exit.
+			for {
+				select {
+				case f := <-h.reqs:
+					f()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (h *docHost) stop() { close(h.stopCh) }
+
+// submit enqueues a closure for the apply loop, giving up when the host is
+// stopping. Blocking on a full queue is intentional (see type comment).
+func (h *docHost) submit(f func()) bool {
+	select {
+	case h.reqs <- f:
+		return true
+	case <-h.stopCh:
+		return false
+	}
+}
+
+// call runs a closure on the apply loop and waits for it.
+func (h *docHost) call(f func()) bool {
+	done := make(chan struct{})
+	if !h.submit(func() { f(); close(done) }) {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	case <-h.stopCh:
+		// The loop may still execute the request during its drain; wait a
+		// bounded moment for the result before giving up.
+		select {
+		case <-done:
+			return true
+		case <-time.After(time.Second):
+			return false
+		}
+	}
+}
+
+// ---------------------------------------------------------- join/resume ----
+
+// join handles a Hello for this document: minting a new client session or
+// resuming an existing one. It reports whether the connection is attached
+// and under which client id; on failure the error frame has already been
+// sent.
+func (h *docHost) join(c *conn, hello wire.Hello) (bool, int32) {
+	var ok bool
+	var id int32
+	if !h.call(func() { ok, id = h.doJoin(c, hello) }) {
+		return false, 0
+	}
+	return ok, id
+}
+
+func (h *docHost) doJoin(c *conn, hello wire.Hello) (bool, int32) {
+	if hello.ClientID == 0 {
+		return h.doJoinNew(c)
+	}
+	return h.doResume(c, hello)
+}
+
+func (h *docHost) doJoinNew(c *conn) (bool, int32) {
+	h.nextID++
+	id := opid.ClientID(h.nextID)
+	snap := h.srv.Snapshot()
+	if err := h.srv.AddClient(id); err != nil {
+		c.reject(wire.CodeProtocol, "join: "+err.Error())
+		return false, 0
+	}
+	h.clients[id] = &clientSlot{id: id, conn: c}
+	welcome := &wire.Frame{Type: wire.TWelcome, Welcome: &wire.Welcome{ClientID: int32(id), Snapshot: snap}}
+	if body, err := wire.Encode(welcome); err == nil {
+		h.eng.reg.Counter("snapshot_bytes_total").Add(int64(len(body)))
+		h.eng.reg.Gauge("snapshot_bytes_last").Set(int64(len(body)))
+	}
+	if !c.enqueue(welcome) {
+		h.clients[id].conn = nil
+		c.close()
+		return false, 0
+	}
+	h.eng.reg.Counter("joins_total").Inc()
+	h.eng.logf("doc %q: new client c%d from %s", h.name, id, c.nc.RemoteAddr())
+	return true, int32(id)
+}
+
+func (h *docHost) doResume(c *conn, hello wire.Hello) (bool, int32) {
+	id := opid.ClientID(hello.ClientID)
+	slot, ok := h.clients[id]
+	if !ok {
+		c.reject(wire.CodeBadResume, "unknown client session")
+		return false, 0
+	}
+	if hello.LastFrameSeq < slot.ackedSeq || hello.LastFrameSeq > slot.nextSeq {
+		c.reject(wire.CodeBadResume, "resume point outside retained window")
+		return false, 0
+	}
+	if slot.conn != nil && slot.conn != c {
+		// Latest connection wins; the stale one is cut.
+		slot.conn.close()
+		slot.conn = nil
+	}
+	// The resume point doubles as an acknowledgement.
+	h.trimOutbox(slot, hello.LastFrameSeq)
+	slot.conn = c
+	if !c.enqueue(&wire.Frame{Type: wire.TWelcome, Welcome: &wire.Welcome{ClientID: int32(id), Resume: true}}) {
+		slot.conn = nil
+		c.close()
+		return false, 0
+	}
+	// Replay the missed suffix. The send queue bounds one round of replay;
+	// an outbox larger than the queue disconnects the client partway, and
+	// the next resume continues from its new ack point — progress is
+	// monotone because the client acks what it got.
+	for i := range slot.outbox {
+		fr := slot.outbox[i]
+		if !c.enqueue(&wire.Frame{Type: wire.TServer, Server: &fr}) {
+			h.eng.reg.Counter("backpressure_disconnects_total").Inc()
+			slot.conn = nil
+			c.close()
+			return false, 0
+		}
+	}
+	h.eng.reg.Counter("resumes_total").Inc()
+	h.eng.logf("doc %q: c%d resumed at frame %d (%d replayed) from %s",
+		h.name, id, hello.LastFrameSeq, len(slot.outbox), c.nc.RemoteAddr())
+	return true, int32(id)
+}
+
+// ------------------------------------------------------------- op / ack ----
+
+// submitOp routes one client operation to the apply loop.
+func (h *docHost) submitOp(c *conn, msg css.ClientMsg) {
+	h.submit(func() { h.doOp(c, msg) })
+}
+
+func (h *docHost) doOp(c *conn, msg css.ClientMsg) {
+	slot, ok := h.clients[msg.From]
+	if !ok || slot.conn != c {
+		return // stale connection; the client has moved on
+	}
+	if msg.Op.ID.Seq <= slot.lastOpSeq {
+		h.eng.reg.Counter("dedup_dropped_total").Inc()
+		return // duplicate resend after reconnect
+	}
+	t0 := time.Now()
+	outs, err := h.srv.Receive(msg)
+	if err != nil {
+		h.eng.reg.Counter("protocol_errors_total").Inc()
+		h.eng.logf("doc %q: c%d: %v", h.name, slot.id, err)
+		c.reject(wire.CodeProtocol, err.Error())
+		slot.conn = nil
+		c.close()
+		return
+	}
+	h.eng.reg.Histogram("apply_latency").Observe(time.Since(t0))
+	h.eng.reg.Counter("ops_applied").Inc()
+	slot.lastOpSeq = msg.Op.ID.Seq
+	h.applied++
+	for _, out := range outs {
+		h.deliver(out.To, out.Msg)
+	}
+	if h.eng.cfg.GCEvery > 0 && h.applied%uint64(h.eng.cfg.GCEvery) == 0 {
+		fouts, err := h.srv.AdvanceFrontier()
+		if err != nil {
+			h.eng.reg.Counter("protocol_errors_total").Inc()
+			h.eng.logf("doc %q: frontier: %v", h.name, err)
+			return
+		}
+		for _, out := range fouts {
+			h.deliver(out.To, out.Msg)
+		}
+	}
+}
+
+// deliver stamps the next frame sequence for the target client, retains the
+// frame in its outbox, and forwards it to the live connection if any. A full
+// send queue disconnects the target (backpressure policy); the frame stays
+// retained for resume.
+func (h *docHost) deliver(to opid.ClientID, msg css.ServerMsg) {
+	slot, ok := h.clients[to]
+	if !ok {
+		return
+	}
+	slot.nextSeq++
+	fr := wire.Server{Seq: slot.nextSeq, Msg: msg}
+	slot.outbox = append(slot.outbox, fr)
+	h.eng.reg.Gauge("outbox_frames").Add(1)
+	if slot.conn == nil {
+		return
+	}
+	if !slot.conn.enqueue(&wire.Frame{Type: wire.TServer, Server: &fr}) {
+		h.eng.reg.Counter("backpressure_disconnects_total").Inc()
+		h.eng.logf("doc %q: c%d too slow, disconnecting", h.name, to)
+		slot.conn.close()
+		slot.conn = nil
+	}
+}
+
+// submitAck trims the client's retained outbox up to seq.
+func (h *docHost) submitAck(id int32, seq uint64) {
+	h.submit(func() {
+		slot, ok := h.clients[opid.ClientID(id)]
+		if !ok {
+			return
+		}
+		h.trimOutbox(slot, seq)
+	})
+}
+
+func (h *docHost) trimOutbox(slot *clientSlot, seq uint64) {
+	if seq <= slot.ackedSeq {
+		return
+	}
+	n := 0
+	for n < len(slot.outbox) && slot.outbox[n].Seq <= seq {
+		n++
+	}
+	if n > 0 {
+		slot.outbox = append(slot.outbox[:0:0], slot.outbox[n:]...)
+		h.eng.reg.Gauge("outbox_frames").Add(int64(-n))
+	}
+	slot.ackedSeq = seq
+}
+
+// detach clears the connection pointer when a reader exits; the session and
+// its outbox remain for resume.
+func (h *docHost) detach(c *conn, id int32) {
+	h.submit(func() {
+		slot, ok := h.clients[opid.ClientID(id)]
+		if ok && slot.conn == c {
+			slot.conn = nil
+		}
+	})
+}
+
+// state produces a consistent document snapshot for DocState.
+func (h *docHost) state() (DocState, bool) {
+	var st DocState
+	ok := h.call(func() {
+		st = DocState{
+			Doc:     h.name,
+			Seq:     h.srv.SeqOf(),
+			Clients: len(h.clients),
+			Text:    list.Render(h.srv.Document()),
+		}
+	})
+	return st, ok
+}

@@ -1,0 +1,483 @@
+// Package server is jupiterd: a real TCP server runtime for the CSS Jupiter
+// protocol.
+//
+// The paper's architecture (Section 4.4) is one central server and n clients
+// connected by FIFO channels. Here the FIFO channels are TCP connections
+// carrying internal/wire frames, and the central server is an Engine hosting
+// many independent documents. Each document gets ONE serialized apply-loop
+// goroutine wrapping a css.Server — the protocol object is never touched
+// concurrently, exactly like the in-process harnesses — while connection
+// readers and writers run on their own goroutines and communicate with the
+// apply loop through a request queue.
+//
+// Sessions and resume. A client joins a document with a Hello frame. New
+// clients (ClientID 0) are minted an identifier and rooted at the css join
+// snapshot (css.Server.Snapshot + AddClient, atomic inside the apply loop).
+// Every server→client frame carries a per-client frame sequence number; the
+// engine retains sent frames in a per-client outbox until the client
+// acknowledges them (Ack frames), so a reconnecting client that presents its
+// last processed frame sequence replays only what it missed. Operations are
+// deduplicated by the per-client operation sequence number, so clients can
+// blindly resend everything unacknowledged after a reconnect.
+//
+// Backpressure. Each connection has a bounded outbound queue. A client that
+// cannot keep up — its queue stays full — is disconnected rather than
+// allowed to stall the document: its frames remain in the retained outbox
+// and are replayed when it reconnects. Slow consumers therefore cost memory
+// (their outbox) but never latency for everyone else.
+//
+// Shutdown. Shutdown stops the accept loop, tells every connection to go
+// away, drains each document's queued requests through its apply loop, and
+// joins every goroutine. Operations still in a kernel socket buffer at that
+// moment are not lost: their clients never got a protocol acknowledgement
+// and resend them on reconnect.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"jupiter/internal/core"
+	"jupiter/internal/metrics"
+	"jupiter/internal/wire"
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Addr is the TCP listen address, e.g. "127.0.0.1:0".
+	Addr string
+	// MetricsAddr, when non-empty, serves the metrics registry as JSON over
+	// HTTP on this address (any path).
+	MetricsAddr string
+	// MaxFrame caps wire frame bodies (0 = wire.DefaultMaxFrame).
+	MaxFrame int
+	// SendQueue is the per-connection outbound frame queue capacity; a
+	// connection whose queue overflows is disconnected (0 = 256).
+	SendQueue int
+	// WriteTimeout bounds a single frame write (0 = 10s).
+	WriteTimeout time.Duration
+	// HelloTimeout bounds the wait for a connection's Hello (0 = 10s).
+	HelloTimeout time.Duration
+	// GCEvery, when > 0, runs the stability-frontier GC (AdvanceFrontier)
+	// after every GCEvery serialized operations of a document.
+	GCEvery int
+	// Recorder, when non-nil, records the server's do events into a shared
+	// history (loopback tests run the weak-list checker over it). It must be
+	// safe for concurrent use (core.LockedRecorder).
+	Recorder core.Recorder
+	// Logf, when non-nil, receives one line per connection-level event.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) sendQueue() int {
+	if c.SendQueue <= 0 {
+		return 256
+	}
+	return c.SendQueue
+}
+
+func (c *Config) writeTimeout() time.Duration {
+	if c.WriteTimeout <= 0 {
+		return 10 * time.Second
+	}
+	return c.WriteTimeout
+}
+
+func (c *Config) helloTimeout() time.Duration {
+	if c.HelloTimeout <= 0 {
+		return 10 * time.Second
+	}
+	return c.HelloTimeout
+}
+
+// Engine is the jupiterd server: an accept loop, one apply loop per hosted
+// document, and the connection plumbing between them.
+type Engine struct {
+	cfg Config
+	reg *metrics.Registry
+
+	ln      net.Listener
+	httpLn  net.Listener
+	httpSrv *http.Server
+
+	mu     sync.Mutex
+	docs   map[string]*docHost
+	conns  map[*conn]struct{}
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// ErrClosed is returned for operations on a shut-down engine.
+var ErrClosed = errors.New("server: engine closed")
+
+// New creates an engine; call Start to begin serving.
+func New(cfg Config) *Engine {
+	return &Engine{
+		cfg:   cfg,
+		reg:   metrics.NewRegistry(),
+		docs:  make(map[string]*docHost),
+		conns: make(map[*conn]struct{}),
+	}
+}
+
+// Metrics returns the engine's metrics registry.
+func (e *Engine) Metrics() *metrics.Registry { return e.reg }
+
+// Start binds the listeners and spawns the accept loop.
+func (e *Engine) Start() error {
+	ln, err := net.Listen("tcp", e.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("server: listen: %w", err)
+	}
+	e.ln = ln
+	if e.cfg.MetricsAddr != "" {
+		hln, err := net.Listen("tcp", e.cfg.MetricsAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("server: metrics listen: %w", err)
+		}
+		e.httpLn = hln
+		e.httpSrv = &http.Server{Handler: e.reg.Handler()}
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			_ = e.httpSrv.Serve(hln)
+		}()
+	}
+	e.wg.Add(1)
+	go e.acceptLoop()
+	return nil
+}
+
+// Addr returns the bound protocol listen address.
+func (e *Engine) Addr() string {
+	if e.ln == nil {
+		return ""
+	}
+	return e.ln.Addr().String()
+}
+
+// MetricsAddr returns the bound metrics address ("" when disabled).
+func (e *Engine) MetricsAddr() string {
+	if e.httpLn == nil {
+		return ""
+	}
+	return e.httpLn.Addr().String()
+}
+
+func (e *Engine) logf(format string, args ...any) {
+	if e.cfg.Logf != nil {
+		e.cfg.Logf(format, args...)
+	}
+}
+
+func (e *Engine) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		nc, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			nc.Close()
+			return
+		}
+		c := newConn(e, nc)
+		e.conns[c] = struct{}{}
+		e.mu.Unlock()
+		e.reg.Counter("connections_total").Inc()
+		e.reg.Gauge("clients_connected").Add(1)
+		e.wg.Add(2)
+		go c.readLoop()
+		go c.writeLoop()
+	}
+}
+
+// host returns the apply loop for a document, creating it on first use.
+func (e *Engine) host(doc string) (*docHost, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	h, ok := e.docs[doc]
+	if !ok {
+		h = newDocHost(e, doc)
+		e.docs[doc] = h
+		e.reg.Gauge("docs_open").Add(1)
+		e.wg.Add(1)
+		go h.run()
+	}
+	return h, nil
+}
+
+// dropConn removes a connection from the engine's tracking.
+func (e *Engine) dropConn(c *conn) {
+	e.mu.Lock()
+	if _, ok := e.conns[c]; ok {
+		delete(e.conns, c)
+		e.reg.Gauge("clients_connected").Add(-1)
+	}
+	e.mu.Unlock()
+}
+
+// Shutdown gracefully stops the engine: no new connections, every open
+// connection told to go away, each document's queued requests drained
+// through its apply loop, all goroutines joined. The context bounds the
+// whole drain; on expiry remaining goroutines are abandoned and an error is
+// returned.
+func (e *Engine) Shutdown(ctx context.Context) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	e.closed = true
+	conns := make([]*conn, 0, len(e.conns))
+	for c := range e.conns {
+		conns = append(conns, c)
+	}
+	docs := make([]*docHost, 0, len(e.docs))
+	for _, h := range e.docs {
+		docs = append(docs, h)
+	}
+	e.mu.Unlock()
+
+	e.ln.Close()
+	if e.httpSrv != nil {
+		_ = e.httpSrv.Close()
+	}
+	for _, c := range conns {
+		c.shutdown()
+	}
+	for _, h := range docs {
+		h.stop()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: shutdown: %w", ctx.Err())
+	}
+}
+
+// DocState is a synchronous view of a hosted document, produced inside its
+// apply loop (so it is consistent with the serialization order).
+type DocState struct {
+	Doc     string
+	Seq     uint64 // operations serialized so far
+	Clients int    // registered client sessions (connected or not)
+	Text    string // current document value
+}
+
+// DocState reports a hosted document's state, or false if the engine does
+// not host it (querying never creates a document).
+func (e *Engine) DocState(doc string) (DocState, bool) {
+	e.mu.Lock()
+	h, ok := e.docs[doc]
+	e.mu.Unlock()
+	if !ok {
+		return DocState{}, false
+	}
+	return h.state()
+}
+
+// ---------------------------------------------------------------- conn ----
+
+// conn is one client TCP connection. The read loop parses frames and routes
+// them to the document's apply loop; the write loop drains the bounded send
+// queue. The apply loop never blocks on a connection: enqueueing to a full
+// send queue disconnects the offender instead.
+type conn struct {
+	eng   *Engine
+	nc    net.Conn
+	codec *wire.Codec
+
+	sendCh chan *wire.Frame
+
+	closeOnce sync.Once
+	closedCh  chan struct{}
+
+	// Set by the read loop after a successful Hello; read by the apply loop
+	// only from inside closures it executes (no lock needed there), and
+	// guarded by attachMu for the conn's own goroutines.
+	attachMu sync.Mutex
+	host     *docHost
+	clientID int32
+}
+
+func newConn(e *Engine, nc net.Conn) *conn {
+	return &conn{
+		eng:      e,
+		nc:       nc,
+		codec:    wire.NewCodec(nc, e.cfg.MaxFrame),
+		sendCh:   make(chan *wire.Frame, e.cfg.sendQueue()),
+		closedCh: make(chan struct{}),
+	}
+}
+
+// enqueue appends a frame for the write loop; it reports false (without
+// blocking) when the queue is full or the connection is closed.
+func (c *conn) enqueue(f *wire.Frame) bool {
+	select {
+	case <-c.closedCh:
+		return false
+	default:
+	}
+	select {
+	case c.sendCh <- f:
+		c.eng.reg.Histogram("send_queue_depth").Observe(time.Duration(len(c.sendCh)) * time.Microsecond)
+		return true
+	default:
+		return false
+	}
+}
+
+// close initiates teardown once; safe from any goroutine, never blocks. The
+// reader is unblocked via an immediate read deadline; the write loop owns
+// the socket close, flushing already-queued frames (error notices) first.
+func (c *conn) close() {
+	c.closeOnce.Do(func() {
+		close(c.closedCh)
+		// Unblock both an in-flight read and an in-flight write; later
+		// flush writes set their own fresh deadlines.
+		_ = c.nc.SetDeadline(time.Now())
+	})
+}
+
+// shutdown is close preceded by a best-effort notification; the small delay
+// lets the write loop flush the notice before the socket goes away.
+func (c *conn) shutdown() {
+	c.enqueue(&wire.Frame{Type: wire.TError, Error: &wire.Error{Code: wire.CodeShutdown, Msg: "server shutting down"}})
+	time.AfterFunc(50*time.Millisecond, c.close)
+}
+
+// writeFrame sends one frame with the given deadline budget.
+func (c *conn) writeFrame(f *wire.Frame, budget time.Duration) bool {
+	_ = c.nc.SetWriteDeadline(time.Now().Add(budget))
+	if err := c.codec.Write(f); err != nil {
+		return false
+	}
+	c.eng.reg.Counter("frames_out").Inc()
+	return true
+}
+
+// teardown closes the socket and deregisters; write-loop only.
+func (c *conn) teardown() {
+	c.nc.Close()
+	c.eng.dropConn(c)
+}
+
+func (c *conn) writeLoop() {
+	defer c.eng.wg.Done()
+	defer c.teardown()
+	for {
+		select {
+		case f := <-c.sendCh:
+			if !c.writeFrame(f, c.eng.cfg.writeTimeout()) {
+				c.close()
+				return
+			}
+		case <-c.closedCh:
+			// Best-effort flush of frames queued before the close (reject
+			// notices and the like), on a short budget so a stuck peer
+			// cannot delay engine shutdown.
+			for {
+				select {
+				case f := <-c.sendCh:
+					if !c.writeFrame(f, 500*time.Millisecond) {
+						return
+					}
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (c *conn) readLoop() {
+	defer c.eng.wg.Done()
+	defer c.close()
+	defer func() {
+		// Detach from the document so the apply loop stops targeting this
+		// connection (the session itself stays registered for resume).
+		c.attachMu.Lock()
+		h, id := c.host, c.clientID
+		c.attachMu.Unlock()
+		if h != nil {
+			h.detach(c, id)
+		}
+	}()
+
+	// The first frame must be a Hello, promptly.
+	_ = c.nc.SetReadDeadline(time.Now().Add(c.eng.cfg.helloTimeout()))
+	f, err := c.codec.Read()
+	if err != nil {
+		c.eng.reg.Counter("bad_handshakes_total").Inc()
+		return
+	}
+	if f.Type != wire.THello {
+		c.reject(wire.CodeProtocol, "first frame must be hello")
+		return
+	}
+	_ = c.nc.SetReadDeadline(time.Time{})
+	h, err := c.eng.host(f.Hello.Doc)
+	if err != nil {
+		c.reject(wire.CodeShutdown, "server shutting down")
+		return
+	}
+	joined, id := h.join(c, *f.Hello)
+	if !joined {
+		return // join already sent the error frame
+	}
+	c.attachMu.Lock()
+	c.host, c.clientID = h, id
+	c.attachMu.Unlock()
+
+	for {
+		f, err := c.codec.Read()
+		if err != nil {
+			return
+		}
+		c.eng.reg.Counter("frames_in").Inc()
+		switch f.Type {
+		case wire.TOp:
+			if int32(f.Op.Msg.From) != id {
+				c.reject(wire.CodeProtocol, "op from foreign client id")
+				return
+			}
+			h.submitOp(c, f.Op.Msg)
+		case wire.TAck:
+			h.submitAck(id, f.Ack.Seq)
+		case wire.TBye:
+			return
+		default:
+			c.reject(wire.CodeProtocol, "unexpected frame type "+f.Type)
+			return
+		}
+	}
+}
+
+// reject queues a terminal error frame (flushed best-effort by the write
+// loop during teardown) and initiates the close. Never blocks, so it is safe
+// from the apply loop.
+func (c *conn) reject(code, msg string) {
+	c.eng.reg.Counter("rejects_total").Inc()
+	c.enqueue(&wire.Frame{Type: wire.TError, Error: &wire.Error{Code: code, Msg: msg}})
+	c.close()
+}

@@ -36,6 +36,13 @@ type AsyncConfig struct {
 	Initial      list.Doc
 	Record       bool
 
+	// Stop, when non-nil, lets the caller abort the run early: once the
+	// channel is closed, every goroutine (or the chaos event loop) winds
+	// down promptly and RunAsync returns ErrStopped. Closing Stop after the
+	// run has completed has no effect. Typically wired to
+	// context.Context.Done().
+	Stop <-chan struct{}
+
 	// Faults, when non-nil, replaces the reliable FIFO channels with the
 	// unreliable-network runtime: every message crosses a faultnet link
 	// (seeded drop/duplicate/reorder/delay, timed partitions, replica
@@ -61,6 +68,10 @@ type AsyncResult struct {
 	Net   *faultnet.Stats
 	Ticks int
 }
+
+// ErrStopped reports that a run was aborted via AsyncConfig.Stop before it
+// quiesced.
+var ErrStopped = fmt.Errorf("sim: run stopped by caller")
 
 // delivery is a server-to-client message with its destination index.
 type delivery struct {
@@ -166,6 +177,20 @@ func RunAsync(p Protocol, cfg AsyncConfig) (*AsyncResult, error) {
 		}
 		mu.Unlock()
 		stopOnce.Do(func() { close(stop) })
+	}
+
+	// Honor the caller's stop signal: fold it into the internal one so every
+	// existing select wakes up. The watcher itself exits when the run ends.
+	runDone := make(chan struct{})
+	defer close(runDone)
+	if cfg.Stop != nil {
+		go func() {
+			select {
+			case <-cfg.Stop:
+				fail(ErrStopped)
+			case <-runDone:
+			}
+		}()
 	}
 
 	var wg sync.WaitGroup

@@ -234,6 +234,14 @@ func runChaos(p Protocol, cfg AsyncConfig) (*AsyncResult, error) {
 
 	now := 0
 	for ; now <= maxTicks; now++ {
+		// 0. The caller can abort the run between ticks.
+		if cfg.Stop != nil {
+			select {
+			case <-cfg.Stop:
+				return nil, ErrStopped
+			default:
+			}
+		}
 		// 1. Scheduled faults fire at the start of their tick.
 		for _, w := range fc.Partitions {
 			if now == w.From {

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"jupiter/internal/faultnet"
+)
+
+// checkNoGoroutineLeak returns a function that, deferred, fails the test if
+// the goroutine count has not returned to (about) its baseline. The runtime
+// needs a moment to reap exiting goroutines, so it polls briefly before
+// declaring a leak.
+func checkNoGoroutineLeak(t *testing.T) func() {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		var n int
+		for time.Now().Before(deadline) {
+			n = runtime.NumGoroutine()
+			if n <= base {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 64<<10)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("goroutine leak: %d running, baseline %d\n%s", n, base, buf)
+	}
+}
+
+// TestRunAsyncStop aborts a large goroutine-runtime run mid-flight and
+// verifies it returns ErrStopped promptly without leaking goroutines.
+func TestRunAsyncStop(t *testing.T) {
+	defer checkNoGoroutineLeak(t)()
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunAsync(CSS, AsyncConfig{
+			Clients:      4,
+			OpsPerClient: 100000, // far more than the test will let finish
+			Seed:         42,
+			Stop:         stop,
+		})
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrStopped) {
+			t.Fatalf("err = %v, want ErrStopped", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunAsync did not stop")
+	}
+}
+
+// TestRunAsyncStopBeforeStart verifies an already-closed stop channel aborts
+// immediately.
+func TestRunAsyncStopBeforeStart(t *testing.T) {
+	defer checkNoGoroutineLeak(t)()
+	stop := make(chan struct{})
+	close(stop)
+	_, err := RunAsync(CSS, AsyncConfig{Clients: 3, OpsPerClient: 1000, Seed: 1, Stop: stop})
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+}
+
+// TestRunAsyncCompletesWithStopArmed verifies an armed-but-never-fired stop
+// channel does not disturb a normal run (and the watcher does not leak).
+func TestRunAsyncCompletesWithStopArmed(t *testing.T) {
+	defer checkNoGoroutineLeak(t)()
+	stop := make(chan struct{})
+	defer close(stop)
+	res, err := RunAsync(CSS, AsyncConfig{Clients: 3, OpsPerClient: 10, Seed: 7, Stop: stop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Docs) != 4 {
+		t.Fatalf("docs = %d, want 4", len(res.Docs))
+	}
+}
+
+// TestChaosStop aborts an unreliable-network run between ticks.
+func TestChaosStop(t *testing.T) {
+	defer checkNoGoroutineLeak(t)()
+	stop := make(chan struct{})
+	close(stop)
+	_, err := RunAsync(CSS, AsyncConfig{
+		Clients:      3,
+		OpsPerClient: 50,
+		Seed:         9,
+		Stop:         stop,
+		Faults:       &faultnet.Config{Drop: 0.05},
+	})
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+}

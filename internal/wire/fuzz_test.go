@@ -1,0 +1,64 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzWireDecode throws arbitrary bytes at the frame decoder. The invariant
+// under fuzz: Decode never panics, and any frame it accepts re-encodes and
+// decodes again cleanly (accepted frames are internally consistent).
+func FuzzWireDecode(f *testing.F) {
+	// Seed corpus: every valid frame shape plus the adversarial shapes the
+	// unit tests cover.
+	seeds := [][]byte{
+		[]byte(`{"type":"hello","hello":{"doc":"notes"}}`),
+		[]byte(`{"type":"hello","hello":{"doc":"notes","clientId":3,"lastFrameSeq":12}}`),
+		[]byte(`{"type":"welcome","welcome":{"clientId":1,"resume":true}}`),
+		[]byte(`{"type":"welcome","welcome":{"clientId":2,"snapshot":{"frontierIds":[],"frontierDoc":[],"replay":[]}}}`),
+		[]byte(`{"type":"op","op":{"msg":{"from":1,"op":{"kind":"ins","val":"a","pos":0,"id":{"client":1,"seq":1},"pri":1},"ctx":[]}}}`),
+		[]byte(`{"type":"op","op":{"msg":{"from":2,"op":{"kind":"del","elem":{"val":"a","id":{"client":1,"seq":1}},"pos":0,"id":{"client":2,"seq":1},"pri":2},"ctx":[{"client":1,"seq":1}]}}}`),
+		[]byte(`{"type":"srv","srv":{"seq":1,"msg":{"kind":1,"op":{"kind":"ins","val":"a","pos":0,"id":{"client":1,"seq":1},"pri":1},"ctx":[],"seq":1,"origin":1}}}`),
+		[]byte(`{"type":"srv","srv":{"seq":2,"msg":{"kind":2,"ctx":null,"seq":1,"ackId":{"client":1,"seq":1},"origin":1}}}`),
+		[]byte(`{"type":"srv","srv":{"seq":3,"msg":{"kind":3,"ctx":[{"client":1,"seq":1}]}}}`),
+		[]byte(`{"type":"ack","ack":{"seq":7}}`),
+		[]byte(`{"type":"err","err":{"code":"shutdown","msg":"draining"}}`),
+		[]byte(`{"type":"bye"}`),
+		[]byte(`{"type":"hello"}`),
+		[]byte(`{"type":"warez"}`),
+		[]byte(`{"type":"op","op":{"msg":{"from":1,"op":{"kind":"ins","val":"aa","pos":0,"id":{"client":1,"seq":1}},"ctx":[]}}}`),
+		[]byte(``),
+		[]byte(`null`),
+		[]byte(`[]`),
+		[]byte("\x00\x01\x02"),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := Decode(data)
+		if err != nil {
+			return
+		}
+		body, err := Encode(fr)
+		if err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v\ninput: %q", err, data)
+		}
+		again, err := Decode(body)
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v\nbody: %q", err, body)
+		}
+		if again.Type != fr.Type {
+			t.Fatalf("type changed across round trip: %q -> %q", fr.Type, again.Type)
+		}
+		// And the framed stream form must round-trip too.
+		var buf bytes.Buffer
+		c := NewCodec(&buf, 0)
+		if err := c.Write(fr); err != nil {
+			t.Fatalf("accepted frame failed stream write: %v", err)
+		}
+		if _, err := c.Read(); err != nil {
+			t.Fatalf("stream round trip failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,298 @@
+// Package wire is the framing layer of the network runtime: a
+// length-prefixed JSON frame codec over any io.ReadWriter.
+//
+// Every frame is a 4-byte big-endian length followed by exactly that many
+// bytes of JSON. The JSON is a tagged union: a "type" discriminator plus the
+// one payload field matching it. Operation, context, and snapshot payloads
+// reuse the css/core JSON encodings, so a captured byte stream is readable
+// with the same tooling as a recorded history.
+//
+//	Frame      Direction        Payload
+//	hello      client → server  document name, client id (0 = new), resume point
+//	welcome    server → client  assigned client id, join snapshot or resume ack
+//	op         client → server  css.ClientMsg (an original operation + context)
+//	srv        server → client  css.ServerMsg (broadcast / ack / frontier) + frame seq
+//	ack        client → server  highest server frame seq durably processed
+//	err        server → client  terminal error, connection closes after
+//	bye        either           graceful close
+//
+// Hardening: the decoder rejects frames longer than the configured maximum
+// BEFORE reading the body (a hostile length prefix cannot make the reader
+// allocate), rejects empty and truncated frames, rejects unknown types,
+// rejects type/payload mismatches, and surfaces JSON syntax errors. See
+// wire_test.go and FuzzWireDecode.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"jupiter/internal/css"
+	"jupiter/internal/ot"
+)
+
+// DefaultMaxFrame bounds a frame body when the caller does not choose a
+// limit. Snapshots of long sessions are the largest frames; 8 MiB is ample
+// for ~10^5 replayed operations.
+const DefaultMaxFrame = 8 << 20
+
+// Frame type discriminators.
+const (
+	THello   = "hello"
+	TWelcome = "welcome"
+	TOp      = "op"
+	TServer  = "srv"
+	TAck     = "ack"
+	TError   = "err"
+	TBye     = "bye"
+)
+
+// Hello opens a session. ClientID 0 asks the server to mint a new client
+// rooted at a join snapshot; a non-zero ClientID resumes an existing session,
+// and LastFrameSeq names the last server frame the client fully processed —
+// the server resends everything after it.
+type Hello struct {
+	Doc          string `json:"doc"`
+	ClientID     int32  `json:"clientId,omitempty"`
+	LastFrameSeq uint64 `json:"lastFrameSeq,omitempty"`
+}
+
+// Welcome answers a Hello. Snapshot is set for new clients (the css join
+// snapshot the client roots its replica at); Resume is set when the server
+// accepted a reconnect and will replay the missed outbox suffix.
+type Welcome struct {
+	ClientID int32         `json:"clientId"`
+	Snapshot *css.Snapshot `json:"snapshot,omitempty"`
+	Resume   bool          `json:"resume,omitempty"`
+}
+
+// Op carries one client operation to the server.
+type Op struct {
+	Msg css.ClientMsg `json:"msg"`
+}
+
+// Server carries one server-to-client protocol message. Seq is the per-client
+// FRAME sequence number (1, 2, 3, ... in order of emission to that client) —
+// distinct from the protocol's global operation sequence inside Msg — and is
+// what reconnect/resume and ack trimming are keyed on.
+type Server struct {
+	Seq uint64        `json:"seq"`
+	Msg css.ServerMsg `json:"msg"`
+}
+
+// Ack confirms that the client durably processed every server frame up to
+// and including Seq, letting the server trim its retained outbox.
+type Ack struct {
+	Seq uint64 `json:"seq"`
+}
+
+// Error is a terminal server-side error; the connection closes after it.
+type Error struct {
+	Code string `json:"code"`
+	Msg  string `json:"msg"`
+}
+
+// Error codes.
+const (
+	CodeBadFrame    = "bad-frame"
+	CodeUnknownDoc  = "unknown-doc"
+	CodeBadResume   = "bad-resume"
+	CodeSlowClient  = "slow-client"
+	CodeShutdown    = "shutdown"
+	CodeProtocol    = "protocol"
+	CodeBackpressed = "backpressure"
+)
+
+// Frame is the tagged union carried on the wire. Exactly one payload field
+// matching Type must be set (Bye has none).
+type Frame struct {
+	Type    string   `json:"type"`
+	Hello   *Hello   `json:"hello,omitempty"`
+	Welcome *Welcome `json:"welcome,omitempty"`
+	Op      *Op      `json:"op,omitempty"`
+	Server  *Server  `json:"srv,omitempty"`
+	Ack     *Ack     `json:"ack,omitempty"`
+	Error   *Error   `json:"err,omitempty"`
+}
+
+// Validation errors.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+	ErrEmptyFrame    = errors.New("wire: empty frame")
+	ErrUnknownType   = errors.New("wire: unknown frame type")
+	ErrBadPayload    = errors.New("wire: payload does not match frame type")
+)
+
+// validate checks the type/payload pairing.
+func (f *Frame) validate() error {
+	n := 0
+	if f.Hello != nil {
+		n++
+	}
+	if f.Welcome != nil {
+		n++
+	}
+	if f.Op != nil {
+		n++
+	}
+	if f.Server != nil {
+		n++
+	}
+	if f.Ack != nil {
+		n++
+	}
+	if f.Error != nil {
+		n++
+	}
+	want := 1
+	var payload bool
+	switch f.Type {
+	case THello:
+		payload = f.Hello != nil
+	case TWelcome:
+		payload = f.Welcome != nil
+	case TOp:
+		payload = f.Op != nil
+	case TServer:
+		payload = f.Server != nil
+	case TAck:
+		payload = f.Ack != nil
+	case TError:
+		payload = f.Error != nil
+	case TBye:
+		payload, want = true, 0
+	default:
+		return fmt.Errorf("%w: %q", ErrUnknownType, f.Type)
+	}
+	if !payload || n != want {
+		return fmt.Errorf("%w: type %q with %d payload(s)", ErrBadPayload, f.Type, n)
+	}
+	return f.validatePayload()
+}
+
+// validatePayload checks payload semantics that the nested css decoders
+// cannot (json.Unmarshal matches keys case-insensitively and leaves absent
+// sub-objects at their zero value, which must not pass as a real message).
+func (f *Frame) validatePayload() error {
+	switch f.Type {
+	case THello:
+		if f.Hello.Doc == "" {
+			return fmt.Errorf("%w: hello without document name", ErrBadPayload)
+		}
+	case TOp:
+		m := &f.Op.Msg
+		if m.Op.Kind != ot.KindIns && m.Op.Kind != ot.KindDel {
+			return fmt.Errorf("%w: op frame carrying non-update kind %d", ErrBadPayload, m.Op.Kind)
+		}
+		if m.Ctx == nil && m.Compact == nil {
+			return fmt.Errorf("%w: op frame without context", ErrBadPayload)
+		}
+	case TServer:
+		m := &f.Server.Msg
+		switch m.Kind {
+		case css.MsgBroadcast:
+			if m.Op.Kind != ot.KindIns && m.Op.Kind != ot.KindDel {
+				return fmt.Errorf("%w: broadcast carrying non-update kind %d", ErrBadPayload, m.Op.Kind)
+			}
+			if m.Ctx == nil && m.Compact == nil {
+				return fmt.Errorf("%w: broadcast without context", ErrBadPayload)
+			}
+		case css.MsgAck:
+			if m.AckID.Zero() {
+				return fmt.Errorf("%w: ack without operation id", ErrBadPayload)
+			}
+		case css.MsgFrontier:
+			if m.Ctx == nil {
+				return fmt.Errorf("%w: frontier without context", ErrBadPayload)
+			}
+		default:
+			return fmt.Errorf("%w: server msg with unknown kind %d", ErrBadPayload, m.Kind)
+		}
+	}
+	return nil
+}
+
+// Encode renders the frame body (without the length prefix).
+func Encode(f *Frame) ([]byte, error) {
+	if err := f.validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(f)
+}
+
+// Decode parses and validates one frame body (without the length prefix).
+func Decode(data []byte) (*Frame, error) {
+	if len(data) == 0 {
+		return nil, ErrEmptyFrame
+	}
+	var f Frame
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("wire: decode: %w", err)
+	}
+	if err := f.validate(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// Codec reads and writes frames on a stream. Reads and writes are
+// independently safe to use from one reader and one writer goroutine; two
+// concurrent writers must synchronize externally.
+type Codec struct {
+	rw       io.ReadWriter
+	maxFrame int
+	lenBuf   [4]byte
+}
+
+// NewCodec wraps a stream. maxFrame <= 0 selects DefaultMaxFrame.
+func NewCodec(rw io.ReadWriter, maxFrame int) *Codec {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	return &Codec{rw: rw, maxFrame: maxFrame}
+}
+
+// Write encodes and sends one frame.
+func (c *Codec) Write(f *Frame) error {
+	body, err := Encode(f)
+	if err != nil {
+		return err
+	}
+	if len(body) > c.maxFrame {
+		return fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, len(body), c.maxFrame)
+	}
+	buf := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(body)))
+	copy(buf[4:], body)
+	if _, err := c.rw.Write(buf); err != nil {
+		return fmt.Errorf("wire: write: %w", err)
+	}
+	return nil
+}
+
+// Read receives and decodes one frame. A hostile or corrupt length prefix is
+// rejected before any body byte is read, so the reader never allocates more
+// than the configured maximum.
+func (c *Codec) Read() (*Frame, error) {
+	if _, err := io.ReadFull(c.rw, c.lenBuf[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("wire: read length: %w", err)
+	}
+	n := binary.BigEndian.Uint32(c.lenBuf[:])
+	if n == 0 {
+		return nil, ErrEmptyFrame
+	}
+	if int64(n) > int64(c.maxFrame) {
+		return nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, c.maxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(c.rw, body); err != nil {
+		return nil, fmt.Errorf("wire: read body (%d bytes): %w", n, err)
+	}
+	return Decode(body)
+}
