@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check fuzz fuzz-wire bench bench-smoke bench-compare chaos serve-demo ci
+.PHONY: all build test race vet fmt-check fuzz fuzz-wire bench bench-smoke bench-compare bench-loopback chaos chaos-socket serve-demo ci
 
 all: build test
 
@@ -51,9 +51,20 @@ bench-compare:
 chaos:
 	$(GO) test -run xxx -bench=BenchmarkE10_ChaosLossSweep -benchtime=30x .
 
+# Short seeded socket-chaos run: 4 real TCP clients through the
+# fault-injecting proxy (internal/chaosproxy), convergence and the weak list
+# spec checked per schedule. Raise CHAOS_SOCKET_SCHEDULES for longer sweeps.
+chaos-socket:
+	CHAOS_SOCKET_SCHEDULES=$${CHAOS_SOCKET_SCHEDULES:-6} $(GO) test -run 'TestSocket' -count=1 ./internal/server
+
+# Loopback-TCP bench output for the nightly regression gate; pair with
+# bench-compare against the checked-in BENCH_baseline.txt.
+bench-loopback:
+	$(GO) test -run NONE -bench 'BenchmarkE12_LoopbackTCP' -benchtime=3x -count=1 .
+
 # End-to-end jupiterd smoke: two TCP clients, a forced reconnect, metrics,
 # convergence assertion. Exits non-zero on divergence.
 serve-demo:
 	sh scripts/serve_demo.sh
 
-ci: fmt-check vet build test race fuzz-wire serve-demo
+ci: fmt-check vet build test race fuzz-wire chaos-socket serve-demo

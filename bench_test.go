@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"jupiter"
+	"jupiter/internal/chaosproxy"
 	netclient "jupiter/internal/client"
 	"jupiter/internal/css"
 	"jupiter/internal/dcss"
@@ -945,6 +946,114 @@ func BenchmarkE12_LoopbackTCP(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n*opsEach), "ns/op-applied")
+		})
+	}
+}
+
+// BenchmarkE13_SocketLossSweep is E10 rebuilt over real sockets (E13,
+// EXPERIMENTS.md): jupiterd on loopback behind the fault-injecting TCP
+// proxy (internal/chaosproxy), three clients generating the E10 workload
+// while the proxy drops the configured fraction of frames in both
+// directions. Recovery is the protocol's own: dropped server→client frames
+// trip the client's frame-gap detection, dropped client→server frames trip
+// the server's op-sequence guard, and each forces a reconnect that replays
+// from the retained outbox and resend buffer. After the edit phase the
+// proxy heals (cutting every live link, the worst-case reconnect), and the
+// clock stops when every replica has processed every serialized operation.
+// ns/op-applied is therefore the delivered cost per operation including all
+// retransmission and resume overhead at that loss rate.
+func BenchmarkE13_SocketLossSweep(b *testing.B) {
+	const clients, opsEach = 3, 20
+	for _, loss := range []float64{0, 0.01, 0.05, 0.20} {
+		b.Run(fmt.Sprintf("drop=%.0f%%", loss*100), func(b *testing.B) {
+			eng := server.New(server.Config{Addr: "127.0.0.1:0"})
+			if err := eng.Start(); err != nil {
+				b.Fatal(err)
+			}
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer cancel()
+				_ = eng.Shutdown(ctx)
+			}()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+			defer cancel()
+			b.ReportAllocs()
+			var links float64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				p, err := chaosproxy.New(chaosproxy.Config{
+					Listen:   "127.0.0.1:0",
+					Upstream: eng.Addr(),
+					Schedule: chaosproxy.Schedule{Seed: int64(i + 1), Drop: loss},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				doc := fmt.Sprintf("e13-%.0f-%d", loss*100, i)
+				cs := make([]*netclient.Client, clients)
+				for j := range cs {
+					c, err := netclient.Dial(netclient.Config{
+						Addr:       p.Addr(),
+						Doc:        doc,
+						Seed:       int64(j + 1),
+						MinBackoff: 2 * time.Millisecond,
+						MaxBackoff: 50 * time.Millisecond,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					cs[j] = c
+				}
+				b.StartTimer()
+				var wg sync.WaitGroup
+				for j, c := range cs {
+					wg.Add(1)
+					go func(j int, c *netclient.Client) {
+						defer wg.Done()
+						r := rand.New(rand.NewSource(int64(i*1000 + j + 1)))
+						for k := 0; k < opsEach; k++ {
+							doc := c.Document()
+							if len(doc) > 0 && r.Float64() < 0.3 {
+								if err := c.Delete(r.Intn(len(doc))); err != nil {
+									b.Error(err)
+									return
+								}
+							} else {
+								if err := c.Insert(rune('a'+k%26), r.Intn(len(doc)+1)); err != nil {
+									b.Error(err)
+									return
+								}
+							}
+							// Pace the edits so frames are in flight while the
+							// proxy is dropping: an unpaced burst finishes
+							// before the first loss is even detectable.
+							time.Sleep(200 * time.Microsecond)
+						}
+					}(j, c)
+				}
+				wg.Wait()
+				// Stop injecting and cut every link: the final reconnect
+				// replays whatever the drops ate, so the barrier terminates
+				// at any loss rate.
+				p.Heal()
+				for _, c := range cs {
+					if err := c.Sync(ctx); err != nil {
+						b.Fatal(err)
+					}
+					if err := c.WaitServerSeq(ctx, uint64(clients*opsEach)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				links += float64(p.Stats().Links)
+				for _, c := range cs {
+					_ = c.Close()
+				}
+				_ = p.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*clients*opsEach), "ns/op-applied")
+			b.ReportMetric(links/float64(b.N), "links/run")
 		})
 	}
 }

@@ -1,0 +1,130 @@
+// Command chaosproxy runs a fault-injecting TCP proxy in front of a
+// jupiterd server: point clients at -listen instead of the server and the
+// proxy applies a seeded schedule of frame drops, delays, partitions, and
+// hard connection resets to the live connections (internal/chaosproxy).
+//
+// Examples:
+//
+//	# 5% frame loss, up to 2ms extra latency per frame
+//	chaosproxy -listen 127.0.0.1:9270 -upstream 127.0.0.1:9170 \
+//	    -seed 7 -drop 0.05 -delay-max 2ms
+//
+//	# three seeded hard resets (one tearing a frame mid-body), then heal
+//	# after two minutes of chaos
+//	chaosproxy -upstream 127.0.0.1:9170 -resets 3 -midframe -heal-after 2m
+//
+// The chaos_* fault counters are served as JSON on -metrics, so induced
+// disconnects are distinguishable from organic ones on the jupiterd side
+// (compare chaos_resets_injected_total with the server's resumes_total).
+// SIGINT/SIGTERM shut the proxy down.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"jupiter/internal/chaosproxy"
+	"jupiter/internal/metrics"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "chaosproxy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("chaosproxy", flag.ContinueOnError)
+	var (
+		listen      = fs.String("listen", "127.0.0.1:9270", "TCP address clients dial")
+		upstream    = fs.String("upstream", "127.0.0.1:9170", "jupiterd address to bridge to")
+		metricsAddr = fs.String("metrics", "", "HTTP address serving the chaos_* counters as JSON (empty to disable)")
+		seed        = fs.Int64("seed", 1, "seed for every probabilistic fault draw")
+		drop        = fs.Float64("drop", 0, "per-frame drop probability in [0,1)")
+		delayMax    = fs.Duration("delay-max", 0, "maximum per-frame extra latency")
+		resets      = fs.Int("resets", 0, "number of seeded hard connection resets to schedule")
+		midframe    = fs.Bool("midframe", false, "make the first scheduled reset cut mid-frame")
+		partitions  = fs.Int("partitions", 0, "number of seeded bidirectional stall windows to schedule")
+		healAfter   = fs.Duration("heal-after", 0, "stop injecting and cut all links after this duration (0 = never)")
+		verbose     = fs.Bool("v", false, "log links and fault events")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sched := chaosproxy.Schedule{Seed: *seed, Drop: *drop, DelayMax: *delayMax}
+	r := rand.New(rand.NewSource(*seed))
+	for i := 0; i < *resets; i++ {
+		sched.Resets = append(sched.Resets, chaosproxy.Reset{
+			Link:        -1,
+			AfterFrames: 4 + r.Intn(200),
+			MidFrame:    *midframe && i == 0,
+		})
+	}
+	for i := 0; i < *partitions; i++ {
+		sched.Partitions = append(sched.Partitions, chaosproxy.Partition{
+			Link:        -1,
+			AfterFrames: 2 + r.Intn(200),
+			Hold:        time.Duration(10+r.Intn(500)) * time.Millisecond,
+		})
+	}
+
+	cfg := chaosproxy.Config{
+		Listen:   *listen,
+		Upstream: *upstream,
+		Schedule: sched,
+		Metrics:  metrics.NewRegistry(),
+	}
+	if *verbose {
+		cfg.Logf = log.Printf
+	}
+	p, err := chaosproxy.New(cfg)
+	if err != nil {
+		return err
+	}
+	log.Printf("chaosproxy: proxying %s -> %s (seed=%d drop=%g delay-max=%v resets=%d partitions=%d)",
+		p.Addr(), *upstream, *seed, *drop, *delayMax, *resets, *partitions)
+
+	var httpLn net.Listener
+	if *metricsAddr != "" {
+		httpLn, err = net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			_ = p.Close()
+			return fmt.Errorf("metrics listen: %w", err)
+		}
+		srv := &http.Server{Handler: p.Metrics().Handler()}
+		go func() { _ = srv.Serve(httpLn) }()
+		log.Printf("chaosproxy: metrics on http://%s/", httpLn.Addr())
+	}
+
+	if *healAfter > 0 {
+		time.AfterFunc(*healAfter, func() {
+			log.Printf("chaosproxy: healing after %v", *healAfter)
+			p.Heal()
+		})
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	s := <-sig
+	log.Printf("chaosproxy: %s, shutting down", s)
+	if httpLn != nil {
+		httpLn.Close()
+	}
+	if err := p.Close(); err != nil {
+		return err
+	}
+	st := p.Stats()
+	log.Printf("chaosproxy: done: links=%d relayed=%d dropped=%d delayed=%d resets=%d (midframe=%d) partitions=%d heal-cuts=%d",
+		st.Links, st.Relayed, st.Dropped, st.Delayed, st.Resets, st.MidFrame, st.Partitions, st.HealResets)
+	return nil
+}

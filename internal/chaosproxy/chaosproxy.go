@@ -1,0 +1,474 @@
+// Package chaosproxy is a deterministic fault-injecting TCP proxy for the
+// jupiterd network runtime: it sits between internal/client and the server,
+// relays internal/wire frames, and applies a seeded Schedule of drops,
+// delays, partitions, and hard connection resets to the live byte streams.
+//
+// The in-process chaos harness (internal/faultnet + internal/sim) proves
+// the protocol layer recovers from loss, duplication, reordering, and
+// crashes — but it exercises Go channels, not the deployed runtime. This
+// proxy closes that gap: the same seeded fault semantics hit the real
+// sockets, so the client's redial/backoff/resume machinery, the server's
+// retained outbox and op-dedup watermarks, and the wire codec's torn-frame
+// rejection are all on the hook. Frames, not bytes, are the injection unit:
+// each relay direction reads one length-prefixed frame at a time
+// (wire.ReadRawFrame) and must win a token from the schedule driver —
+// forward, hold, drop, or cut — before the bytes move on. A MidFrame cut is
+// the deliberate exception: it forwards half a frame and kills the socket,
+// proving the peer's decoder resynchronizes via a fresh handshake rather
+// than ever delivering a torn frame.
+//
+// Faults are reported through an internal/metrics registry (the chaos_*
+// instruments), so a demo or test can tell induced disconnects from organic
+// ones: engine-side resumes_total counts all reconnects, while
+// chaos_resets_injected_total counts the ones this proxy caused.
+//
+// Heal() ends the experiment: fault injection stops and every live link is
+// cut once, forcing a final reconnect storm through the now-transparent
+// proxy — clients blind-resend their unacknowledged operations, the server
+// replays retained outboxes, and the system converges. Tests call it
+// between the edit phase and the convergence barrier.
+package chaosproxy
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"jupiter/internal/metrics"
+	"jupiter/internal/wire"
+)
+
+// Config configures a Proxy.
+type Config struct {
+	// Listen is the TCP address clients dial (default "127.0.0.1:0").
+	Listen string
+	// Upstream is the jupiterd address every accepted connection is bridged
+	// to, one upstream connection per client connection.
+	Upstream string
+	// Schedule is the fault plan; the zero value is a transparent proxy.
+	Schedule Schedule
+	// MaxFrame caps relayed frame bodies (0 = wire.DefaultMaxFrame).
+	MaxFrame int
+	// DialTimeout bounds one upstream dial (0 = 5s).
+	DialTimeout time.Duration
+	// Metrics, when non-nil, receives the chaos_* instruments (nil = a
+	// private registry, still readable via Stats).
+	Metrics *metrics.Registry
+	// Logf, when non-nil, receives one line per link and fault event.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) listen() string {
+	if c.Listen == "" {
+		return "127.0.0.1:0"
+	}
+	return c.Listen
+}
+
+func (c *Config) dialTimeout() time.Duration {
+	if c.DialTimeout <= 0 {
+		return 5 * time.Second
+	}
+	return c.DialTimeout
+}
+
+// Stats is a snapshot of the proxy's fault counters.
+type Stats struct {
+	Links      int64 // connections accepted (links opened)
+	Relayed    int64 // frames forwarded intact
+	Dropped    int64 // frames silently discarded
+	Delayed    int64 // frames held for a nonzero delay draw
+	Resets     int64 // hard cuts injected by the schedule
+	MidFrame   int64 // of those, cuts that tore the trigger frame
+	Partitions int64 // bidirectional stall windows injected
+	HealResets int64 // links cut by Heal (not schedule faults)
+}
+
+// Proxy is a running chaos proxy: one listener, one link per accepted
+// connection, one seeded schedule driver shared by all links.
+type Proxy struct {
+	cfg Config
+	reg *metrics.Registry
+	ln  net.Listener
+
+	mu     sync.Mutex
+	links  map[*link]struct{}
+	nextID int
+	resets []*resetEvent
+	parts  []*partitionEvent
+	healed bool
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+type resetEvent struct {
+	Reset
+	fired bool
+}
+
+type partitionEvent struct {
+	Partition
+	fired bool
+}
+
+// New validates the schedule, binds the listener, and starts accepting.
+func New(cfg Config) (*Proxy, error) {
+	if cfg.Upstream == "" {
+		return nil, fmt.Errorf("chaosproxy: no upstream address")
+	}
+	if err := cfg.Schedule.Validate(); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", cfg.listen())
+	if err != nil {
+		return nil, fmt.Errorf("chaosproxy: listen: %w", err)
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	p := &Proxy{cfg: cfg, reg: reg, ln: ln, links: make(map[*link]struct{})}
+	for i := range cfg.Schedule.Resets {
+		p.resets = append(p.resets, &resetEvent{Reset: cfg.Schedule.Resets[i]})
+	}
+	for i := range cfg.Schedule.Partitions {
+		p.parts = append(p.parts, &partitionEvent{Partition: cfg.Schedule.Partitions[i]})
+	}
+	p.wg.Add(1)
+	go p.serve()
+	return p, nil
+}
+
+// TB is the subset of testing.TB the test harness needs (an interface so
+// non-test binaries importing this package do not link the testing package).
+type TB interface {
+	Helper()
+	Fatalf(format string, args ...any)
+	Logf(format string, args ...any)
+	Cleanup(func())
+}
+
+// NewForTest starts a proxy on an ephemeral loopback port in front of
+// upstream, logging through t and closing itself when the test ends.
+func NewForTest(t TB, upstream string, sched Schedule) *Proxy {
+	t.Helper()
+	p, err := New(Config{Upstream: upstream, Schedule: sched, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("chaosproxy: %v", err)
+	}
+	t.Cleanup(func() { _ = p.Close() })
+	return p
+}
+
+// Addr returns the address clients should dial.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Metrics returns the registry holding the chaos_* instruments.
+func (p *Proxy) Metrics() *metrics.Registry { return p.reg }
+
+// Stats snapshots the fault counters.
+func (p *Proxy) Stats() Stats {
+	return Stats{
+		Links:      p.reg.Counter("chaos_links_total").Value(),
+		Relayed:    p.reg.Counter("chaos_frames_relayed_total").Value(),
+		Dropped:    p.reg.Counter("chaos_drops_injected_total").Value(),
+		Delayed:    p.reg.Counter("chaos_delays_injected_total").Value(),
+		Resets:     p.reg.Counter("chaos_resets_injected_total").Value(),
+		MidFrame:   p.reg.Counter("chaos_midframe_cuts_total").Value(),
+		Partitions: p.reg.Counter("chaos_partitions_injected_total").Value(),
+		HealResets: p.reg.Counter("chaos_heal_resets_total").Value(),
+	}
+}
+
+func (p *Proxy) logf(format string, args ...any) {
+	if p.cfg.Logf != nil {
+		p.cfg.Logf(format, args...)
+	}
+}
+
+// Heal stops all fault injection and cuts every live link once. Clients
+// reconnect through the now-transparent proxy, replaying buffered
+// operations and resuming retained outboxes; the system converges. Safe to
+// call more than once — later calls only cut whatever links are open.
+func (p *Proxy) Heal() {
+	p.mu.Lock()
+	p.healed = true
+	ls := make([]*link, 0, len(p.links))
+	for l := range p.links {
+		ls = append(ls, l)
+	}
+	p.mu.Unlock()
+	for _, l := range ls {
+		p.reg.Counter("chaos_heal_resets_total").Inc()
+		l.close()
+	}
+	p.logf("chaosproxy: healed (%d links cut)", len(ls))
+}
+
+// Close stops the listener, cuts every link, and joins all goroutines.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	ls := make([]*link, 0, len(p.links))
+	for l := range p.links {
+		ls = append(ls, l)
+	}
+	p.mu.Unlock()
+	p.ln.Close()
+	for _, l := range ls {
+		l.close()
+	}
+	p.wg.Wait()
+	return nil
+}
+
+func (p *Proxy) serve() {
+	defer p.wg.Done()
+	for {
+		nc, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			nc.Close()
+			return
+		}
+		id := p.nextID
+		p.nextID++
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go p.startLink(nc, id)
+	}
+}
+
+func (p *Proxy) startLink(down net.Conn, id int) {
+	defer p.wg.Done()
+	up, err := net.DialTimeout("tcp", p.cfg.Upstream, p.cfg.dialTimeout())
+	if err != nil {
+		p.logf("chaosproxy: link %d: upstream dial: %v", id, err)
+		down.Close()
+		return
+	}
+	seed := p.cfg.Schedule.Seed
+	l := &link{
+		p:        p,
+		id:       id,
+		down:     down,
+		up:       up,
+		closedCh: make(chan struct{}),
+		// Independent per-direction PRNGs keep each direction's draw
+		// sequence a pure function of (Seed, link index, frame index),
+		// whatever the goroutine interleaving does.
+		rngC2S: rand.New(rand.NewSource(seed ^ int64(id)<<8 ^ 0x1)),
+		rngS2C: rand.New(rand.NewSource(seed ^ int64(id)<<8 ^ 0x2)),
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		down.Close()
+		up.Close()
+		return
+	}
+	p.links[l] = struct{}{}
+	p.mu.Unlock()
+	p.reg.Counter("chaos_links_total").Inc()
+	p.reg.Gauge("chaos_links_open").Add(1)
+	p.logf("chaosproxy: link %d: %s <-> %s", id, down.RemoteAddr(), p.cfg.Upstream)
+	p.wg.Add(2)
+	go l.relay(down, up, true)
+	go l.relay(up, down, false)
+}
+
+// dropLink deregisters a closed link.
+func (p *Proxy) dropLink(l *link) {
+	p.mu.Lock()
+	if _, ok := p.links[l]; ok {
+		delete(p.links, l)
+		p.reg.Gauge("chaos_links_open").Add(-1)
+	}
+	p.mu.Unlock()
+}
+
+// ------------------------------------------------------------------ link ----
+
+// link is one bridged client↔upstream connection pair with its two relay
+// goroutines. frames counts relayed frames in both directions; the schedule
+// driver triggers scheduled events off it.
+type link struct {
+	p    *Proxy
+	id   int
+	down net.Conn // client side
+	up   net.Conn // server side
+
+	mu         sync.Mutex
+	frames     int // total frames seen (both directions)
+	c2sFrames  int // per-direction frame indices (handshake exemption)
+	s2cFrames  int
+	stallUntil time.Time // partition window end, both directions honor it
+	rngC2S     *rand.Rand
+	rngS2C     *rand.Rand
+
+	closeOnce sync.Once
+	closedCh  chan struct{}
+}
+
+// close cuts both sockets; safe from any goroutine, idempotent.
+func (l *link) close() {
+	l.closeOnce.Do(func() {
+		close(l.closedCh)
+		l.down.Close()
+		l.up.Close()
+		l.p.dropLink(l)
+	})
+}
+
+// verdict is the token a relay direction must win before moving one frame.
+type verdict struct {
+	stall    time.Duration // partition remainder to wait out first
+	delay    time.Duration // per-frame latency draw
+	drop     bool          // discard the frame
+	reset    bool          // cut the link (after optional midFrame write)
+	midFrame bool          // forward half the frame before cutting
+}
+
+// gate runs the schedule driver for one frame: bump counters, claim any
+// scheduled event whose trigger this frame crossed, and draw the
+// probabilistic faults from the direction's PRNG.
+func (l *link) gate(c2s bool) verdict {
+	var v verdict
+	p := l.p
+
+	p.mu.Lock()
+	healed := p.healed
+	p.mu.Unlock()
+
+	l.mu.Lock()
+	l.frames++
+	frames := l.frames
+	dirIdx := l.s2cFrames
+	rng := l.rngS2C
+	if c2s {
+		dirIdx = l.c2sFrames
+		l.c2sFrames++
+		rng = l.rngC2S
+	} else {
+		l.s2cFrames++
+	}
+	if !healed {
+		sched := &p.cfg.Schedule
+		if d := sched.dropFor(c2s); d > 0 && rng.Float64() < d && dirIdx > 0 {
+			v.drop = true
+		}
+		if sched.DelayMax > 0 {
+			if d := time.Duration(rng.Int63n(int64(sched.DelayMax) + 1)); d > 0 {
+				v.delay = d
+			}
+		}
+	}
+	if until := l.stallUntil; !until.IsZero() {
+		if rem := time.Until(until); rem > 0 {
+			v.stall = rem
+		}
+	}
+	l.mu.Unlock()
+
+	if healed {
+		return verdict{stall: v.stall}
+	}
+
+	// Claim scheduled events; first link past the trigger wins.
+	p.mu.Lock()
+	for _, ev := range p.parts {
+		if !ev.fired && (ev.Link == -1 || ev.Link == l.id) && frames >= ev.AfterFrames {
+			ev.fired = true
+			p.reg.Counter("chaos_partitions_injected_total").Inc()
+			l.mu.Lock()
+			l.stallUntil = time.Now().Add(ev.Hold)
+			l.mu.Unlock()
+			if v.stall < ev.Hold {
+				v.stall = ev.Hold
+			}
+			p.logf("chaosproxy: link %d: partition for %v at frame %d", l.id, ev.Hold, frames)
+		}
+	}
+	for _, ev := range p.resets {
+		if !ev.fired && (ev.Link == -1 || ev.Link == l.id) && frames >= ev.AfterFrames {
+			ev.fired = true
+			v.reset = true
+			v.midFrame = ev.MidFrame
+			p.logf("chaosproxy: link %d: reset (midframe=%v) at frame %d", l.id, ev.MidFrame, frames)
+			break
+		}
+	}
+	p.mu.Unlock()
+	return v
+}
+
+// sleep waits d unless the link closes first.
+func (l *link) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-l.closedCh:
+		return false
+	}
+}
+
+// relay moves frames in one direction until the link dies. Each frame is
+// read whole (wire.ReadRawFrame — the boundary detector), then gated by the
+// schedule driver, then forwarded, held, dropped, or used as the cut point.
+func (l *link) relay(src, dst net.Conn, c2s bool) {
+	defer l.p.wg.Done()
+	defer l.close()
+	reg := l.p.reg
+	for {
+		raw, err := wire.ReadRawFrame(src, l.p.cfg.MaxFrame)
+		if err != nil {
+			return
+		}
+		v := l.gate(c2s)
+		if v.stall > 0 && !l.sleep(v.stall) {
+			return
+		}
+		if v.delay > 0 {
+			reg.Counter("chaos_delays_injected_total").Inc()
+			if !l.sleep(v.delay) {
+				return
+			}
+		}
+		if v.drop {
+			reg.Counter("chaos_drops_injected_total").Inc()
+			continue
+		}
+		if v.reset {
+			reg.Counter("chaos_resets_injected_total").Inc()
+			if v.midFrame {
+				reg.Counter("chaos_midframe_cuts_total").Inc()
+				// Forward the prefix plus half the body: the peer's decoder
+				// sees a length it can never satisfy and must resync via a
+				// fresh handshake after the cut.
+				cut := 4 + (len(raw)-4)/2
+				_, _ = dst.Write(raw[:cut])
+			}
+			return
+		}
+		if _, err := dst.Write(raw); err != nil {
+			return
+		}
+		reg.Counter("chaos_frames_relayed_total").Inc()
+	}
+}

@@ -1,0 +1,412 @@
+package chaosproxy
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"jupiter/internal/wire"
+)
+
+// sink is a minimal upstream: it accepts connections, records every raw
+// frame it receives (in order), optionally echoes each frame back, and
+// records the terminal read error per connection.
+type sink struct {
+	ln   net.Listener
+	echo bool
+
+	mu     sync.Mutex
+	frames [][]byte
+	errs   []error
+
+	wg sync.WaitGroup
+}
+
+func startSink(t *testing.T, echo bool) *sink {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &sink{ln: ln, echo: echo}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				defer nc.Close()
+				for {
+					raw, err := wire.ReadRawFrame(nc, 0)
+					if err != nil {
+						s.mu.Lock()
+						s.errs = append(s.errs, err)
+						s.mu.Unlock()
+						return
+					}
+					s.mu.Lock()
+					s.frames = append(s.frames, raw)
+					s.mu.Unlock()
+					if s.echo {
+						if _, err := nc.Write(raw); err != nil {
+							return
+						}
+					}
+				}
+			}()
+		}
+	}()
+	t.Cleanup(func() { ln.Close(); s.wg.Wait() })
+	return s
+}
+
+func (s *sink) snapshot() ([][]byte, []error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([][]byte(nil), s.frames...), append([]error(nil), s.errs...)
+}
+
+// waitErrs blocks until the sink has recorded at least n terminal errors.
+func (s *sink) waitErrs(t *testing.T, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		s.mu.Lock()
+		got := len(s.errs)
+		s.mu.Unlock()
+		if got >= n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("sink: timed out waiting for %d connection ends", n)
+}
+
+// ackFrame builds a distinguishable frame carrying seq.
+func ackFrame(t *testing.T, seq uint64) []byte {
+	t.Helper()
+	body, err := wire.Encode(&wire.Frame{Type: wire.TAck, Ack: &wire.Ack{Seq: seq}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(raw[:4], uint32(len(body)))
+	copy(raw[4:], body)
+	return raw
+}
+
+func ackSeq(t *testing.T, raw []byte) uint64 {
+	t.Helper()
+	f, err := wire.Decode(raw[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != wire.TAck {
+		t.Fatalf("frame type %q, want ack", f.Type)
+	}
+	return f.Ack.Seq
+}
+
+// TestPassThrough: the zero schedule is a transparent frame relay in both
+// directions.
+func TestPassThrough(t *testing.T) {
+	up := startSink(t, true)
+	p := NewForTest(t, up.ln.Addr().String(), Schedule{})
+
+	nc, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+
+	const n = 10
+	for i := uint64(1); i <= n; i++ {
+		if _, err := nc.Write(ackFrame(t, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The echo comes back through the s2c relay.
+	for i := uint64(1); i <= n; i++ {
+		raw, err := wire.ReadRawFrame(nc, 0)
+		if err != nil {
+			t.Fatalf("echo %d: %v", i, err)
+		}
+		if got := ackSeq(t, raw); got != i {
+			t.Fatalf("echo %d: seq %d", i, got)
+		}
+	}
+	st := p.Stats()
+	if st.Relayed != 2*n {
+		t.Errorf("Relayed = %d, want %d", st.Relayed, 2*n)
+	}
+	if st.Dropped+st.Resets+st.Partitions != 0 {
+		t.Errorf("faults injected by the zero schedule: %+v", st)
+	}
+}
+
+// TestSeededDropDeterminism: the set of frames surviving a lossy link is a
+// pure function of (Seed, link index, frame index) — computed here by
+// replaying the documented draw, and the first frame of a direction is
+// always exempt.
+func TestSeededDropDeterminism(t *testing.T) {
+	const seed, dropP, n = int64(42), 0.5, 40
+	up := startSink(t, false)
+	p := NewForTest(t, up.ln.Addr().String(), Schedule{Seed: seed, DropC2S: dropP})
+
+	nc, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < n; i++ {
+		if _, err := nc.Write(ackFrame(t, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nc.Close()
+	up.waitErrs(t, 1) // upstream saw EOF: everything surviving has arrived
+
+	// Replay the driver's draw: link 0's c2s PRNG, one Float64 per frame,
+	// frame index 0 exempt.
+	rng := rand.New(rand.NewSource(seed ^ int64(0)<<8 ^ 0x1))
+	var want []uint64
+	for i := uint64(0); i < n; i++ {
+		dropped := rng.Float64() < dropP && i > 0
+		if !dropped {
+			want = append(want, i)
+		}
+	}
+	if len(want) == int(n) || len(want) == 1 {
+		t.Fatalf("degenerate draw for this seed (kept %d of %d); pick another seed", len(want), n)
+	}
+
+	frames, _ := up.snapshot()
+	var got []uint64
+	for _, raw := range frames {
+		got = append(got, ackSeq(t, raw))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("kept %d frames %v, want %d %v", len(got), got, len(want), want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("kept[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if st := p.Stats(); st.Dropped != int64(n-len(want)) {
+		t.Errorf("Dropped = %d, want %d", st.Dropped, n-len(want))
+	}
+}
+
+// TestScheduledReset: the trigger frame and everything after it never
+// arrive; both sides of the link are cut.
+func TestScheduledReset(t *testing.T) {
+	up := startSink(t, false)
+	p := NewForTest(t, up.ln.Addr().String(), Schedule{
+		Resets: []Reset{{Link: 0, AfterFrames: 3}},
+	})
+
+	nc, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	for i := uint64(1); i <= 5; i++ {
+		if _, err := nc.Write(ackFrame(t, i)); err != nil {
+			break // cut can surface as a write error on the later frames
+		}
+	}
+	// The client side must observe the cut.
+	_ = nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := wire.ReadRawFrame(nc, 0); err == nil {
+		t.Fatal("read after reset: want connection error")
+	}
+	up.waitErrs(t, 1)
+	frames, _ := up.snapshot()
+	if len(frames) != 2 {
+		t.Fatalf("upstream got %d frames, want 2 (reset fired on the 3rd)", len(frames))
+	}
+	st := p.Stats()
+	if st.Resets != 1 || st.MidFrame != 0 {
+		t.Errorf("stats = %+v, want exactly one clean reset", st)
+	}
+}
+
+// TestMidFrameCut: the peer receives a length prefix whose body never
+// completes; the decoder must reject it as a torn frame, not deliver it.
+func TestMidFrameCut(t *testing.T) {
+	up := startSink(t, false)
+	p := NewForTest(t, up.ln.Addr().String(), Schedule{
+		Resets: []Reset{{Link: -1, AfterFrames: 2, MidFrame: true}},
+	})
+
+	nc, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	for i := uint64(1); i <= 2; i++ {
+		if _, err := nc.Write(ackFrame(t, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	up.waitErrs(t, 1)
+	frames, errs := up.snapshot()
+	if len(frames) != 1 {
+		t.Fatalf("upstream decoded %d frames, want 1 (the 2nd was torn)", len(frames))
+	}
+	// The terminal error must be a torn body, not a clean EOF: proof the
+	// decoder saw the partial frame and refused it.
+	if len(errs) != 1 || errors.Is(errs[0], io.EOF) || !strings.Contains(errs[0].Error(), "read body") {
+		t.Fatalf("upstream terminal error = %v, want torn-body error", errs)
+	}
+	st := p.Stats()
+	if st.Resets != 1 || st.MidFrame != 1 {
+		t.Errorf("stats = %+v, want one midframe reset", st)
+	}
+}
+
+// TestPartitionStallsBothDirections: a partition window holds frames (they
+// arrive late, not never).
+func TestPartitionStalls(t *testing.T) {
+	const hold = 150 * time.Millisecond
+	up := startSink(t, false)
+	p := NewForTest(t, up.ln.Addr().String(), Schedule{
+		Partitions: []Partition{{Link: -1, AfterFrames: 1, Hold: hold}},
+	})
+
+	nc, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	start := time.Now()
+	if _, err := nc.Write(ackFrame(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		frames, _ := up.snapshot()
+		if len(frames) == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("partitioned frame never arrived")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if elapsed := time.Since(start); elapsed < hold {
+		t.Errorf("frame arrived after %v, want >= %v stall", elapsed, hold)
+	}
+	if st := p.Stats(); st.Partitions != 1 || st.Dropped != 0 {
+		t.Errorf("stats = %+v, want one partition and no loss", st)
+	}
+}
+
+// TestHeal: after Heal every live link is cut once and new connections are
+// pure pass-through, whatever the schedule said.
+func TestHeal(t *testing.T) {
+	up := startSink(t, false)
+	p := NewForTest(t, up.ln.Addr().String(), Schedule{Seed: 3, DropC2S: 0.9})
+
+	nc, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nc.Write(ackFrame(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// The first frame of a direction is drop-exempt; once it shows up
+	// upstream the link is registered and Heal must cut it.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		frames, _ := up.snapshot()
+		if len(frames) >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first frame never arrived")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	p.Heal()
+	_ = nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := wire.ReadRawFrame(nc, 0); err == nil {
+		t.Fatal("healed link not cut")
+	}
+	nc.Close()
+
+	// A fresh connection relays everything despite the 90% drop schedule.
+	nc2, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc2.Close()
+	const n = 20
+	for i := uint64(100); i < 100+n; i++ {
+		if _, err := nc2.Write(ackFrame(t, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nc2.Close()
+	up.waitErrs(t, 2)
+	frames, _ := up.snapshot()
+	var after int
+	for _, raw := range frames {
+		if ackSeq(t, raw) >= 100 {
+			after++
+		}
+	}
+	if after != n {
+		t.Fatalf("post-heal frames relayed = %d, want %d", after, n)
+	}
+	if st := p.Stats(); st.HealResets < 1 {
+		t.Errorf("HealResets = %d, want >= 1", st.HealResets)
+	}
+}
+
+// TestValidate rejects bad schedules at construction.
+func TestValidate(t *testing.T) {
+	up := startSink(t, false)
+	for _, s := range []Schedule{
+		{Drop: 1.0},
+		{DropS2C: 2},
+		{DelayMax: -time.Second},
+		{Partitions: []Partition{{Hold: 0}}},
+		{Resets: []Reset{{AfterFrames: -1}}},
+	} {
+		if _, err := New(Config{Upstream: up.ln.Addr().String(), Schedule: s}); err == nil {
+			t.Errorf("schedule %+v accepted, want error", s)
+		}
+	}
+	if _, err := New(Config{Schedule: Schedule{}}); err == nil {
+		t.Error("missing upstream accepted, want error")
+	}
+}
+
+// TestRandomSchedulesValid: every generated schedule passes Validate and
+// always contains at least one reset (the suite's liveness assumption).
+func TestRandomSchedulesValid(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		s := Random(seed, 4)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(s.Resets) == 0 {
+			t.Fatalf("seed %d: no resets", seed)
+		}
+		if seed%2 == 0 && !s.Resets[0].MidFrame {
+			t.Fatalf("seed %d: even seeds must tear a frame", seed)
+		}
+	}
+}

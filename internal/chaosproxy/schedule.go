@@ -1,0 +1,164 @@
+package chaosproxy
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Schedule is one seeded fault plan for live TCP links, mirroring the
+// faultnet.Config semantics (drop, delay, partition, reset) at frame
+// granularity. Probabilistic faults are drawn per relayed frame from a PRNG
+// seeded with Seed; scheduled faults (Resets, Partitions) fire when a link's
+// relayed-frame counter reaches their trigger. The zero value is a perfect
+// pass-through proxy.
+//
+// Unlike the in-process faultnet — a single-threaded event loop over
+// virtual ticks, bitwise reproducible — a socket schedule runs against the
+// kernel scheduler: the per-link draws are seeded and the scheduled events
+// are frame-counted, so two runs inject the same statistical fault mix at
+// the same protocol points, but the exact interleaving is whatever the real
+// network produces. That is the point: the histories under test are ones a
+// deployment could actually see.
+type Schedule struct {
+	// Seed drives every probabilistic draw. Each link derives its own PRNG
+	// from Seed and its accept-order index.
+	Seed int64
+
+	// Drop is the per-frame loss probability in [0,1), applied in both
+	// directions unless overridden below. A dropped client→server frame is
+	// recovered by the client's blind resend at its next reconnect; a
+	// dropped server→client frame trips the client's frame-sequence gap
+	// detection, forcing a reconnect that resumes from the retained outbox.
+	// The first frame of each direction on a link (hello/welcome) is exempt:
+	// losing it is TCP-SYN-retry territory, not frame loss, and would only
+	// serialize the test behind dial timeouts.
+	Drop float64
+	// DropC2S / DropS2C override Drop per direction: positive values replace
+	// it, negative values disable loss in that direction, zero inherits Drop.
+	DropC2S float64
+	DropS2C float64
+
+	// DelayMax is the maximum per-frame extra latency; each frame is held
+	// uniformly in [0, DelayMax] before being forwarded. Because a link is
+	// one TCP stream, the hold is head-of-line: frames behind it wait too,
+	// exactly like a congested path.
+	DelayMax time.Duration
+
+	// Resets are hard connection cuts: both sockets of the trigger link are
+	// closed, surfacing as ECONNRESET/EOF to client and server. MidFrame
+	// cuts the socket after forwarding only half of the trigger frame's
+	// bytes, so the receiver sees a length prefix whose body never arrives.
+	Resets []Reset
+
+	// Partitions stall a link bidirectionally for a wall-clock window:
+	// frames in both directions are held (not lost) until the window ends,
+	// modeling a transient outage that TCP retransmission would ride out.
+	Partitions []Partition
+}
+
+// Reset schedules one hard connection cut. Each Reset fires at most once.
+type Reset struct {
+	// Link is the 0-based accept-order index of the link to cut; -1 cuts
+	// whichever link first reaches AfterFrames.
+	Link int
+	// AfterFrames is the link-relayed-frame count (both directions summed)
+	// at which the cut fires.
+	AfterFrames int
+	// MidFrame forwards only half of the trigger frame before cutting, so
+	// the peer's decoder must reject the torn frame and resynchronize via a
+	// fresh handshake.
+	MidFrame bool
+}
+
+// Partition schedules one bidirectional stall window. Each Partition fires
+// at most once.
+type Partition struct {
+	// Link is the 0-based accept-order index to stall; -1 stalls whichever
+	// link first reaches AfterFrames.
+	Link int
+	// AfterFrames is the trigger frame count, as for Reset.
+	AfterFrames int
+	// Hold is how long both directions stall.
+	Hold time.Duration
+}
+
+// Validate rejects out-of-range probabilities and degenerate events.
+func (s *Schedule) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"Drop", s.Drop}, {"DropC2S", s.DropC2S}, {"DropS2C", s.DropS2C}} {
+		if p.v >= 1 {
+			return fmt.Errorf("chaosproxy: %s=%v outside [0,1)", p.name, p.v)
+		}
+	}
+	if s.DelayMax < 0 {
+		return fmt.Errorf("chaosproxy: DelayMax=%v negative", s.DelayMax)
+	}
+	for _, r := range s.Resets {
+		if r.AfterFrames < 0 {
+			return fmt.Errorf("chaosproxy: reset AfterFrames=%d negative", r.AfterFrames)
+		}
+	}
+	for _, p := range s.Partitions {
+		if p.AfterFrames < 0 || p.Hold <= 0 {
+			return fmt.Errorf("chaosproxy: partition (after=%d, hold=%v) degenerate", p.AfterFrames, p.Hold)
+		}
+	}
+	return nil
+}
+
+// dropFor resolves the effective drop probability for a direction.
+func (s *Schedule) dropFor(c2s bool) float64 {
+	v := s.DropS2C
+	if c2s {
+		v = s.DropC2S
+	}
+	switch {
+	case v > 0:
+		return v
+	case v < 0:
+		return 0
+	default:
+		return s.Drop
+	}
+}
+
+// Random builds one nontrivial seeded schedule over the given number of
+// expected initial links: 0–10% frame loss, sub-millisecond delays, 1–3
+// resets (mid-frame on even seeds, so every other schedule exercises torn
+// frames), and sometimes a short partition. It is the generator behind the
+// socket chaos property suite.
+func Random(seed int64, links int) Schedule {
+	r := rand.New(rand.NewSource(seed ^ 0x5bd1))
+	s := Schedule{
+		Seed:     seed,
+		Drop:     float64(seed%3) * 0.05,                            // 0 / 5 / 10%
+		DelayMax: time.Duration(r.Intn(3)) * 200 * time.Microsecond, // 0–400µs
+	}
+	nResets := 1 + r.Intn(3)
+	for i := 0; i < nResets; i++ {
+		rs := Reset{
+			Link:        r.Intn(links+1) - 1, // -1..links-1
+			AfterFrames: 4 + r.Intn(40),
+		}
+		if seed%2 == 0 && i == 0 {
+			// The mid-frame cut must actually fire: pin it to whichever link
+			// first crosses a low trigger rather than a fixed link that may
+			// never carry enough frames.
+			rs.Link = -1
+			rs.AfterFrames = 4 + r.Intn(12)
+			rs.MidFrame = true
+		}
+		s.Resets = append(s.Resets, rs)
+	}
+	if r.Intn(2) == 0 {
+		s.Partitions = append(s.Partitions, Partition{
+			Link:        r.Intn(links+1) - 1,
+			AfterFrames: 2 + r.Intn(30),
+			Hold:        time.Duration(1+r.Intn(15)) * time.Millisecond,
+		})
+	}
+	return s
+}

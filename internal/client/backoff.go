@@ -1,0 +1,44 @@
+package client
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff computes exponential reconnect delays with jitter. Next returns
+// the current base delay plus a jitter drawn uniformly from [0, base/2],
+// then doubles the base, capping it at Max. Reset returns the base to Min —
+// the client resets after every successful reconnect, so an outage is paid
+// for only while it lasts.
+//
+// The jitter source is injected rather than global so tests can fix the
+// draw sequence; a nil Rand disables jitter entirely, making the schedule
+// exactly Min, 2·Min, 4·Min, …, Max. Not safe for concurrent use: the
+// client's manager goroutine is the only caller.
+type Backoff struct {
+	Min  time.Duration
+	Max  time.Duration
+	Rand *rand.Rand
+
+	cur time.Duration
+}
+
+// Next returns the delay to sleep before the upcoming attempt and advances
+// the schedule.
+func (b *Backoff) Next() time.Duration {
+	if b.cur <= 0 {
+		b.cur = b.Min
+	}
+	d := b.cur
+	if b.Rand != nil && b.cur > 0 {
+		d += time.Duration(b.Rand.Int63n(int64(b.cur)/2 + 1))
+	}
+	b.cur *= 2
+	if b.cur > b.Max {
+		b.cur = b.Max
+	}
+	return d
+}
+
+// Reset returns the schedule to its starting delay.
+func (b *Backoff) Reset() { b.cur = 0 }

@@ -1,0 +1,134 @@
+package client
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"jupiter/internal/server"
+)
+
+// TestBackoffGrowthNoJitter pins the bare schedule: doubling from Min,
+// capped at Max, no jitter with a nil Rand.
+func TestBackoffGrowthNoJitter(t *testing.T) {
+	b := Backoff{Min: 10 * time.Millisecond, Max: 80 * time.Millisecond}
+	want := []time.Duration{
+		10 * time.Millisecond,
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		80 * time.Millisecond,
+		80 * time.Millisecond,
+		80 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := b.Next(); got != w {
+			t.Fatalf("Next #%d = %v, want %v", i, got, w)
+		}
+	}
+}
+
+// TestBackoffJitterBounds verifies every jittered delay lands in
+// [base, 1.5·base] while the base follows the doubling-capped schedule.
+func TestBackoffJitterBounds(t *testing.T) {
+	min, max := 100*time.Millisecond, time.Second
+	b := Backoff{Min: min, Max: max, Rand: rand.New(rand.NewSource(42))}
+	base := min
+	for i := 0; i < 20; i++ {
+		d := b.Next()
+		if d < base || d > base+base/2 {
+			t.Fatalf("Next #%d = %v outside [%v, %v]", i, d, base, base+base/2)
+		}
+		base *= 2
+		if base > max {
+			base = max
+		}
+	}
+}
+
+// TestBackoffDeterministic checks that equal seeds give equal schedules.
+func TestBackoffDeterministic(t *testing.T) {
+	mk := func() *Backoff {
+		return &Backoff{Min: 5 * time.Millisecond, Max: 500 * time.Millisecond,
+			Rand: rand.New(rand.NewSource(7))}
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 16; i++ {
+		if da, db := a.Next(), b.Next(); da != db {
+			t.Fatalf("draw #%d diverged: %v vs %v", i, da, db)
+		}
+	}
+}
+
+// TestBackoffReset checks Reset returns the schedule to its first step.
+func TestBackoffReset(t *testing.T) {
+	b := Backoff{Min: 10 * time.Millisecond, Max: time.Second}
+	for i := 0; i < 5; i++ {
+		b.Next()
+	}
+	b.Reset()
+	if got := b.Next(); got != 10*time.Millisecond {
+		t.Fatalf("Next after Reset = %v, want %v", got, 10*time.Millisecond)
+	}
+}
+
+// TestClientBackoffResetAfterSuccess drives a real client through two
+// forced disconnects against a live server and, via the Sleep hook,
+// observes every redial delay. Each reconnect succeeds immediately, so the
+// schedule must restart from Min after each drop: no recorded delay may
+// exceed the first step's jitter ceiling (1.5·Min).
+func TestClientBackoffResetAfterSuccess(t *testing.T) {
+	eng := server.New(server.Config{Addr: "127.0.0.1:0"})
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Shutdown(context.Background())
+
+	const min = 10 * time.Millisecond
+	var mu sync.Mutex
+	var slept []time.Duration
+	c, err := Dial(Config{
+		Addr:       eng.Addr(),
+		Doc:        "backoff",
+		Seed:       3,
+		MinBackoff: min,
+		MaxBackoff: time.Second,
+		Sleep: func(d time.Duration) {
+			mu.Lock()
+			slept = append(slept, d)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for round := 0; round < 2; round++ {
+		c.DropConnection()
+		// An optimistic edit while the connection is down: acknowledging it
+		// requires a successful reconnect, so Sync waits out the redial.
+		if err := c.Insert('x', round); err != nil {
+			t.Fatalf("round %d: insert: %v", round, err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := c.Sync(ctx); err != nil {
+			cancel()
+			t.Fatalf("round %d: resync after drop: %v", round, err)
+		}
+		cancel()
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(slept) < 2 {
+		t.Fatalf("recorded %d redial sleeps, want at least 2 (one per drop)", len(slept))
+	}
+	for i, d := range slept {
+		if d < min || d > min+min/2 {
+			t.Fatalf("sleep #%d = %v outside [%v, %v]: schedule did not restart from Min",
+				i, d, min, min+min/2)
+		}
+	}
+}

@@ -54,6 +54,10 @@ type Config struct {
 	MaxBackoff time.Duration
 	// Seed seeds the backoff jitter (0 = 1).
 	Seed int64
+	// Sleep, when non-nil, replaces the real sleep between redial attempts
+	// (deterministic reconnect tests observe the requested delays instead
+	// of waiting them out).
+	Sleep func(time.Duration)
 	// Recorder, when non-nil, records the replica's do events (shared,
 	// thread-safe recorder in tests).
 	Recorder core.Recorder
@@ -106,7 +110,7 @@ type Client struct {
 	nc      net.Conn
 	codec   *wire.Codec
 
-	rng *rand.Rand // jitter; guarded by the manager goroutine only
+	backoff Backoff // redial schedule; guarded by the manager goroutine only
 
 	wg sync.WaitGroup
 }
@@ -123,7 +127,11 @@ func Dial(cfg Config) (*Client, error) {
 	if seed == 0 {
 		seed = 1
 	}
-	c := &Client{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	c := &Client{cfg: cfg, backoff: Backoff{
+		Min:  cfg.minBackoff(),
+		Max:  cfg.maxBackoff(),
+		Rand: rand.New(rand.NewSource(seed)),
+	}}
 	c.cond = sync.NewCond(&c.mu)
 	if err := c.connect(); err != nil {
 		return nil, err
@@ -276,13 +284,12 @@ func (c *Client) manage() {
 }
 
 // backoffAndRedial sleeps the next backoff (with jitter) and tries one
-// connect; it reports false when the client is done for good.
+// connect; it reports false when the client is done for good. The schedule
+// restarts from Min on entry: a successful reconnect resets the penalty.
 func (c *Client) backoffAndRedial() bool {
-	backoff := c.cfg.minBackoff()
-	for attempt := 0; ; attempt++ {
-		d := backoff + time.Duration(c.rng.Int63n(int64(backoff)/2+1))
-		timer := time.NewTimer(d)
-		<-timer.C
+	c.backoff.Reset()
+	for {
+		c.sleep(c.backoff.Next())
 		c.mu.Lock()
 		if c.closed || c.termErr != nil {
 			c.mu.Unlock()
@@ -303,11 +310,16 @@ func (c *Client) backoffAndRedial() bool {
 			return false
 		}
 		c.logf("client c%d: redial: %v", c.ID(), err)
-		backoff *= 2
-		if backoff > c.cfg.maxBackoff() {
-			backoff = c.cfg.maxBackoff()
-		}
 	}
+}
+
+// sleep waits d via the configured hook or the real clock.
+func (c *Client) sleep(d time.Duration) {
+	if c.cfg.Sleep != nil {
+		c.cfg.Sleep(d)
+		return
+	}
+	time.Sleep(d)
 }
 
 // readFrames applies server frames until the connection errors. gen guards

@@ -342,11 +342,15 @@ func (s *Server) Receive(m ClientMsg) ([]Addressed, error) {
 		}
 		m.Ctx = ctx
 	}
-	s.nextSeq++
-	seq := s.nextSeq
+	// Claim the next sequence number but commit it only after the operation
+	// integrates: a rejected operation (bad context from a broken transport)
+	// must leave the serialization untouched, or SeqOf drifts from the number
+	// of operations actually serialized.
+	seq := s.nextSeq + 1
 	if _, err := s.integrate(m.Op, ctx, statespace.OrderKey(seq), false); err != nil {
 		return nil, err
 	}
+	s.nextSeq = seq
 	s.order.appendEntry(m.Op.ID, m.From)
 	s.serialized = append(s.serialized, m.Op.ID)
 	s.replay = append(s.replay, ServerMsg{

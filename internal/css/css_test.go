@@ -450,3 +450,46 @@ func TestInitialDocument(t *testing.T) {
 		t.Fatalf("converged to %q, want %q", got, "effect")
 	}
 }
+
+// TestReceiveRejectionAtomic pins down that a rejected operation leaves the
+// server serialization untouched. An operation whose context references an
+// operation the server never saw (a transport dropped the predecessor frame
+// while the stream stayed up) must fail without consuming a sequence number:
+// SeqOf is the count of serialized operations, and convergence checkers
+// compare it against generated-op totals.
+func TestReceiveRejectionAtomic(t *testing.T) {
+	srv := css.NewServer([]opid.ClientID{1, 2}, nil, nil)
+	cl1 := css.NewClient(1, nil, nil)
+
+	m1, err := cl1.GenerateIns('a', 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := cl1.GenerateIns('b', 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Deliver m2 without m1: its context names m1's operation, which no
+	// server state contains.
+	if _, err := srv.Receive(m2); err == nil {
+		t.Fatal("gapped-context operation must be rejected")
+	}
+	if got := srv.SeqOf(); got != 0 {
+		t.Fatalf("rejected op consumed a sequence number: SeqOf = %d, want 0", got)
+	}
+
+	// The same messages in order integrate cleanly afterwards.
+	if _, err := srv.Receive(m1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Receive(m2); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.SeqOf(); got != 2 {
+		t.Fatalf("SeqOf = %d, want 2", got)
+	}
+	if got := list.Render(srv.Document()); got != "ab" {
+		t.Fatalf("server doc %q, want %q", got, "ab")
+	}
+}

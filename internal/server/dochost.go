@@ -216,6 +216,19 @@ func (h *docHost) doOp(c *conn, msg css.ClientMsg) {
 		h.eng.reg.Counter("dedup_dropped_total").Inc()
 		return // duplicate resend after reconnect
 	}
+	if msg.Op.ID.Seq != slot.lastOpSeq+1 {
+		// A gap in the client's own operation sequence means the transport
+		// lost a frame while the stream stayed up — FIFO is broken. Cut the
+		// connection without touching the document; the client's reconnect
+		// replay is contiguous from lastOpSeq+1.
+		h.eng.reg.Counter("op_gap_disconnects_total").Inc()
+		h.eng.logf("doc %q: c%d: op seq gap (got %d, want %d), disconnecting",
+			h.name, slot.id, msg.Op.ID.Seq, slot.lastOpSeq+1)
+		c.reject(wire.CodeProtocol, "operation sequence gap: transport dropped a frame")
+		slot.conn = nil
+		c.close()
+		return
+	}
 	t0 := time.Now()
 	outs, err := h.srv.Receive(msg)
 	if err != nil {

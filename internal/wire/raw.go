@@ -1,0 +1,45 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ReadRawFrame reads one length-prefixed frame from r and returns its
+// complete encoding — the 4-byte big-endian prefix followed by the body —
+// without decoding the JSON. It is the frame-boundary primitive for relays
+// (internal/chaosproxy) that must forward, hold, or drop whole frames
+// while staying oblivious to their contents.
+//
+// The same hardening as Codec.Read applies: a hostile or corrupt length
+// prefix is rejected before any body byte is read (maxFrame <= 0 selects
+// DefaultMaxFrame), an all-zero length is ErrEmptyFrame, and a stream that
+// ends mid-body returns an error rather than a short frame — a torn frame
+// is never handed to the caller.
+func ReadRawFrame(r io.Reader, maxFrame int) ([]byte, error) {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("wire: read length: %w", err)
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n == 0 {
+		return nil, ErrEmptyFrame
+	}
+	if int64(n) > int64(maxFrame) {
+		return nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, maxFrame)
+	}
+	raw := make([]byte, 4+n)
+	copy(raw[:4], lenBuf[:])
+	if _, err := io.ReadFull(r, raw[4:]); err != nil {
+		return nil, fmt.Errorf("wire: read body (%d bytes): %w", n, err)
+	}
+	return raw, nil
+}
