@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check fuzz fuzz-wire bench bench-smoke bench-compare bench-loopback chaos chaos-socket serve-demo ci
+.PHONY: all build test race vet fmt-check fuzz fuzz-wire bench bench-smoke bench-compare bench-loopback chaos chaos-socket replication-chaos serve-demo serve-replicated ci
 
 all: build test
 
@@ -62,9 +62,21 @@ chaos-socket:
 bench-loopback:
 	$(GO) test -run NONE -bench 'BenchmarkE12_LoopbackTCP' -benchtime=3x -count=1 .
 
+# Short seeded leader-kill chaos run: a 3-node replicated cluster with 4 TCP
+# clients through the fault proxy, the leader fail-stopped mid-edit, failover
+# and the serialization-order property checked per schedule. Raise
+# REPL_CHAOS_SCHEDULES for longer sweeps (the nightly pins 100).
+replication-chaos:
+	REPL_CHAOS_SCHEDULES=$${REPL_CHAOS_SCHEDULES:-6} $(GO) test -run 'TestReplicatedLeaderKillChaos' -count=1 ./internal/server
+
 # End-to-end jupiterd smoke: two TCP clients, a forced reconnect, metrics,
 # convergence assertion. Exits non-zero on divergence.
 serve-demo:
 	sh scripts/serve_demo.sh
 
-ci: fmt-check vet build test race fuzz-wire chaos-socket serve-demo
+# End-to-end replicated-cluster smoke: 3 nodes, leader SIGKILLed mid-session,
+# clients fail over and converge, promotion visible in metrics.
+serve-replicated:
+	sh scripts/serve_replicated.sh
+
+ci: fmt-check vet build test race fuzz-wire chaos-socket replication-chaos serve-demo serve-replicated

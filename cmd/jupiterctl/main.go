@@ -8,6 +8,16 @@
 //	jupiterctl -addr 127.0.0.1:9170 -doc demo -type "hello "
 //	jupiterctl -addr 127.0.0.1:9170 -doc demo -type "world" -drop-after 2
 //	jupiterctl -addr 127.0.0.1:9170 -doc demo -wait-seq 11
+//	jupiterctl -addr 127.0.0.1:9170,127.0.0.1:9172 -doc demo -type "ha"
+//	jupiterctl -status 127.0.0.1:9171
+//
+// -addr accepts a comma-separated list: against a replicated cluster the
+// client rotates through the addresses on redial and follows not-leader
+// hints, so a mid-session failover is just a reconnect.
+//
+// -status queries a node's metrics endpoint and reports its replication
+// role, log/commit indexes, lag, and failover count — the operator's view
+// of who is leading and how far the followers are behind.
 //
 // The final document text goes to stdout; everything else to stderr. With
 // -wait-seq the command blocks until the replica has processed the given
@@ -17,10 +27,13 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"jupiter/internal/client"
@@ -36,31 +49,53 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("jupiterctl", flag.ContinueOnError)
 	var (
-		addr      = fs.String("addr", "127.0.0.1:9170", "jupiterd TCP address")
+		addr      = fs.String("addr", "127.0.0.1:9170", "jupiterd TCP address(es), comma-separated; extras are failover targets")
 		doc       = fs.String("doc", "demo", "document to join")
 		text      = fs.String("type", "", "text to type, one insert per rune, appended at the end")
 		pace      = fs.Duration("pace", 2*time.Millisecond, "pause between generated operations")
 		dropAfter = fs.Int("drop-after", 0, "forcibly drop the connection after this many ops (0 = never)")
 		waitSeq   = fs.Uint64("wait-seq", 0, "block until the replica has processed this global sequence number")
 		timeout   = fs.Duration("timeout", 30*time.Second, "overall deadline for barriers")
+		status    = fs.String("status", "", "query this metrics address (host:port) for replication status and exit")
 		verbose   = fs.Bool("v", false, "log connection events")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	cfg := client.Config{Addr: *addr, Doc: *doc}
+	if *status != "" {
+		return printStatus(*status, *timeout)
+	}
+
+	addrs := strings.Split(*addr, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
+	cfg := client.Config{Addrs: addrs, Doc: *doc}
 	if *verbose {
 		cfg.Logf = log.Printf
 	}
-	c, err := client.Dial(cfg)
-	if err != nil {
-		return err
-	}
-	defer c.Close()
-
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
+
+	// Dial is one attempt per address; a cluster mid-failover rejects
+	// hellos until the promoted leader has caught up, so keep trying for
+	// the timeout budget.
+	var c *client.Client
+	var err error
+	for {
+		c, err = client.Dial(cfg)
+		if err == nil {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return err
+		case <-time.After(100 * time.Millisecond):
+			log.Printf("jupiterctl: redial: %v", err)
+		}
+	}
+	defer c.Close()
 
 	for i, r := range *text {
 		if *dropAfter > 0 && i == *dropAfter {
@@ -84,5 +119,41 @@ func run(args []string) error {
 		}
 	}
 	fmt.Println(c.Text())
+	return nil
+}
+
+// printStatus fetches one node's metrics JSON and reports the replication
+// view. Works against standalone nodes too (everything reads as zero).
+func printStatus(metricsAddr string, timeout time.Duration) error {
+	cl := &http.Client{Timeout: timeout}
+	resp, err := cl.Get("http://" + metricsAddr + "/")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return fmt.Errorf("metrics from %s: %w", metricsAddr, err)
+	}
+	num := func(name string) int64 {
+		v, _ := m[name].(float64)
+		return int64(v)
+	}
+	role := "follower"
+	switch num("repl_role") {
+	case 1:
+		role = "candidate"
+	case 2:
+		role = "leader"
+	}
+	last, commit := num("repl_last_index"), num("repl_commit_index")
+	fmt.Printf("node          %s\n", metricsAddr)
+	fmt.Printf("role          %s\n", role)
+	fmt.Printf("last_index    %d\n", last)
+	fmt.Printf("commit_index  %d\n", commit)
+	fmt.Printf("lag           %d\n", last-commit)
+	fmt.Printf("failovers     %d\n", num("failovers_total"))
+	fmt.Printf("not_leader    %d rejected hellos\n", num("not_leader_rejects_total"))
+	fmt.Printf("clients       %d connected, %d docs open\n", num("clients_connected"), num("docs_open"))
 	return nil
 }

@@ -16,6 +16,13 @@
 // replayed after each reconnect. The server deduplicates by per-client
 // operation sequence, so replaying is always safe.
 //
+// With a replicated cluster (Config.Addrs), the redial loop doubles as
+// failover: each failed attempt rotates to the next candidate address, a
+// not-leader rejection jumps straight to the hinted leader, and the resume
+// handshake works against whichever node leads now because the replication
+// layer keeps every node's per-client frame state identical (see
+// internal/server).
+//
 // Sync() is the write barrier: it blocks until every locally generated
 // operation has been serialized and acknowledged. WaitServerSeq(n) is the
 // read barrier: it blocks until the replica has processed every serialized
@@ -43,6 +50,13 @@ import (
 type Config struct {
 	// Addr is the server's TCP address.
 	Addr string
+	// Addrs, when non-empty, supersedes Addr: the candidate server addresses
+	// of a replicated cluster. The client sticks with the address that last
+	// worked, rotates to the next on any failed attempt, and jumps straight
+	// to the leader a not-leader rejection hints at. Failover is therefore
+	// just the ordinary redial loop landing on a different node and resuming
+	// there.
+	Addrs []string
 	// Doc is the document to join.
 	Doc string
 	// MaxFrame caps wire frames (0 = wire.DefaultMaxFrame).
@@ -61,8 +75,20 @@ type Config struct {
 	// Recorder, when non-nil, records the replica's do events (shared,
 	// thread-safe recorder in tests).
 	Recorder core.Recorder
+	// OnServerFrame, when non-nil, observes every server frame just after it
+	// was applied to the replica, in application order (failover suites
+	// record each client's observation sequence with it). Called with the
+	// client's lock held: keep it cheap and never call back into the client.
+	OnServerFrame func(s *wire.Server)
 	// Logf, when non-nil, receives one line per connection event.
 	Logf func(format string, args ...any)
+}
+
+func (c *Config) addrs() []string {
+	if len(c.Addrs) > 0 {
+		return c.Addrs
+	}
+	return []string{c.Addr}
 }
 
 func (c *Config) dialTimeout() time.Duration {
@@ -95,6 +121,7 @@ type Client struct {
 
 	replica      *css.Client     // the protocol replica; nil never after Dial
 	id           opid.ClientID   // assigned by the server at first join
+	addrIdx      int             // index into cfg.addrs() of the current target
 	resend       []css.ClientMsg // generated, not yet protocol-acked, in order
 	lastFrameSeq uint64          // last server frame applied (resume point)
 	serverSeq    uint64          // highest global op sequence processed
@@ -133,7 +160,22 @@ func Dial(cfg Config) (*Client, error) {
 		Rand: rand.New(rand.NewSource(seed)),
 	}}
 	c.cond = sync.NewCond(&c.mu)
-	if err := c.connect(); err != nil {
+	// One pass over the address list: with a replicated cluster the first
+	// configured address may be a follower (or down), and the join should
+	// land on whichever node is leading right now.
+	var err error
+	for i := 0; i < len(cfg.addrs()); i++ {
+		if err = c.connect(); err == nil {
+			break
+		}
+		c.mu.Lock()
+		terminal := c.termErr != nil
+		c.mu.Unlock()
+		if terminal {
+			break
+		}
+	}
+	if err != nil {
 		return nil, err
 	}
 	c.wg.Add(1)
@@ -155,11 +197,41 @@ func (c *Client) logf(format string, args ...any) {
 	}
 }
 
+// pickAddr returns the address the next attempt should target.
+func (c *Client) pickAddr() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	addrs := c.cfg.addrs()
+	return addrs[c.addrIdx%len(addrs)]
+}
+
+// rotateAddr moves to the next candidate address after a failed attempt; a
+// non-empty hint (the leader address from a not-leader rejection) jumps
+// straight to that node when it is in the configured list. Successful
+// attempts never rotate, so the client sticks with a working server.
+func (c *Client) rotateAddr(hint string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	addrs := c.cfg.addrs()
+	if hint != "" {
+		for i, a := range addrs {
+			if a == hint {
+				c.addrIdx = i
+				return
+			}
+		}
+	}
+	c.addrIdx = (c.addrIdx + 1) % len(addrs)
+}
+
 // connect dials and performs one handshake (new join or resume). On success
-// the connection is installed and buffered operations are replayed.
+// the connection is installed and buffered operations are replayed; on
+// failure the target rotates to the next candidate address.
 func (c *Client) connect() error {
-	nc, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.dialTimeout())
+	addr := c.pickAddr()
+	nc, err := net.DialTimeout("tcp", addr, c.cfg.dialTimeout())
 	if err != nil {
+		c.rotateAddr("")
 		return err
 	}
 	codec := wire.NewCodec(nc, c.cfg.MaxFrame)
@@ -175,11 +247,13 @@ func (c *Client) connect() error {
 	_ = nc.SetDeadline(time.Now().Add(c.cfg.dialTimeout()))
 	if err := codec.Write(&wire.Frame{Type: wire.THello, Hello: &hello}); err != nil {
 		nc.Close()
+		c.rotateAddr("")
 		return err
 	}
 	f, err := codec.Read()
 	if err != nil {
 		nc.Close()
+		c.rotateAddr("")
 		return err
 	}
 	_ = nc.SetDeadline(time.Time{})
@@ -189,12 +263,18 @@ func (c *Client) connect() error {
 	case wire.TError:
 		nc.Close()
 		err := fmt.Errorf("client: server rejected session: %s: %s", f.Error.Code, f.Error.Msg)
-		if f.Error.Code == wire.CodeBadResume {
+		switch f.Error.Code {
+		case wire.CodeBadResume:
 			c.fail(err)
+		case wire.CodeNotLeader:
+			c.rotateAddr(f.Error.Leader)
+		default:
+			c.rotateAddr("")
 		}
 		return err
 	default:
 		nc.Close()
+		c.rotateAddr("")
 		return fmt.Errorf("client: unexpected handshake frame %q", f.Type)
 	}
 
@@ -241,7 +321,7 @@ func (c *Client) connect() error {
 			break
 		}
 	}
-	c.logf("client c%d: connected to %s (%d ops replayed)", c.id, c.cfg.Addr, len(pending))
+	c.logf("client c%d: connected to %s (%d ops replayed)", c.id, addr, len(pending))
 	return nil
 }
 
@@ -396,6 +476,9 @@ func (c *Client) applyServerFrame(s *wire.Server, gen int) bool {
 		if s.Msg.Seq > c.serverSeq {
 			c.serverSeq = s.Msg.Seq
 		}
+	}
+	if c.cfg.OnServerFrame != nil {
+		c.cfg.OnServerFrame(s)
 	}
 	c.cond.Broadcast()
 	return true

@@ -1,0 +1,270 @@
+package client
+
+import (
+	"context"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"jupiter/internal/server"
+)
+
+// TestAddrRotation pins the address-selection state machine: round-robin on
+// failure, leader-hint jumps, and fallback to Addr when Addrs is empty.
+func TestAddrRotation(t *testing.T) {
+	c := &Client{cfg: Config{Addrs: []string{"a:1", "b:2", "c:3"}}}
+	if got := c.pickAddr(); got != "a:1" {
+		t.Fatalf("initial addr = %q, want a:1", got)
+	}
+	c.rotateAddr("")
+	if got := c.pickAddr(); got != "b:2" {
+		t.Fatalf("after one rotation addr = %q, want b:2", got)
+	}
+	// A not-leader hint naming a configured address jumps straight to it.
+	c.rotateAddr("c:3")
+	if got := c.pickAddr(); got != "c:3" {
+		t.Fatalf("after hint addr = %q, want c:3", got)
+	}
+	// An unknown hint degrades to plain rotation (and wraps).
+	c.rotateAddr("unknown:9")
+	if got := c.pickAddr(); got != "a:1" {
+		t.Fatalf("after unknown hint addr = %q, want a:1", got)
+	}
+
+	single := &Client{cfg: Config{Addr: "only:1"}}
+	if got := single.pickAddr(); got != "only:1" {
+		t.Fatalf("single-addr fallback = %q, want only:1", got)
+	}
+	single.rotateAddr("")
+	if got := single.pickAddr(); got != "only:1" {
+		t.Fatalf("single-addr after rotation = %q, want only:1", got)
+	}
+}
+
+// TestDialRotationOrder proves Dial walks the configured addresses in order:
+// two listeners that accept and immediately hang up record who was tried
+// first.
+func TestDialRotationOrder(t *testing.T) {
+	accepts := make(chan string, 8)
+	mk := func(name string) net.Listener {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			for {
+				conn, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				accepts <- name
+				conn.Close()
+			}
+		}()
+		return ln
+	}
+	lnA := mk("a")
+	defer lnA.Close()
+	lnB := mk("b")
+	defer lnB.Close()
+
+	_, err := Dial(Config{
+		Addrs:       []string{lnA.Addr().String(), lnB.Addr().String()},
+		Doc:         "d",
+		DialTimeout: 2 * time.Second,
+	})
+	if err == nil {
+		t.Fatal("expected handshake failure against hang-up listeners")
+	}
+	for i, want := range []string{"a", "b"} {
+		select {
+		case got := <-accepts:
+			if got != want {
+				t.Fatalf("attempt %d hit %q, want %q", i, got, want)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("attempt %d never arrived", i)
+		}
+	}
+}
+
+// flakyProxy forwards TCP to a backend; while disabled it accepts and
+// immediately hangs up, making every handshake fail deterministically.
+type flakyProxy struct {
+	ln      net.Listener
+	backend string
+
+	mu        sync.Mutex
+	accepting bool
+	conns     []net.Conn
+}
+
+func newFlakyProxy(t *testing.T, backend string) *flakyProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &flakyProxy{ln: ln, backend: backend, accepting: true}
+	go p.loop()
+	return p
+}
+
+func (p *flakyProxy) loop() {
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		ok := p.accepting
+		if ok {
+			p.conns = append(p.conns, conn)
+		}
+		p.mu.Unlock()
+		if !ok {
+			conn.Close()
+			continue
+		}
+		go p.pipe(conn)
+	}
+}
+
+func (p *flakyProxy) pipe(conn net.Conn) {
+	up, err := net.Dial("tcp", p.backend)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	p.mu.Lock()
+	p.conns = append(p.conns, up)
+	p.mu.Unlock()
+	go func() {
+		_, _ = io.Copy(up, conn)
+		up.Close()
+		conn.Close()
+	}()
+	_, _ = io.Copy(conn, up)
+	up.Close()
+	conn.Close()
+}
+
+func (p *flakyProxy) setAccepting(ok bool) {
+	p.mu.Lock()
+	p.accepting = ok
+	if !ok {
+		for _, c := range p.conns {
+			c.Close()
+		}
+		p.conns = nil
+	}
+	p.mu.Unlock()
+}
+
+func (p *flakyProxy) close() { p.ln.Close(); p.setAccepting(false) }
+
+// TestBackoffResetsAfterSuccessfulReconnect drives the client through an
+// outage (escalating delays), a successful reconnect, and a second outage,
+// asserting the second outage restarts the schedule from Min. Delays are
+// observed via the Sleep hook, so no real time is spent backing off, and the
+// jitter bound (at most base/2) makes consecutive delays provably increasing:
+// delay k lies in [Min·2^k, 1.5·Min·2^k], and those intervals are disjoint.
+func TestBackoffResetsAfterSuccessfulReconnect(t *testing.T) {
+	eng := server.New(server.Config{Addr: "127.0.0.1:0"})
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = eng.Shutdown(ctx)
+	}()
+
+	proxy := newFlakyProxy(t, eng.Addr())
+	defer proxy.close()
+
+	var delayMu sync.Mutex
+	var delays []time.Duration
+	record := func(d time.Duration) {
+		delayMu.Lock()
+		delays = append(delays, d)
+		delayMu.Unlock()
+	}
+	countDelays := func() int {
+		delayMu.Lock()
+		defer delayMu.Unlock()
+		return len(delays)
+	}
+
+	const minBackoff = 4 * time.Millisecond
+	c, err := Dial(Config{
+		Addrs:      []string{proxy.ln.Addr().String()},
+		Doc:        "d",
+		MinBackoff: minBackoff,
+		MaxBackoff: time.Second,
+		Seed:       7,
+		Sleep:      record,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Outage one: the proxy hangs up every attempt; wait for four escalating
+	// delays.
+	proxy.setAccepting(false)
+	deadline := time.Now().Add(5 * time.Second)
+	for countDelays() < 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d redial delays recorded", countDelays())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	delayMu.Lock()
+	firstRound := append([]time.Duration(nil), delays[:4]...)
+	delayMu.Unlock()
+	for i := 1; i < len(firstRound); i++ {
+		if firstRound[i] <= firstRound[i-1] {
+			t.Fatalf("outage delays not escalating: %v", firstRound)
+		}
+	}
+	if firstRound[0] > minBackoff*3/2 {
+		t.Fatalf("first delay %v exceeds Min+jitter bound %v", firstRound[0], minBackoff*3/2)
+	}
+
+	// Recovery: reconnect, and prove the session works end to end.
+	proxy.setAccepting(true)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := c.Insert('x', 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Sync(ctx); err != nil {
+		t.Fatalf("sync after recovery: %v", err)
+	}
+
+	// Outage two: the very first delay must be back at the Min tier, strictly
+	// below the second delay of the previous round — the reset happened.
+	before := countDelays()
+	proxy.setAccepting(false) // also severs the live connection
+	c.DropConnection()
+	deadline = time.Now().Add(5 * time.Second)
+	for countDelays() < before+1 {
+		if time.Now().After(deadline) {
+			t.Fatal("no redial after second outage")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	delayMu.Lock()
+	secondFirst := delays[before]
+	delayMu.Unlock()
+	if secondFirst > minBackoff*3/2 {
+		t.Fatalf("backoff did not reset: first delay of second outage = %v", secondFirst)
+	}
+	if secondFirst >= firstRound[1] {
+		t.Fatalf("second-outage delay %v not below escalated %v", secondFirst, firstRound[1])
+	}
+	proxy.setAccepting(true)
+}

@@ -404,6 +404,22 @@ func (s *Server) Read() []list.Elem {
 // SeqOf returns the number of operations the server has serialized so far.
 func (s *Server) SeqOf() uint64 { return s.nextSeq }
 
+// Serialized returns a copy of the serialization order (operation identities
+// in global sequence order). Position i holds the operation with sequence
+// number i+1.
+func (s *Server) Serialized() []opid.OpID {
+	out := make([]opid.OpID, len(s.serialized))
+	copy(out, s.serialized)
+	return out
+}
+
+// Clients returns a copy of the registered client identifiers.
+func (s *Server) Clients() []opid.ClientID {
+	out := make([]opid.ClientID, len(s.clients))
+	copy(out, s.clients)
+	return out
+}
+
 // StableFrontier computes the longest prefix of the serialization order
 // every client is known (from reported message contexts) to have processed.
 // By Lemma 6.4, a state with exactly that operation set lies on the leftmost

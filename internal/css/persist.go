@@ -45,6 +45,139 @@ type clientStateJSON struct {
 	Space      *statespace.Space `json:"space"`
 }
 
+type knownJSON struct {
+	Client int32           `json:"client"`
+	Ops    []core.OpIDJSON `json:"ops"`
+}
+
+type serverStateJSON struct {
+	Clients     []int32           `json:"clients"`
+	Doc         []core.ElemJSON   `json:"doc"`
+	NextSeq     uint64            `json:"nextSeq"`
+	ReadSeq     uint64            `json:"readSeq"`
+	Compact     bool              `json:"compact"`
+	Order       []orderEntryJSON  `json:"order"`
+	Space       *statespace.Space `json:"space"`
+	Serialized  []core.OpIDJSON   `json:"serialized"`
+	Known       []knownJSON       `json:"known"`
+	FrontierAt  int               `json:"frontierAt"`
+	FrontierOps []core.OpIDJSON   `json:"frontierOps"`
+	FrontierDoc []core.ElemJSON   `json:"frontierDoc"`
+	Replay      []ServerMsg       `json:"replay"`
+}
+
+// Save serializes the server's full state: replica (space, document, order
+// log), serialization bookkeeping, GC-extension accumulators, and the join-
+// snapshot state. A restored server continues serializing exactly where the
+// saved one stopped — the restart-resume path of the network runtime depends
+// on SeqOf and the replay log surviving intact.
+func (s *Server) Save() ([]byte, error) {
+	st := serverStateJSON{
+		NextSeq:    s.nextSeq,
+		ReadSeq:    s.readSeq,
+		Compact:    s.compact,
+		Space:      s.space,
+		FrontierAt: s.frontierAt,
+		Replay:     s.replay,
+	}
+	for _, c := range s.clients {
+		st.Clients = append(st.Clients, int32(c))
+	}
+	for _, e := range s.doc.Elems() {
+		st.Doc = append(st.Doc, core.ElemToJSON(e))
+	}
+	for _, e := range s.order.entries {
+		st.Order = append(st.Order, orderEntryJSON{C: int32(e.id.Client), S: e.id.Seq, Origin: int32(e.origin)})
+	}
+	for _, id := range s.serialized {
+		st.Serialized = append(st.Serialized, core.IDToJSON(id))
+	}
+	for _, c := range s.clients { // iterate clients for deterministic output
+		st.Known = append(st.Known, knownJSON{Client: int32(c), Ops: core.SetToJSON(s.known[c])})
+	}
+	for _, id := range s.frontierOps {
+		st.FrontierOps = append(st.FrontierOps, core.IDToJSON(id))
+	}
+	for _, e := range s.frontierDoc.Elems() {
+		st.FrontierDoc = append(st.FrontierDoc, core.ElemToJSON(e))
+	}
+	return json.Marshal(st)
+}
+
+// RestoreServer reconstructs a server from Save's output. rec may be nil.
+func RestoreServer(data []byte, rec core.Recorder) (*Server, error) {
+	var st serverStateJSON
+	st.Space = statespace.New(nil)
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("css: restore server: %w", err)
+	}
+	doc, err := docFromJSON(st.Doc)
+	if err != nil {
+		return nil, fmt.Errorf("css: restore server: %w", err)
+	}
+	fdoc, err := docFromJSON(st.FrontierDoc)
+	if err != nil {
+		return nil, fmt.Errorf("css: restore server: frontier doc: %w", err)
+	}
+	s := &Server{
+		replica: replica{
+			name:    opid.ServerName,
+			space:   st.Space,
+			doc:     doc,
+			rec:     rec,
+			compact: st.Compact,
+		},
+		nextSeq:     st.NextSeq,
+		readSeq:     st.ReadSeq,
+		known:       make(map[opid.ClientID]opid.Set, len(st.Known)),
+		frontierAt:  st.FrontierAt,
+		frontierDoc: fdoc,
+		replay:      st.Replay,
+	}
+	for _, c := range st.Clients {
+		s.clients = append(s.clients, opid.ClientID(c))
+	}
+	for _, e := range st.Order {
+		s.order.appendEntry(opid.OpID{Client: opid.ClientID(e.C), Seq: e.S}, opid.ClientID(e.Origin))
+	}
+	if uint64(len(st.Serialized)) != st.NextSeq {
+		return nil, fmt.Errorf("css: restore server: %d serialized ops disagree with nextSeq %d", len(st.Serialized), st.NextSeq)
+	}
+	for _, ij := range st.Serialized {
+		s.serialized = append(s.serialized, core.IDFromJSON(ij))
+	}
+	for _, k := range st.Known {
+		id := opid.ClientID(k.Client)
+		if _, dup := s.known[id]; dup {
+			return nil, fmt.Errorf("css: restore server: duplicate known set for %s", id)
+		}
+		s.known[id] = core.SetFromJSON(k.Ops)
+	}
+	for _, c := range s.clients {
+		if _, ok := s.known[c]; !ok {
+			return nil, fmt.Errorf("css: restore server: client %s without known set", c)
+		}
+	}
+	for _, ij := range st.FrontierOps {
+		s.frontierOps = append(s.frontierOps, core.IDFromJSON(ij))
+	}
+	return s, nil
+}
+
+func docFromJSON(elems []core.ElemJSON) (list.Doc, error) {
+	doc := list.NewDocument()
+	for i, ej := range elems {
+		e, err := core.ElemFromJSON(ej)
+		if err != nil {
+			return nil, err
+		}
+		if err := doc.Insert(i, e); err != nil {
+			return nil, err
+		}
+	}
+	return doc, nil
+}
+
 // Save serializes the client's full replica state.
 func (c *Client) Save() ([]byte, error) {
 	st := clientStateJSON{

@@ -136,6 +136,108 @@ func TestSaveRestoreWithCompactContexts(t *testing.T) {
 	}
 }
 
+// TestServerSaveRestoreMidSession snapshots the SERVER mid-session — with a
+// GC frontier already advanced, a replay log, and client ops still in flight
+// — restores it, and finishes the session through the restored server. This
+// is the crash-recovery path of a jupiterd restart from disk.
+func TestServerSaveRestoreMidSession(t *testing.T) {
+	r := newJoinRig(t, 2)
+	r.typeAt(1, 'a', 0)
+	r.pump()
+	r.typeAt(2, 'b', 1)
+	r.pump()
+	r.typeAt(1, 'c', 2)
+	r.pump()
+	outs, err := r.srv.AdvanceFrontier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.fan(outs)
+	r.pump()
+	// One more serialized op past the frontier keeps the replay log non-empty.
+	r.typeAt(2, 'd', 3)
+	r.pump()
+
+	// c1 generates an op the saved server never saw — it must be deliverable
+	// to the RESTORED server.
+	inFlight, err := r.clients[1].GenerateIns('X', 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := r.srv.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := css.RestoreServer(data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.SeqOf() != r.srv.SeqOf() {
+		t.Fatalf("SeqOf %d, want %d", restored.SeqOf(), r.srv.SeqOf())
+	}
+	if got, want := restored.Serialized(), r.srv.Serialized(); len(got) != len(want) {
+		t.Fatalf("serialized %v, want %v", got, want)
+	} else {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("serialized[%d] = %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+	if got, want := list.Render(restored.Document()), list.Render(r.srv.Document()); got != want {
+		t.Fatalf("doc %q, want %q", got, want)
+	}
+	if got := restored.Space().Render(); got != r.srv.Space().Render() {
+		t.Fatalf("space differs after restore:\n%s\nvs\n%s", got, r.srv.Space().Render())
+	}
+
+	// The restored server picks up exactly where the saved one stopped.
+	r.srv = restored
+	r.send(inFlight)
+	r.pump()
+	r.typeAt(2, '!', 0)
+	r.pump()
+	r.converged()
+
+	// The join path still works off the restored snapshot state.
+	snap := restored.Snapshot()
+	joiner, err := css.NewClientFromSnapshot(3, snap, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.AddClient(3); err != nil {
+		t.Fatal(err)
+	}
+	r.clients[3] = joiner
+	r.typeAt(3, '?', 0)
+	r.pump()
+	r.converged()
+}
+
+// TestRestoreServerRejectsCorruptState: truncated or inconsistent saves must
+// fail loudly, never produce a half-restored serializer.
+func TestRestoreServerRejectsCorruptState(t *testing.T) {
+	r := newJoinRig(t, 2)
+	r.typeAt(1, 'a', 0)
+	r.pump()
+	good, err := r.srv.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"truncated":                good[:len(good)/2],
+		"not json":                 []byte("\x00\x01"),
+		"serialized mismatch":      []byte(`{"clients":[1],"nextSeq":3,"serialized":[{"client":1,"seq":1}],"known":[{"client":1,"ops":[]}],"space":{"states":{"":{"ops":[]}},"initial":"","final":""}}`),
+		"client without known set": []byte(`{"clients":[1,2],"nextSeq":0,"known":[{"client":1,"ops":[]}],"space":{"states":{"":{"ops":[]}},"initial":"","final":""}}`),
+	}
+	for name, data := range cases {
+		if _, err := css.RestoreServer(data, nil); err == nil {
+			t.Errorf("%s: restore accepted corrupt state", name)
+		}
+	}
+}
+
 // TestSpaceJSONRoundTrip round-trips a state-space with pending keys and
 // checks renders and order keys survive.
 func TestSpaceJSONRoundTrip(t *testing.T) {

@@ -1,0 +1,285 @@
+// Package replog is the replicated serialization log behind a jupiterd
+// cluster: the total order every replica depends on, made durable against
+// leader death by majority replication.
+//
+// The paper's system model has ONE serializing server — a single point of
+// failure for the very thing the protocol exists to provide. replog fixes
+// the model's weakest link with the smallest mechanism that works: the
+// leader appends every serialized event (a client join or a serialized
+// operation) to an append-only log, streams it to followers, and treats an
+// entry as COMMITTED once a majority of the cluster holds it. Only committed
+// entries are ever released to clients, so the committed prefix of the total
+// order survives the loss of any minority of nodes.
+//
+// Why this is simpler than Raft: followers' logs are always prefixes of the
+// leader's log (the leader is fixed until it dies, streams over FIFO TCP,
+// and a dead leader never returns with stale state), so there are no
+// conflicting suffixes to truncate, no terms to compare, and no election —
+// failover is a fixed priority order, with the promoting node first merging
+// the longest surviving log prefix (see internal/server's replicator).
+// What is given up without elections is documented in DESIGN.md.
+//
+// The Log itself is transport-agnostic and safe for concurrent use: the
+// leader's apply loops append, per-follower sessions record acknowledgements,
+// and commit advances are reported through a single callback, in order.
+package replog
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"jupiter/internal/css"
+)
+
+// EntryKind discriminates the replicated event types.
+type EntryKind uint8
+
+// Entry kinds.
+const (
+	// KindJoin registers a new client session for a document. Replicating
+	// joins is what keeps sessions resumable across failover: a follower
+	// that promotes has minted the same client id at the same point of the
+	// serialization order, so the survivor recognizes the session.
+	KindJoin EntryKind = iota + 1
+	// KindOp is one serialized client operation (the leader's apply-loop
+	// output), the unit of the paper's total order.
+	KindOp
+)
+
+// Entry is one replicated event. Index is assigned by the leader's log and
+// is contiguous from 1.
+type Entry struct {
+	Index    uint64         `json:"index"`
+	Kind     EntryKind      `json:"kind"`
+	Doc      string         `json:"doc"`
+	ClientID int32          `json:"clientId,omitempty"` // KindJoin: the minted session id
+	Msg      *css.ClientMsg `json:"msg,omitempty"`      // KindOp: the serialized operation
+}
+
+// Validation errors.
+var (
+	ErrBadEntry   = errors.New("replog: malformed entry")
+	ErrGap        = errors.New("replog: non-contiguous entry index")
+	ErrUnknownAck = errors.New("replog: ack from unknown node")
+)
+
+// Validate checks an entry's shape (wire decoding calls this before any
+// entry reaches a log).
+func (e *Entry) Validate() error {
+	if e.Index == 0 {
+		return fmt.Errorf("%w: zero index", ErrBadEntry)
+	}
+	if e.Doc == "" {
+		return fmt.Errorf("%w: entry without document", ErrBadEntry)
+	}
+	switch e.Kind {
+	case KindJoin:
+		if e.ClientID == 0 {
+			return fmt.Errorf("%w: join without client id", ErrBadEntry)
+		}
+		if e.Msg != nil {
+			return fmt.Errorf("%w: join carrying an operation", ErrBadEntry)
+		}
+	case KindOp:
+		if e.Msg == nil {
+			return fmt.Errorf("%w: op entry without message", ErrBadEntry)
+		}
+	default:
+		return fmt.Errorf("%w: unknown kind %d", ErrBadEntry, e.Kind)
+	}
+	return nil
+}
+
+// Log is the in-memory replicated log plus quorum bookkeeping. One Log lives
+// in every node; on the leader, Ack drives the commit index forward, while
+// followers adopt the leader's commit via SetCommit.
+//
+// Entries are retained for the life of the process: catch-up after failover
+// replays from an arbitrary index, and the chaos suites restart followers
+// from zero. Day-one scope trades memory for that simplicity (ROADMAP item 4
+// tracks compaction).
+type Log struct {
+	quorum int // nodes (including the appender) whose copy commits an entry
+
+	// commitMu serializes commit advances WITH their observer callback, so
+	// OnCommit sees ordered, non-overlapping (from, to] ranges. It is
+	// acquired before mu; the callback must not re-enter the log and must
+	// not block indefinitely (the replicator hands ranges to an unbounded
+	// queue).
+	commitMu sync.Mutex
+
+	mu       sync.Mutex
+	entries  []Entry
+	commit   uint64
+	acked    map[string]uint64 // follower node id -> highest contiguous index held
+	onCommit func(from, to uint64)
+}
+
+// New creates a log for a cluster whose majority is quorum nodes (1 for a
+// standalone log that commits instantly, 2 for a 3-node cluster).
+func New(quorum int) *Log {
+	if quorum < 1 {
+		quorum = 1
+	}
+	return &Log{quorum: quorum, acked: make(map[string]uint64)}
+}
+
+// OnCommit registers the single commit observer: fn(from, to) is invoked
+// after the commit index advances from from to to, outside the log's lock,
+// in commit order. Must be set before any append.
+func (l *Log) OnCommit(fn func(from, to uint64)) { l.onCommit = fn }
+
+// Quorum returns the configured majority size.
+func (l *Log) Quorum() int { return l.quorum }
+
+// Append assigns the next index to a leader-originated entry and stores it.
+// It returns the assigned index. With quorum 1 the entry commits immediately.
+func (l *Log) Append(e Entry) uint64 {
+	l.commitMu.Lock()
+	defer l.commitMu.Unlock()
+	l.mu.Lock()
+	e.Index = uint64(len(l.entries)) + 1
+	l.entries = append(l.entries, e)
+	from, to := l.advanceLocked()
+	l.mu.Unlock()
+	l.notify(from, to)
+	return e.Index
+}
+
+// AppendFrom stores replicated entries on a follower. Entries at or below
+// the current last index are ignored (duplicate delivery after a resumed
+// stream); the first new entry must be exactly lastIndex+1 or ErrGap is
+// returned and nothing is stored.
+func (l *Log) AppendFrom(entries []Entry) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, e := range entries {
+		last := uint64(len(l.entries))
+		if e.Index <= last {
+			continue
+		}
+		if e.Index != last+1 {
+			return fmt.Errorf("%w: got %d, want %d", ErrGap, e.Index, last+1)
+		}
+		l.entries = append(l.entries, e)
+	}
+	return nil
+}
+
+// LastIndex returns the highest stored index (0 when empty).
+func (l *Log) LastIndex() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return uint64(len(l.entries))
+}
+
+// CommitIndex returns the highest committed index.
+func (l *Log) CommitIndex() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.commit
+}
+
+// Entry returns the entry at index (1-based).
+func (l *Log) Entry(index uint64) (Entry, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if index == 0 || index > uint64(len(l.entries)) {
+		return Entry{}, false
+	}
+	return l.entries[index-1], true
+}
+
+// Entries returns up to max entries starting at from (1-based); max <= 0
+// means no limit. The returned slice is a copy.
+func (l *Log) Entries(from uint64, max int) []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from == 0 {
+		from = 1
+	}
+	if from > uint64(len(l.entries)) {
+		return nil
+	}
+	tail := l.entries[from-1:]
+	if max > 0 && len(tail) > max {
+		tail = tail[:max]
+	}
+	out := make([]Entry, len(tail))
+	copy(out, tail)
+	return out
+}
+
+// Ack records that node holds every entry up to and including index, and
+// advances the commit index if a majority now holds a longer prefix. Acks
+// are monotone per node; a stale ack is ignored.
+func (l *Log) Ack(node string, index uint64) {
+	l.commitMu.Lock()
+	defer l.commitMu.Unlock()
+	l.mu.Lock()
+	if index > uint64(len(l.entries)) {
+		index = uint64(len(l.entries))
+	}
+	if index > l.acked[node] {
+		l.acked[node] = index
+	}
+	from, to := l.advanceLocked()
+	l.mu.Unlock()
+	l.notify(from, to)
+}
+
+// advanceLocked recomputes the commit index: the highest index held by at
+// least quorum nodes, counting the local copy. Returns the (from, to) range
+// if it advanced, else (0, 0).
+func (l *Log) advanceLocked() (uint64, uint64) {
+	// The local log holds everything, so the committable prefix ends at the
+	// (quorum-1)-th highest follower ack — the longest prefix held by a
+	// majority once the local copy is counted in.
+	target := uint64(len(l.entries))
+	if need := l.quorum - 1; need > 0 {
+		acks := make([]uint64, 0, len(l.acked))
+		for _, a := range l.acked {
+			acks = append(acks, a)
+		}
+		if len(acks) < need {
+			return 0, 0
+		}
+		sort.Slice(acks, func(i, j int) bool { return acks[i] > acks[j] })
+		if acks[need-1] < target {
+			target = acks[need-1]
+		}
+	}
+	if target <= l.commit {
+		return 0, 0
+	}
+	from := l.commit
+	l.commit = target
+	return from, target
+}
+
+// SetCommit adopts a leader-announced commit index on a follower, bounded by
+// what the follower actually holds. The commit index never retreats.
+func (l *Log) SetCommit(index uint64) {
+	l.commitMu.Lock()
+	defer l.commitMu.Unlock()
+	l.mu.Lock()
+	if index > uint64(len(l.entries)) {
+		index = uint64(len(l.entries))
+	}
+	var from, to uint64
+	if index > l.commit {
+		from, to = l.commit, index
+		l.commit = index
+	}
+	l.mu.Unlock()
+	l.notify(from, to)
+}
+
+// notify delivers one commit advance to the observer.
+func (l *Log) notify(from, to uint64) {
+	if to > from && l.onCommit != nil {
+		l.onCommit(from, to)
+	}
+}

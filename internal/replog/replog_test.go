@@ -1,0 +1,279 @@
+package replog
+
+import (
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+
+	"jupiter/internal/css"
+	"jupiter/internal/opid"
+	"jupiter/internal/ot"
+)
+
+func opEntry(doc string, client int32, seq uint64) Entry {
+	return Entry{
+		Kind: KindOp,
+		Doc:  doc,
+		Msg: &css.ClientMsg{
+			From: opid.ClientID(client),
+			Op:   ot.Ins('a', 0, opid.OpID{Client: opid.ClientID(client), Seq: seq}),
+			Ctx:  opid.NewSet(),
+		},
+	}
+}
+
+func TestAppendAssignsContiguousIndexes(t *testing.T) {
+	l := New(2)
+	for i := 1; i <= 5; i++ {
+		if got := l.Append(opEntry("d", 1, uint64(i))); got != uint64(i) {
+			t.Fatalf("append %d: index %d", i, got)
+		}
+	}
+	if l.LastIndex() != 5 {
+		t.Fatalf("last = %d, want 5", l.LastIndex())
+	}
+	if l.CommitIndex() != 0 {
+		t.Fatalf("commit = %d before any ack, want 0", l.CommitIndex())
+	}
+}
+
+func TestQuorumCommit(t *testing.T) {
+	// 3-node cluster: leader + 2 followers, quorum 2 — one follower ack
+	// commits.
+	l := New(2)
+	var ranges [][2]uint64
+	l.OnCommit(func(from, to uint64) { ranges = append(ranges, [2]uint64{from, to}) })
+	for i := 1; i <= 4; i++ {
+		l.Append(opEntry("d", 1, uint64(i)))
+	}
+	l.Ack("n1", 2)
+	if l.CommitIndex() != 2 {
+		t.Fatalf("commit = %d after n1 acks 2, want 2", l.CommitIndex())
+	}
+	// A lower ack from the other follower must not retreat the commit.
+	l.Ack("n2", 1)
+	if l.CommitIndex() != 2 {
+		t.Fatalf("commit = %d, want 2 (no retreat)", l.CommitIndex())
+	}
+	// Stale ack from n1 ignored.
+	l.Ack("n1", 1)
+	if l.CommitIndex() != 2 {
+		t.Fatalf("commit = %d after stale ack, want 2", l.CommitIndex())
+	}
+	l.Ack("n2", 4)
+	if l.CommitIndex() != 4 {
+		t.Fatalf("commit = %d, want 4", l.CommitIndex())
+	}
+	want := [][2]uint64{{0, 2}, {2, 4}}
+	if len(ranges) != len(want) {
+		t.Fatalf("commit ranges = %v, want %v", ranges, want)
+	}
+	for i := range want {
+		if ranges[i] != want[i] {
+			t.Fatalf("commit ranges = %v, want %v", ranges, want)
+		}
+	}
+}
+
+func TestQuorumNeedsMajorityNotOneAck(t *testing.T) {
+	// 5-node cluster: quorum 3 — commits need two follower acks.
+	l := New(3)
+	for i := 1; i <= 3; i++ {
+		l.Append(opEntry("d", 1, uint64(i)))
+	}
+	l.Ack("n1", 3)
+	if l.CommitIndex() != 0 {
+		t.Fatalf("commit = %d after a single ack at quorum 3, want 0", l.CommitIndex())
+	}
+	l.Ack("n2", 2)
+	if l.CommitIndex() != 2 {
+		t.Fatalf("commit = %d, want 2 (second-highest ack)", l.CommitIndex())
+	}
+}
+
+func TestStandaloneQuorumCommitsInstantly(t *testing.T) {
+	l := New(1)
+	var got [][2]uint64
+	l.OnCommit(func(from, to uint64) { got = append(got, [2]uint64{from, to}) })
+	l.Append(opEntry("d", 1, 1))
+	l.Append(opEntry("d", 1, 2))
+	if l.CommitIndex() != 2 {
+		t.Fatalf("commit = %d, want 2", l.CommitIndex())
+	}
+	if len(got) != 2 || got[0] != [2]uint64{0, 1} || got[1] != [2]uint64{1, 2} {
+		t.Fatalf("commit ranges = %v", got)
+	}
+}
+
+func TestAckBeyondLastIsClamped(t *testing.T) {
+	l := New(2)
+	l.Append(opEntry("d", 1, 1))
+	l.Ack("n1", 99)
+	if l.CommitIndex() != 1 {
+		t.Fatalf("commit = %d, want 1 (ack clamped to last)", l.CommitIndex())
+	}
+}
+
+func TestAppendFromContiguity(t *testing.T) {
+	l := New(2)
+	e1, e2, e3 := opEntry("d", 1, 1), opEntry("d", 1, 2), opEntry("d", 1, 3)
+	e1.Index, e2.Index, e3.Index = 1, 2, 3
+
+	if err := l.AppendFrom([]Entry{e1, e2}); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate delivery of an already-held prefix is ignored.
+	if err := l.AppendFrom([]Entry{e1, e2, e3}); err != nil {
+		t.Fatal(err)
+	}
+	if l.LastIndex() != 3 {
+		t.Fatalf("last = %d, want 3", l.LastIndex())
+	}
+	// A gap is rejected.
+	e9 := opEntry("d", 1, 9)
+	e9.Index = 9
+	if err := l.AppendFrom([]Entry{e9}); !errors.Is(err, ErrGap) {
+		t.Fatalf("gap append: err = %v, want ErrGap", err)
+	}
+}
+
+func TestSetCommitBoundedAndMonotone(t *testing.T) {
+	l := New(2)
+	e1, e2 := opEntry("d", 1, 1), opEntry("d", 1, 2)
+	e1.Index, e2.Index = 1, 2
+	if err := l.AppendFrom([]Entry{e1, e2}); err != nil {
+		t.Fatal(err)
+	}
+	l.SetCommit(5) // leader is ahead; clamp to what we hold
+	if l.CommitIndex() != 2 {
+		t.Fatalf("commit = %d, want 2 (clamped)", l.CommitIndex())
+	}
+	l.SetCommit(1) // never retreats
+	if l.CommitIndex() != 2 {
+		t.Fatalf("commit = %d, want 2 (monotone)", l.CommitIndex())
+	}
+}
+
+func TestEntriesRetrieval(t *testing.T) {
+	l := New(2)
+	for i := 1; i <= 6; i++ {
+		l.Append(opEntry("d", 1, uint64(i)))
+	}
+	if got := l.Entries(3, 2); len(got) != 2 || got[0].Index != 3 || got[1].Index != 4 {
+		t.Fatalf("Entries(3,2) = %+v", got)
+	}
+	if got := l.Entries(7, 0); got != nil {
+		t.Fatalf("Entries past end = %+v, want nil", got)
+	}
+	if got := l.Entries(0, 0); len(got) != 6 {
+		t.Fatalf("Entries(0,0) len = %d, want 6", len(got))
+	}
+	if e, ok := l.Entry(5); !ok || e.Index != 5 {
+		t.Fatalf("Entry(5) = %+v, %v", e, ok)
+	}
+	if _, ok := l.Entry(0); ok {
+		t.Fatal("Entry(0) must not resolve")
+	}
+}
+
+func TestEntryValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		e    Entry
+		ok   bool
+	}{
+		{"valid op", func() Entry { e := opEntry("d", 1, 1); e.Index = 1; return e }(), true},
+		{"valid join", Entry{Index: 1, Kind: KindJoin, Doc: "d", ClientID: 7}, true},
+		{"zero index", func() Entry { e := opEntry("d", 1, 1); return e }(), false},
+		{"no doc", Entry{Index: 1, Kind: KindJoin, ClientID: 7}, false},
+		{"join without client", Entry{Index: 1, Kind: KindJoin, Doc: "d"}, false},
+		{"join with op", func() Entry {
+			e := opEntry("d", 1, 1)
+			e.Index, e.Kind, e.ClientID = 1, KindJoin, 7
+			return e
+		}(), false},
+		{"op without msg", Entry{Index: 1, Kind: KindOp, Doc: "d"}, false},
+		{"unknown kind", Entry{Index: 1, Kind: 99, Doc: "d"}, false},
+	}
+	for _, tc := range cases {
+		err := tc.e.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: validation passed, want error", tc.name)
+		}
+	}
+}
+
+func TestEntryJSONRoundTrip(t *testing.T) {
+	e := opEntry("notes", 3, 9)
+	e.Index = 12
+	data, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Entry
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Index != 12 || back.Kind != KindOp || back.Doc != "notes" || back.Msg == nil {
+		t.Fatalf("round trip = %+v", back)
+	}
+	if back.Msg.Op.ID != e.Msg.Op.ID {
+		t.Fatalf("op id changed: %v -> %v", e.Msg.Op.ID, back.Msg.Op.ID)
+	}
+
+	j := Entry{Index: 4, Kind: KindJoin, Doc: "notes", ClientID: 2}
+	data, err = json.Marshal(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jback Entry
+	if err := json.Unmarshal(data, &jback); err != nil {
+		t.Fatal(err)
+	}
+	if jback != j {
+		t.Fatalf("join round trip = %+v, want %+v", jback, j)
+	}
+}
+
+func TestConcurrentAppendAndAck(t *testing.T) {
+	// Commit ranges must arrive ordered and non-overlapping even under
+	// concurrent appends and acks (-race covers the data side).
+	l := New(2)
+	var mu sync.Mutex
+	var last uint64
+	bad := false
+	l.OnCommit(func(from, to uint64) {
+		mu.Lock()
+		if from != last || to <= from {
+			bad = true
+		}
+		last = to
+		mu.Unlock()
+	})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= 200; i++ {
+			l.Append(opEntry("d", 1, uint64(i)))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= 400; i++ {
+			l.Ack("n1", uint64(i/2))
+		}
+	}()
+	wg.Wait()
+	l.Ack("n1", 200)
+	if bad {
+		t.Fatal("commit ranges overlapped or arrived out of order")
+	}
+	if l.CommitIndex() != 200 {
+		t.Fatalf("commit = %d, want 200", l.CommitIndex())
+	}
+}

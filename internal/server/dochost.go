@@ -6,6 +6,7 @@ import (
 	"jupiter/internal/css"
 	"jupiter/internal/list"
 	"jupiter/internal/opid"
+	"jupiter/internal/replog"
 	"jupiter/internal/wire"
 )
 
@@ -27,6 +28,22 @@ type docHost struct {
 	clients map[opid.ClientID]*clientSlot
 	nextID  int32
 	applied uint64
+
+	// pending holds, per log index, the outputs computed at APPLY time but
+	// not releasable to clients until the entry COMMITS (replicated engines
+	// only). Apply and release both run on this loop; the replicator's
+	// release goroutine merely submits the closures.
+	pending map[uint64]*pendingRelease
+}
+
+// pendingRelease is one applied-but-uncommitted log entry's deferred output:
+// the srv frames it produced and, for a join on the leader, the welcome frame
+// owed to the connection that joined.
+type pendingRelease struct {
+	outs    []css.Addressed
+	welcome *wire.Frame
+	joinID  opid.ClientID
+	conn    *conn
 }
 
 // clientSlot is one client session: the retained outbox keyed by frame
@@ -54,6 +71,7 @@ func newDocHost(e *Engine, name string) *docHost {
 		stopCh:  make(chan struct{}),
 		srv:     css.NewServer(nil, nil, e.cfg.Recorder),
 		clients: make(map[opid.ClientID]*clientSlot),
+		pending: make(map[uint64]*pendingRelease),
 	}
 }
 
@@ -146,6 +164,15 @@ func (h *docHost) doJoinNew(c *conn) (bool, int32) {
 	if body, err := wire.Encode(welcome); err == nil {
 		h.eng.reg.Counter("snapshot_bytes_total").Add(int64(len(body)))
 		h.eng.reg.Gauge("snapshot_bytes_last").Set(int64(len(body)))
+	}
+	if r := h.eng.repl; r != nil {
+		// Replicated: the session is only durable once a majority holds the
+		// join entry, so the welcome waits for commit. A session the client
+		// knows about (welcome received) therefore survives failover.
+		idx := r.appendEntry(replog.Entry{Kind: replog.KindJoin, Doc: h.name, ClientID: int32(id)})
+		h.pending[idx] = &pendingRelease{welcome: welcome, joinID: id, conn: c}
+		h.eng.logf("doc %q: new client c%d from %s (join at log %d)", h.name, id, c.nc.RemoteAddr(), idx)
+		return true, int32(id)
 	}
 	if !c.enqueue(welcome) {
 		h.clients[id].conn = nil
@@ -243,19 +270,94 @@ func (h *docHost) doOp(c *conn, msg css.ClientMsg) {
 	h.eng.reg.Counter("ops_applied").Inc()
 	slot.lastOpSeq = msg.Op.ID.Seq
 	h.applied++
+	outs = h.foldFrontier(outs)
+	if r := h.eng.repl; r != nil {
+		// Replicated: hold the outputs until a majority holds the entry.
+		idx := r.appendEntry(replog.Entry{Kind: replog.KindOp, Doc: h.name, Msg: &msg})
+		h.pending[idx] = &pendingRelease{outs: outs}
+		return
+	}
 	for _, out := range outs {
 		h.deliver(out.To, out.Msg)
 	}
-	if h.eng.cfg.GCEvery > 0 && h.applied%uint64(h.eng.cfg.GCEvery) == 0 {
-		fouts, err := h.srv.AdvanceFrontier()
-		if err != nil {
-			h.eng.reg.Counter("protocol_errors_total").Inc()
-			h.eng.logf("doc %q: frontier: %v", h.name, err)
+}
+
+// foldFrontier appends the GC-frontier messages (if due) to an operation's
+// outputs. Deterministic given the op stream and GCEvery, so leader and
+// followers fold identically.
+func (h *docHost) foldFrontier(outs []css.Addressed) []css.Addressed {
+	if h.eng.cfg.GCEvery <= 0 || h.applied%uint64(h.eng.cfg.GCEvery) != 0 {
+		return outs
+	}
+	fouts, err := h.srv.AdvanceFrontier()
+	if err != nil {
+		h.eng.reg.Counter("protocol_errors_total").Inc()
+		h.eng.logf("doc %q: frontier: %v", h.name, err)
+		return outs
+	}
+	return append(outs, fouts...)
+}
+
+// ------------------------------------------------------- replication ----
+
+// applyReplicated integrates one replicated log entry on a follower, exactly
+// as the leader's apply loop did: same css mutations, same outputs, same
+// per-client bookkeeping — parked in pending until the entry commits.
+func (h *docHost) applyReplicated(e replog.Entry) {
+	switch e.Kind {
+	case replog.KindJoin:
+		id := opid.ClientID(e.ClientID)
+		if e.ClientID > h.nextID {
+			h.nextID = e.ClientID
+		}
+		if err := h.srv.AddClient(id); err != nil {
+			h.eng.reg.Counter("repl_apply_errors_total").Inc()
+			h.eng.logf("doc %q: replicated join c%d: %v", h.name, id, err)
 			return
 		}
-		for _, out := range fouts {
-			h.deliver(out.To, out.Msg)
+		h.clients[id] = &clientSlot{id: id}
+		h.pending[e.Index] = &pendingRelease{}
+	case replog.KindOp:
+		msg := *e.Msg
+		outs, err := h.srv.Receive(msg)
+		if err != nil {
+			// The leader applied this successfully; failing here means the
+			// replicas diverged. Loud counter, skip the entry.
+			h.eng.reg.Counter("repl_apply_errors_total").Inc()
+			h.eng.logf("doc %q: replicated op %s: %v", h.name, msg.Op.ID, err)
+			return
 		}
+		if slot, ok := h.clients[msg.From]; ok && msg.Op.ID.Seq > slot.lastOpSeq {
+			slot.lastOpSeq = msg.Op.ID.Seq
+		}
+		h.applied++
+		h.eng.reg.Counter("ops_applied").Inc()
+		h.pending[e.Index] = &pendingRelease{outs: h.foldFrontier(outs)}
+	}
+}
+
+// release ships one committed entry's held outputs: the leader's welcome (if
+// the joining connection is still the attached one) and the srv frames, which
+// stamp per-client frame sequences in commit order — identical on every node.
+func (h *docHost) release(idx uint64) {
+	p, ok := h.pending[idx]
+	if !ok {
+		return
+	}
+	delete(h.pending, idx)
+	if p.welcome != nil {
+		slot := h.clients[p.joinID]
+		if slot != nil && p.conn != nil && slot.conn == p.conn {
+			if c := slot.conn; !c.enqueue(p.welcome) {
+				slot.conn = nil
+				c.close()
+			} else {
+				h.eng.reg.Counter("joins_total").Inc()
+			}
+		}
+	}
+	for _, out := range p.outs {
+		h.deliver(out.To, out.Msg)
 	}
 }
 

@@ -1,0 +1,138 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"net/url"
+	"os"
+	"path/filepath"
+
+	"jupiter/internal/css"
+	"jupiter/internal/opid"
+	"jupiter/internal/wire"
+)
+
+// Engine persistence — jupiterd restart without losing client sessions.
+//
+// A standalone engine configured with PersistDir writes, on graceful
+// shutdown, one JSON file per hosted document: the full css.Server state
+// (persist.go in internal/css) plus the session layer the resume protocol
+// depends on — each client's retained outbox, frame-sequence counters, and
+// operation-dedup watermark. On the first Hello for a document after
+// restart, the engine reloads the file, so a reconnecting client resumes
+// exactly as if the server had never gone away: its unacknowledged ops are
+// blind-resent and deduplicated by the restored watermark, and the missed
+// outbox suffix is replayed from the restored retention.
+//
+// Replicated engines ignore PersistDir: there, followers ARE the durability
+// mechanism, and a killed node's sessions fail over instead of restarting.
+
+type persistedSlot struct {
+	ID        int32         `json:"id"`
+	Outbox    []wire.Server `json:"outbox"`
+	NextSeq   uint64        `json:"nextSeq"`
+	AckedSeq  uint64        `json:"ackedSeq"`
+	LastOpSeq uint64        `json:"lastOpSeq"`
+}
+
+type persistedDoc struct {
+	Doc     string          `json:"doc"`
+	Server  json.RawMessage `json:"server"`
+	Slots   []persistedSlot `json:"slots"`
+	NextID  int32           `json:"nextId"`
+	Applied uint64          `json:"applied"`
+}
+
+func (e *Engine) persistEnabled() bool {
+	return e.cfg.PersistDir != "" && e.repl == nil
+}
+
+func (e *Engine) docFile(doc string) string {
+	return filepath.Join(e.cfg.PersistDir, url.PathEscape(doc)+".json")
+}
+
+// persistDocs saves every hosted document. Called from Shutdown after all
+// goroutines joined, so the doc hosts' state is quiescent and safe to read
+// directly.
+func (e *Engine) persistDocs(docs []*docHost) error {
+	if !e.persistEnabled() {
+		return nil
+	}
+	if err := os.MkdirAll(e.cfg.PersistDir, 0o755); err != nil {
+		return fmt.Errorf("server: persist: %w", err)
+	}
+	for _, h := range docs {
+		srvState, err := h.srv.Save()
+		if err != nil {
+			return fmt.Errorf("server: persist doc %q: %w", h.name, err)
+		}
+		pd := persistedDoc{Doc: h.name, Server: srvState, NextID: h.nextID, Applied: h.applied}
+		for _, id := range h.srv.Clients() {
+			slot, ok := h.clients[id]
+			if !ok {
+				continue
+			}
+			pd.Slots = append(pd.Slots, persistedSlot{
+				ID:        int32(slot.id),
+				Outbox:    slot.outbox,
+				NextSeq:   slot.nextSeq,
+				AckedSeq:  slot.ackedSeq,
+				LastOpSeq: slot.lastOpSeq,
+			})
+		}
+		data, err := json.Marshal(pd)
+		if err != nil {
+			return fmt.Errorf("server: persist doc %q: %w", h.name, err)
+		}
+		tmp := e.docFile(h.name) + ".tmp"
+		if err := os.WriteFile(tmp, data, 0o644); err != nil {
+			return fmt.Errorf("server: persist doc %q: %w", h.name, err)
+		}
+		if err := os.Rename(tmp, e.docFile(h.name)); err != nil {
+			return fmt.Errorf("server: persist doc %q: %w", h.name, err)
+		}
+		e.logf("doc %q: persisted (%d bytes, %d sessions)", h.name, len(data), len(pd.Slots))
+	}
+	return nil
+}
+
+// loadPersisted restores a doc host from PersistDir, if a save exists. Called
+// before the host's apply loop starts, so the fields are written directly.
+func (h *docHost) loadPersisted() error {
+	path := h.eng.docFile(h.name)
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("server: load doc %q: %w", h.name, err)
+	}
+	var pd persistedDoc
+	if err := json.Unmarshal(data, &pd); err != nil {
+		return fmt.Errorf("server: load doc %q: %w", h.name, err)
+	}
+	if pd.Doc != h.name {
+		return fmt.Errorf("server: load doc %q: file holds %q", h.name, pd.Doc)
+	}
+	srv, err := css.RestoreServer(pd.Server, h.eng.cfg.Recorder)
+	if err != nil {
+		return fmt.Errorf("server: load doc %q: %w", h.name, err)
+	}
+	h.srv = srv
+	h.nextID = pd.NextID
+	h.applied = pd.Applied
+	for _, ps := range pd.Slots {
+		id := opid.ClientID(ps.ID)
+		h.clients[id] = &clientSlot{
+			id:        id,
+			outbox:    ps.Outbox,
+			nextSeq:   ps.NextSeq,
+			ackedSeq:  ps.AckedSeq,
+			lastOpSeq: ps.LastOpSeq,
+		}
+	}
+	h.eng.logf("doc %q: restored from %s (%d sessions, seq %d)", h.name, path, len(pd.Slots), srv.SeqOf())
+	return nil
+}

@@ -1,0 +1,288 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"jupiter/internal/chaosproxy"
+	"jupiter/internal/client"
+	"jupiter/internal/core"
+	"jupiter/internal/css"
+	"jupiter/internal/opid"
+	"jupiter/internal/spec"
+	"jupiter/internal/wire"
+)
+
+// The leader-kill chaos suite: the fault model the replication layer exists
+// for. Each seeded schedule runs a 3-node cluster with 4 TCP clients editing
+// through a chaosproxy (random drops, delays, partitions, resets) in front of
+// the initial leader, then fail-stops the leader mid-edit. Every schedule
+// must end with: next-priority promotion (failovers_total), a monotone commit
+// index across the promotion, all replicas converged, the weak list spec
+// satisfied on the client-recorded history, and — the commit-gating property —
+// every server frame any client ever observed sitting at the same position in
+// the survivor's serialization order. A client observing an op the crash
+// un-serialized, or the same global sequence resolving to two different ops,
+// fails the schedule.
+
+// replChaosSchedules resolves the schedule count: REPL_CHAOS_SCHEDULES (the
+// Makefile's replication-chaos target and the nightly workflow pin it), else
+// 50 (the acceptance floor), else 8 in -short mode.
+func replChaosSchedules() int {
+	if s := os.Getenv("REPL_CHAOS_SCHEDULES"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	if testing.Short() {
+		return 8
+	}
+	return 50
+}
+
+// obs is one client's record of one applied server frame: which global
+// sequence resolved to which operation identity.
+type obs struct {
+	seq uint64
+	id  opid.OpID
+}
+
+func runLeaderKillSchedule(t *testing.T, seed int64) {
+	const (
+		nClients = 4
+		opsEach  = 10
+		doc      = "chaos-repl"
+	)
+	hist := &core.History{}
+	rec := &core.LockedRecorder{R: hist}
+
+	// No recorder on the engines: three css.Servers would each record as
+	// "the server" and corrupt the single history. The spec checkers run
+	// over the clients' records; the server-side check is the
+	// serialization-order comparison below.
+	engs := startReplCluster(t, 3, 5*time.Millisecond, nil)
+	killed := false
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		for i, e := range engs {
+			if i == 0 && killed {
+				continue
+			}
+			_ = e.Shutdown(ctx)
+		}
+	}()
+
+	proxy := chaosproxy.NewForTest(t, engs[0].Addr(), chaosproxy.Random(seed, nClients))
+	addrs := []string{proxy.Addr(), engs[1].Addr(), engs[2].Addr()}
+
+	clients := make([]*client.Client, nClients)
+	observed := make([][]obs, nClients)
+	var obsMu sync.Mutex
+	for i := range clients {
+		i := i
+		clients[i] = dialRetry(t, client.Config{
+			Addrs:      addrs,
+			Doc:        doc,
+			Seed:       seed*100 + int64(i+1),
+			MinBackoff: 2 * time.Millisecond,
+			MaxBackoff: 50 * time.Millisecond,
+			Recorder:   rec,
+			OnServerFrame: func(s *wire.Server) {
+				var id opid.OpID
+				switch s.Msg.Kind {
+				case css.MsgBroadcast:
+					id = s.Msg.Op.ID
+				case css.MsgAck:
+					id = s.Msg.AckID
+				default:
+					return // frontier frames carry no serialized op
+				}
+				obsMu.Lock()
+				observed[i] = append(observed[i], obs{seq: s.Msg.Seq, id: id})
+				obsMu.Unlock()
+			},
+		})
+	}
+	defer func() {
+		for _, c := range clients {
+			_ = c.Close()
+		}
+	}()
+
+	// Edit phase with a mid-edit leader kill: the kill delay is part of the
+	// seeded schedule, landing anywhere in the edit window.
+	killRng := rand.New(rand.NewSource(seed * 7))
+	killDelay := time.Duration(2+killRng.Intn(40)) * time.Millisecond
+	var commitAtKill int64
+	killDone := make(chan struct{})
+	go func() {
+		defer close(killDone)
+		time.Sleep(killDelay)
+		engs[0].Kill()
+		commitAtKill = engs[0].Metrics().Gauge("repl_commit_index").Value()
+		proxy.Heal() // injection is over; the backend is gone anyway
+	}()
+
+	var wg sync.WaitGroup
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c *client.Client) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed*1000 + int64(i)))
+			for j := 0; j < opsEach; j++ {
+				d := c.Document()
+				if len(d) > 0 && rng.Intn(4) == 0 {
+					if err := c.Delete(rng.Intn(len(d))); err != nil {
+						t.Errorf("client %d delete: %v", i, err)
+						return
+					}
+				} else {
+					val := rune('a' + (i*opsEach+j)%26)
+					if err := c.Insert(val, rng.Intn(len(d)+1)); err != nil {
+						t.Errorf("client %d insert: %v", i, err)
+						return
+					}
+				}
+				time.Sleep(time.Duration(rng.Intn(4)) * time.Millisecond)
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	<-killDone
+	killed = true
+
+	// Post-kill edits: one op per client AFTER the leader is dead, so every
+	// schedule forces traffic through the failover path (a fast schedule can
+	// otherwise finish — and ack — everything before the kill lands).
+	for i, c := range clients {
+		if err := c.Insert(rune('A'+i), 0); err != nil {
+			t.Fatalf("seed %d: client %d post-kill insert: %v", seed, i, err)
+		}
+	}
+
+	// Recovery barrier: every client must drain its resend buffer through
+	// the promoted leader and see every serialized op.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i, c := range clients {
+		if err := c.Sync(ctx); err != nil {
+			t.Fatalf("seed %d: client %d sync after failover: %v", seed, i, err)
+		}
+	}
+	const total = nClients * (opsEach + 1)
+	for i, c := range clients {
+		if err := c.WaitServerSeq(ctx, total); err != nil {
+			t.Fatalf("seed %d: client %d wait seq %d (at %d): %v", seed, i, total, c.ServerSeq(), err)
+		}
+	}
+
+	// Exactly one survivor promoted: n1 (n2 defers to the live n1).
+	if got := engs[1].Metrics().Counter("failovers_total").Value(); got != 1 {
+		t.Fatalf("seed %d: n1 failovers_total = %d, want 1", seed, got)
+	}
+	if got := engs[2].Metrics().Counter("failovers_total").Value(); got != 0 {
+		t.Fatalf("seed %d: n2 failovers_total = %d, want 0", seed, got)
+	}
+	commitFinal := engs[1].Metrics().Gauge("repl_commit_index").Value()
+	if commitFinal < commitAtKill {
+		t.Fatalf("seed %d: commit index retreated across promotion: %d -> %d", seed, commitAtKill, commitFinal)
+	}
+	if commitFinal < int64(total) {
+		t.Fatalf("seed %d: final commit index %d below %d serialized ops", seed, commitFinal, total)
+	}
+
+	// Convergence across every replica and the promoted leader.
+	want := clients[0].Text()
+	for i, c := range clients {
+		if got := c.Text(); got != want {
+			t.Fatalf("seed %d: client %d diverged:\n c0: %q\n c%d: %q", seed, i, want, i, got)
+		}
+	}
+	st, ok := engs[1].DocState(doc)
+	if !ok {
+		t.Fatalf("seed %d: promoted leader does not host %q", seed, doc)
+	}
+	if st.Text != want || st.Seq != total {
+		t.Fatalf("seed %d: leader state (%q, seq %d), want (%q, seq %d)", seed, st.Text, st.Seq, want, total)
+	}
+
+	// The serialization-order property. For every frame any client applied:
+	// the global sequence it carried must name the same operation in the
+	// survivor's serialization — nothing observed was reordered or lost by
+	// the crash. Per client, observed sequences are strictly increasing.
+	serial, ok := engs[1].DocSerialized(doc)
+	if !ok {
+		t.Fatalf("seed %d: DocSerialized unavailable", seed)
+	}
+	if len(serial) != total {
+		t.Fatalf("seed %d: survivor serialized %d ops, want %d", seed, len(serial), total)
+	}
+	obsMu.Lock()
+	defer obsMu.Unlock()
+	for i, os := range observed {
+		last := uint64(0)
+		for _, o := range os {
+			if o.seq <= last {
+				t.Fatalf("seed %d: client %d observed non-increasing global seq %d after %d", seed, i, o.seq, last)
+			}
+			last = o.seq
+			if o.seq > uint64(len(serial)) {
+				t.Fatalf("seed %d: client %d observed seq %d beyond serialization (%d)", seed, i, o.seq, len(serial))
+			}
+			if serial[o.seq-1] != o.id {
+				t.Fatalf("seed %d: client %d observed seq %d as %v, survivor serialized %v",
+					seed, i, o.seq, o.id, serial[o.seq-1])
+			}
+		}
+	}
+	// No op lost: every generated op is in the survivor's serialization.
+	serialSet := make(map[opid.OpID]bool, len(serial))
+	for _, id := range serial {
+		serialSet[id] = true
+	}
+	for i, c := range clients {
+		cid := c.ID()
+		for j := uint64(1); j <= opsEach+1; j++ {
+			if !serialSet[opid.OpID{Client: cid, Seq: j}] {
+				t.Fatalf("seed %d: client %d (c%d) op %d missing from survivor serialization", seed, i, cid, j)
+			}
+		}
+	}
+
+	// The recorded client history satisfies the weak list spec and
+	// convergence.
+	for _, c := range clients {
+		c.Read()
+	}
+	if err := spec.CheckWeak(hist); err != nil {
+		t.Fatalf("seed %d: weak list spec violated: %v", seed, err)
+	}
+	if err := spec.CheckConvergence(hist); err != nil {
+		t.Fatalf("seed %d: convergence violated: %v", seed, err)
+	}
+}
+
+// TestReplicatedLeaderKillChaos is the acceptance property for the
+// replication layer: across many seeded schedules, a mid-edit leader
+// fail-stop never loses a committed op, never reorders what any client
+// observed, and always ends in a converged cluster behind the promoted
+// next-priority node.
+func TestReplicatedLeaderKillChaos(t *testing.T) {
+	t.Cleanup(checkNoGoroutineLeak(t))
+	schedules := replChaosSchedules()
+	for seed := int64(0); seed < int64(schedules); seed++ {
+		ok := t.Run(fmt.Sprintf("seed=%03d", seed), func(t *testing.T) {
+			runLeaderKillSchedule(t, seed)
+		})
+		if !ok {
+			t.Fatalf("schedule %d failed; stopping the sweep", seed)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"jupiter/internal/client"
+	"jupiter/internal/server"
+)
+
+// startReplCluster binds n listeners up front (so every node knows the full
+// peer address list), then starts one engine per node in priority order.
+func startReplCluster(t *testing.T, n int, retry time.Duration, logf func(string, ...any)) []*server.Engine {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	peers := make([]server.Peer, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		peers[i] = server.Peer{ID: fmt.Sprintf("n%d", i), Addr: ln.Addr().String()}
+	}
+	engs := make([]*server.Engine, n)
+	for i := range engs {
+		engs[i] = server.New(server.Config{
+			NodeID:    peers[i].ID,
+			Cluster:   peers,
+			Listener:  lns[i],
+			ReplRetry: retry,
+			Logf:      logf,
+		})
+		if err := engs[i].Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return engs
+}
+
+// waitDocText polls until the engine's view of the document reaches text.
+func waitDocText(t *testing.T, eng *server.Engine, doc, text string, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		st, ok := eng.DocState(doc)
+		if ok && st.Text == text {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("doc %q never reached %q (at %q, known=%v)", doc, text, st.Text, ok)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestReplicatedFailover is the deterministic end-to-end failover story: a
+// 3-node cluster serves a client, the leader is fail-stopped mid-session, the
+// next-priority follower promotes, and the client's ordinary redial loop
+// resumes the session there — no ops lost, no ops duplicated, both survivors
+// converged.
+func TestReplicatedFailover(t *testing.T) {
+	t.Cleanup(checkNoGoroutineLeak(t))
+	const doc = "failover"
+	engs := startReplCluster(t, 3, 5*time.Millisecond, t.Logf)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		for _, e := range engs[1:] {
+			_ = e.Shutdown(ctx)
+		}
+	}()
+
+	addrs := []string{engs[0].Addr(), engs[1].Addr(), engs[2].Addr()}
+	c, err := client.Dial(client.Config{
+		Addrs:      addrs,
+		Doc:        doc,
+		Seed:       42,
+		MinBackoff: 2 * time.Millisecond,
+		MaxBackoff: 20 * time.Millisecond,
+		Logf:       t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i, r := range "abc" {
+		if err := c.Insert(r, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Sync(ctx); err != nil {
+		t.Fatalf("sync on initial leader: %v", err)
+	}
+
+	// Commit gating means an acknowledged op is on a majority; both
+	// followers apply and (on commit) release, so their document state
+	// tracks the leader's.
+	waitDocText(t, engs[1], doc, "abc", 5*time.Second)
+	waitDocText(t, engs[2], doc, "abc", 5*time.Second)
+	commitBefore := engs[0].Metrics().Gauge("repl_commit_index").Value()
+	if commitBefore < 3 {
+		t.Fatalf("leader commit index %d after 3 acked ops", commitBefore)
+	}
+
+	// Fail-stop the leader mid-session and keep editing: the redial loop
+	// must land on the promoted n1 and resume (same session, dedup by op
+	// watermark, no terminal bad-resume).
+	engs[0].Kill()
+	for i, r := range "xyz" {
+		if err := c.Insert(r, 3+i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Sync(ctx); err != nil {
+		t.Fatalf("sync after leader kill: %v", err)
+	}
+	if got := c.Text(); got != "abcxyz" {
+		t.Fatalf("client text after failover = %q, want abcxyz", got)
+	}
+
+	// n1 promoted (priority order, no election) and its commit index moved
+	// monotonically past the dead leader's.
+	if got := engs[1].Metrics().Counter("failovers_total").Value(); got != 1 {
+		t.Fatalf("n1 failovers_total = %d, want 1", got)
+	}
+	if got := engs[1].Metrics().Gauge("repl_role").Value(); got != 2 {
+		t.Fatalf("n1 repl_role = %d, want 2 (leader)", got)
+	}
+	if got := engs[2].Metrics().Counter("failovers_total").Value(); got != 0 {
+		t.Fatalf("n2 failovers_total = %d, want 0 (defers to higher priority)", got)
+	}
+	commitAfter := engs[1].Metrics().Gauge("repl_commit_index").Value()
+	if commitAfter < commitBefore {
+		t.Fatalf("commit index retreated across promotion: %d -> %d", commitBefore, commitAfter)
+	}
+	waitDocText(t, engs[1], doc, "abcxyz", 5*time.Second)
+	waitDocText(t, engs[2], doc, "abcxyz", 5*time.Second)
+
+	// A brand-new client joining through the address list (first entry now
+	// dead) reaches the promoted leader and sees the same document.
+	c2, err := client.Dial(client.Config{
+		Addrs:      addrs,
+		Doc:        doc,
+		Seed:       43,
+		MinBackoff: 2 * time.Millisecond,
+		MaxBackoff: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("new client after failover: %v", err)
+	}
+	defer c2.Close()
+	if got := c2.Text(); got != "abcxyz" {
+		t.Fatalf("new client text = %q, want abcxyz", got)
+	}
+}
+
+// TestFollowerRejectsClients pins the not-leader rejection: a follower turns
+// a client hello away with a hint naming the serving leader.
+func TestFollowerRejectsClients(t *testing.T) {
+	t.Cleanup(checkNoGoroutineLeak(t))
+	engs := startReplCluster(t, 3, 5*time.Millisecond, nil)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		for _, e := range engs {
+			_ = e.Shutdown(ctx)
+		}
+	}()
+
+	// Give the followers a scan round to learn who leads, so the hint is
+	// populated.
+	deadline := time.Now().Add(5 * time.Second)
+	for engs[1].Metrics().Gauge("repl_role").Value() != 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	_, err := client.Dial(client.Config{
+		Addrs: []string{engs[1].Addr()}, // follower only: nowhere to fail over to
+		Doc:   "d",
+	})
+	if err == nil {
+		t.Fatal("dial to a follower succeeded; want not-leader rejection")
+	}
+	if !strings.Contains(err.Error(), "not-leader") {
+		t.Fatalf("follower rejection error = %v, want not-leader code", err)
+	}
+	if got := engs[1].Metrics().Counter("not_leader_rejects_total").Value(); got < 1 {
+		t.Fatalf("not_leader_rejects_total = %d, want >= 1", got)
+	}
+}

@@ -44,6 +44,7 @@ import (
 
 	"jupiter/internal/core"
 	"jupiter/internal/metrics"
+	"jupiter/internal/opid"
 	"jupiter/internal/wire"
 )
 
@@ -64,8 +65,28 @@ type Config struct {
 	// HelloTimeout bounds the wait for a connection's Hello (0 = 10s).
 	HelloTimeout time.Duration
 	// GCEvery, when > 0, runs the stability-frontier GC (AdvanceFrontier)
-	// after every GCEvery serialized operations of a document.
+	// after every GCEvery serialized operations of a document. In a
+	// replicated cluster every node must configure the same value.
 	GCEvery int
+	// NodeID names this node within Cluster; required when Cluster has more
+	// than one entry.
+	NodeID string
+	// Cluster lists every node of a replicated deployment in PRIORITY ORDER
+	// (first entry = initial leader, failover follows list order). Empty or
+	// single-entry means standalone: no replication, no commit gating.
+	Cluster []Peer
+	// ReplRetry paces follower dial/scan retries and scales the replication
+	// heartbeat and I/O deadlines (0 = 500ms). Chaos tests shrink it.
+	ReplRetry time.Duration
+	// Listener, when non-nil, is used instead of listening on Addr — lets a
+	// test pre-bind every cluster node so peer addresses are known up front.
+	Listener net.Listener
+	// PersistDir, when non-empty on a STANDALONE engine, saves every hosted
+	// document's full state there on graceful shutdown and reloads it on
+	// first use, so a restarted server resumes client sessions instead of
+	// rejecting them. Ignored on replicated engines (followers are the
+	// replica mechanism there).
+	PersistDir string
 	// Recorder, when non-nil, records the server's do events into a shared
 	// history (loopback tests run the weak-list checker over it). It must be
 	// safe for concurrent use (core.LockedRecorder).
@@ -95,11 +116,19 @@ func (c *Config) helloTimeout() time.Duration {
 	return c.HelloTimeout
 }
 
+func (c *Config) replRetry() time.Duration {
+	if c.ReplRetry <= 0 {
+		return 500 * time.Millisecond
+	}
+	return c.ReplRetry
+}
+
 // Engine is the jupiterd server: an accept loop, one apply loop per hosted
 // document, and the connection plumbing between them.
 type Engine struct {
-	cfg Config
-	reg *metrics.Registry
+	cfg  Config
+	reg  *metrics.Registry
+	repl *replicator // nil on standalone engines
 
 	ln      net.Listener
 	httpLn  net.Listener
@@ -129,11 +158,28 @@ func New(cfg Config) *Engine {
 // Metrics returns the engine's metrics registry.
 func (e *Engine) Metrics() *metrics.Registry { return e.reg }
 
-// Start binds the listeners and spawns the accept loop.
+// Start binds the listeners and spawns the accept loop (and, on a replicated
+// node, the replication loops).
 func (e *Engine) Start() error {
-	ln, err := net.Listen("tcp", e.cfg.Addr)
-	if err != nil {
-		return fmt.Errorf("server: listen: %w", err)
+	if len(e.cfg.Cluster) > 1 {
+		found := false
+		for _, p := range e.cfg.Cluster {
+			if p.ID == e.cfg.NodeID {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("server: node id %q not in cluster", e.cfg.NodeID)
+		}
+		e.repl = newReplicator(e)
+	}
+	ln := e.cfg.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", e.cfg.Addr)
+		if err != nil {
+			return fmt.Errorf("server: listen: %w", err)
+		}
 	}
 	e.ln = ln
 	if e.cfg.MetricsAddr != "" {
@@ -152,6 +198,9 @@ func (e *Engine) Start() error {
 	}
 	e.wg.Add(1)
 	go e.acceptLoop()
+	if e.repl != nil {
+		e.repl.start()
+	}
 	return nil
 }
 
@@ -211,6 +260,12 @@ func (e *Engine) host(doc string) (*docHost, error) {
 	h, ok := e.docs[doc]
 	if !ok {
 		h = newDocHost(e, doc)
+		if e.persistEnabled() {
+			if err := h.loadPersisted(); err != nil {
+				e.logf("%v", err)
+				return nil, err
+			}
+		}
 		e.docs[doc] = h
 		e.reg.Gauge("docs_open").Add(1)
 		e.wg.Add(1)
@@ -258,6 +313,9 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 	for _, c := range conns {
 		c.shutdown()
 	}
+	if e.repl != nil {
+		e.repl.stop()
+	}
 	for _, h := range docs {
 		h.stop()
 	}
@@ -269,10 +327,46 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
-		return nil
+		return e.persistDocs(docs)
 	case <-ctx.Done():
 		return fmt.Errorf("server: shutdown: %w", ctx.Err())
 	}
+}
+
+// Kill is the fail-stop counterpart of Shutdown: listener and sockets torn
+// down at once, no notices, no drain past what is already queued, nothing
+// persisted. It is how tests (and chaos suites) crash a node.
+func (e *Engine) Kill() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	conns := make([]*conn, 0, len(e.conns))
+	for c := range e.conns {
+		conns = append(conns, c)
+	}
+	docs := make([]*docHost, 0, len(e.docs))
+	for _, h := range e.docs {
+		docs = append(docs, h)
+	}
+	e.mu.Unlock()
+
+	e.ln.Close()
+	if e.httpSrv != nil {
+		_ = e.httpSrv.Close()
+	}
+	for _, c := range conns {
+		c.close()
+	}
+	if e.repl != nil {
+		e.repl.stop()
+	}
+	for _, h := range docs {
+		h.stop()
+	}
+	e.wg.Wait()
 }
 
 // DocState is a synchronous view of a hosted document, produced inside its
@@ -294,6 +388,22 @@ func (e *Engine) DocState(doc string) (DocState, bool) {
 		return DocState{}, false
 	}
 	return h.state()
+}
+
+// DocSerialized reports a hosted document's serialization order (operation
+// identities in global sequence order), consistent with the apply loop.
+func (e *Engine) DocSerialized(doc string) ([]opid.OpID, bool) {
+	e.mu.Lock()
+	h, ok := e.docs[doc]
+	e.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	var ids []opid.OpID
+	if !h.call(func() { ids = h.srv.Serialized() }) {
+		return nil, false
+	}
+	return ids, true
 }
 
 // ---------------------------------------------------------------- conn ----
@@ -431,9 +541,30 @@ func (c *conn) readLoop() {
 		c.eng.reg.Counter("bad_handshakes_total").Inc()
 		return
 	}
+	if f.Type == wire.TReplHello {
+		// A cluster peer, not a client: the replicator owns the connection
+		// from here (reply, stream, acks).
+		if c.eng.repl == nil {
+			c.reject(wire.CodeProtocol, "not a replicated node")
+			return
+		}
+		_ = c.nc.SetReadDeadline(time.Time{})
+		c.eng.repl.handlePeer(c, *f.ReplHello)
+		return
+	}
 	if f.Type != wire.THello {
 		c.reject(wire.CodeProtocol, "first frame must be hello")
 		return
+	}
+	if r := c.eng.repl; r != nil {
+		if ok, hint := r.allowClient(); !ok {
+			c.eng.reg.Counter("not_leader_rejects_total").Inc()
+			c.enqueue(&wire.Frame{Type: wire.TError, Error: &wire.Error{
+				Code: wire.CodeNotLeader, Msg: "not the serving leader", Leader: hint,
+			}})
+			c.close()
+			return
+		}
 	}
 	_ = c.nc.SetReadDeadline(time.Time{})
 	h, err := c.eng.host(f.Hello.Doc)

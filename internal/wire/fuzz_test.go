@@ -31,6 +31,20 @@ func FuzzWireDecode(f *testing.F) {
 		[]byte(`null`),
 		[]byte(`[]`),
 		[]byte("\x00\x01\x02"),
+		// Replication frames: valid shapes plus the adversarial ones from
+		// repl_test.go.
+		[]byte(`{"type":"repl_hello","replHello":{"nodeId":"n1","role":"follower","lastIndex":7,"commit":5}}`),
+		[]byte(`{"type":"repl_hello","replHello":{"nodeId":"n0","role":"leader"}}`),
+		[]byte(`{"type":"repl_hello","replHello":{"nodeId":"n2","role":"candidate","lastIndex":3}}`),
+		[]byte(`{"type":"repl_append","replAppend":{"entries":[{"index":1,"kind":2,"doc":"d","msg":{"from":1,"op":{"kind":"ins","val":"a","pos":0,"id":{"client":1,"seq":1},"pri":1},"ctx":[]}}],"commit":1}}`),
+		[]byte(`{"type":"repl_append","replAppend":{"entries":[{"index":2,"kind":1,"doc":"d","clientId":3}]}}`),
+		[]byte(`{"type":"repl_ack","replAck":{"index":2}}`),
+		[]byte(`{"type":"repl_commit","replCommit":{"commit":9}}`),
+		[]byte(`{"type":"repl_hello","replHello":{"nodeId":"n1","role":"emperor"}}`),
+		[]byte(`{"type":"repl_append","replAppend":{"entries":[]}}`),
+		[]byte(`{"type":"repl_append","replAppend":{"entries":[{"index":1,"kind":1,"doc":"d","clientId":1},{"index":3,"kind":1,"doc":"d","clientId":2}]}}`),
+		[]byte(`{"type":"repl_ack","replAck":{"index":0}}`),
+		[]byte(`{"type":"repl_commit"}`),
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -1,0 +1,158 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+
+	"jupiter/internal/css"
+	"jupiter/internal/opid"
+	"jupiter/internal/ot"
+	"jupiter/internal/replog"
+)
+
+// Adversarial coverage for the replication frame types: a follower's decoder
+// faces the same hostile network as a client's, so truncated, oversized,
+// wrong-role, and wrong-payload repl frames must all be rejected before they
+// reach the log.
+
+func replOpEntry(index uint64) replog.Entry {
+	id := opid.OpID{Client: 1, Seq: index}
+	return replog.Entry{
+		Index: index,
+		Kind:  replog.KindOp,
+		Doc:   "notes",
+		Msg:   &css.ClientMsg{From: 1, Op: ot.Ins('a', 0, id), Ctx: opid.NewSet()},
+	}
+}
+
+func TestReplFramesRoundTrip(t *testing.T) {
+	frames := []*Frame{
+		{Type: TReplHello, ReplHello: &ReplHello{NodeID: "n1", Role: RoleFollower, LastIndex: 7, Commit: 5}},
+		{Type: TReplHello, ReplHello: &ReplHello{NodeID: "n0", Role: RoleLeader}},
+		{Type: TReplHello, ReplHello: &ReplHello{NodeID: "n2", Role: RoleCandidate, LastIndex: 3}},
+		{Type: TReplAppend, ReplAppend: &ReplAppend{Entries: []replog.Entry{replOpEntry(1), replOpEntry(2)}, Commit: 1}},
+		{Type: TReplAppend, ReplAppend: &ReplAppend{Entries: []replog.Entry{
+			{Index: 3, Kind: replog.KindJoin, Doc: "notes", ClientID: 2},
+		}}},
+		{Type: TReplAck, ReplAck: &ReplAck{Index: 2}},
+		{Type: TReplCommit, ReplCommit: &ReplCommit{Commit: 9}},
+	}
+	var buf bytes.Buffer
+	c := NewCodec(&buf, 0)
+	for _, f := range frames {
+		if err := c.Write(f); err != nil {
+			t.Fatalf("write %q: %v", f.Type, err)
+		}
+	}
+	for _, want := range frames {
+		got, err := c.Read()
+		if err != nil {
+			t.Fatalf("read %q: %v", want.Type, err)
+		}
+		if got.Type != want.Type {
+			t.Fatalf("read type %q, want %q", got.Type, want.Type)
+		}
+	}
+	// Spot-check the payload survives: the op inside an append entry.
+	buf.Reset()
+	if err := c.Write(frames[3]); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := got.ReplAppend
+	if len(a.Entries) != 2 || a.Commit != 1 || a.Entries[0].Msg.Op.ID != (opid.OpID{Client: 1, Seq: 1}) {
+		t.Fatalf("append frame mangled: %+v", a)
+	}
+}
+
+func TestDecodeRejectsBadReplFrames(t *testing.T) {
+	cases := map[string][]byte{
+		"hello without node": []byte(`{"type":"repl_hello","replHello":{"role":"follower"}}`),
+		"hello bad role":     []byte(`{"type":"repl_hello","replHello":{"nodeId":"n1","role":"emperor"}}`),
+		"hello wrong payload": []byte(
+			`{"type":"repl_hello","replAck":{"index":1}}`),
+		"append empty": []byte(`{"type":"repl_append","replAppend":{"entries":[]}}`),
+		"append entry zero index": []byte(
+			`{"type":"repl_append","replAppend":{"entries":[{"index":0,"kind":2,"doc":"d","msg":{"from":1,"op":{"kind":"ins","val":"a","pos":0,"id":{"client":1,"seq":1},"pri":1},"ctx":[]}}]}}`),
+		"append entry unknown kind": []byte(
+			`{"type":"repl_append","replAppend":{"entries":[{"index":1,"kind":9,"doc":"d"}]}}`),
+		"append join without client": []byte(
+			`{"type":"repl_append","replAppend":{"entries":[{"index":1,"kind":1,"doc":"d"}]}}`),
+		"append op without msg": []byte(
+			`{"type":"repl_append","replAppend":{"entries":[{"index":1,"kind":2,"doc":"d"}]}}`),
+		"append op without doc": []byte(
+			`{"type":"repl_append","replAppend":{"entries":[{"index":1,"kind":2,"doc":"","msg":{"from":1,"op":{"kind":"ins","val":"a","pos":0,"id":{"client":1,"seq":1},"pri":1},"ctx":[]}}]}}`),
+		"append op msg without context": []byte(
+			`{"type":"repl_append","replAppend":{"entries":[{"index":1,"kind":2,"doc":"d","msg":{"from":1,"op":{"kind":"ins","val":"a","pos":0,"id":{"client":1,"seq":1},"pri":1}}}]}}`),
+		"append op non-update kind": []byte(
+			`{"type":"repl_append","replAppend":{"entries":[{"index":1,"kind":2,"doc":"d","msg":{"from":1,"op":{"kind":"read","id":{"client":1,"seq":1}},"ctx":[]}}]}}`),
+		"append gap in batch": []byte(
+			`{"type":"repl_append","replAppend":{"entries":[{"index":1,"kind":1,"doc":"d","clientId":1},{"index":3,"kind":1,"doc":"d","clientId":2}]}}`),
+		"ack zero index":          []byte(`{"type":"repl_ack","replAck":{"index":0}}`),
+		"ack wrong payload":       []byte(`{"type":"repl_ack","replCommit":{"commit":1}}`),
+		"commit missing payload":  []byte(`{"type":"repl_commit"}`),
+		"client frame wrong role": []byte(`{"type":"op","replAck":{"index":1}}`),
+		"double payload": []byte(
+			`{"type":"repl_ack","replAck":{"index":1},"replCommit":{"commit":1}}`),
+		"truncated": []byte(`{"type":"repl_append","replAppend":{"entries":[{"index"`),
+	}
+	for name, data := range cases {
+		if _, err := Decode(data); err == nil {
+			t.Errorf("%s: Decode accepted %q", name, data)
+		}
+	}
+}
+
+// TestReplAppendOversized proves a hostile entry batch cannot make a reader
+// allocate past its frame cap: the length prefix is rejected first.
+func TestReplAppendOversized(t *testing.T) {
+	entries := make([]replog.Entry, 64)
+	for i := range entries {
+		entries[i] = replOpEntry(uint64(i + 1))
+	}
+	f := &Frame{Type: TReplAppend, ReplAppend: &ReplAppend{Entries: entries}}
+	body, err := Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	small := NewCodec(&buf, 256)
+	if err := small.Write(f); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("write: got %v, want ErrFrameTooLarge", err)
+	}
+	// Reader side: a truthful length prefix bigger than the cap must be
+	// rejected before the body is read.
+	buf.Reset()
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(body)))
+	buf.Write(lenBuf[:])
+	buf.Write(body)
+	if _, err := small.Read(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("read: got %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// TestReplFrameTruncatedBody: a torn repl_append (length prefix promising
+// more than arrives) surfaces a read error, never a partial batch.
+func TestReplFrameTruncatedBody(t *testing.T) {
+	f := &Frame{Type: TReplAppend, ReplAppend: &ReplAppend{Entries: []replog.Entry{replOpEntry(1)}}}
+	body, err := Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(body)))
+	buf.Write(lenBuf[:])
+	buf.Write(body[:len(body)/2])
+	c := NewCodec(&buf, 0)
+	if _, err := c.Read(); err == nil || strings.Contains(err.Error(), "unknown") {
+		t.Fatalf("got %v, want truncated-body read error", err)
+	}
+}

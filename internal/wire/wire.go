@@ -7,14 +7,21 @@
 // reuse the css/core JSON encodings, so a captured byte stream is readable
 // with the same tooling as a recorded history.
 //
-//	Frame      Direction        Payload
-//	hello      client → server  document name, client id (0 = new), resume point
-//	welcome    server → client  assigned client id, join snapshot or resume ack
-//	op         client → server  css.ClientMsg (an original operation + context)
-//	srv        server → client  css.ServerMsg (broadcast / ack / frontier) + frame seq
-//	ack        client → server  highest server frame seq durably processed
-//	err        server → client  terminal error, connection closes after
-//	bye        either           graceful close
+//	Frame        Direction         Payload
+//	hello        client → server   document name, client id (0 = new), resume point
+//	welcome      server → client   assigned client id, join snapshot or resume ack
+//	op           client → server   css.ClientMsg (an original operation + context)
+//	srv          server → client   css.ServerMsg (broadcast / ack / frontier) + frame seq
+//	ack          client → server   highest server frame seq durably processed
+//	err          server → client   terminal error, connection closes after
+//	bye          either            graceful close
+//
+// Replication frames (jupiterd ↔ jupiterd, the internal/replog layer):
+//
+//	repl_hello   peer → peer       node id, role, last log index, commit index
+//	repl_append  leader → follower a batch of log entries + the commit index
+//	repl_ack     follower → leader highest contiguous log index held
+//	repl_commit  leader → follower commit index advance with no new entries
 //
 // Hardening: the decoder rejects frames longer than the configured maximum
 // BEFORE reading the body (a hostile length prefix cannot make the reader
@@ -32,6 +39,7 @@ import (
 
 	"jupiter/internal/css"
 	"jupiter/internal/ot"
+	"jupiter/internal/replog"
 )
 
 // DefaultMaxFrame bounds a frame body when the caller does not choose a
@@ -48,6 +56,11 @@ const (
 	TAck     = "ack"
 	TError   = "err"
 	TBye     = "bye"
+
+	TReplHello  = "repl_hello"
+	TReplAppend = "repl_append"
+	TReplAck    = "repl_ack"
+	TReplCommit = "repl_commit"
 )
 
 // Hello opens a session. ClientID 0 asks the server to mint a new client
@@ -90,9 +103,11 @@ type Ack struct {
 }
 
 // Error is a terminal server-side error; the connection closes after it.
+// Leader, set on CodeNotLeader, hints where the cluster's serving leader is.
 type Error struct {
-	Code string `json:"code"`
-	Msg  string `json:"msg"`
+	Code   string `json:"code"`
+	Msg    string `json:"msg"`
+	Leader string `json:"leader,omitempty"`
 }
 
 // Error codes.
@@ -104,18 +119,65 @@ const (
 	CodeShutdown    = "shutdown"
 	CodeProtocol    = "protocol"
 	CodeBackpressed = "backpressure"
+	// CodeNotLeader rejects a client hello on a node that is not the
+	// cluster's serving leader; Error.Leader may carry the leader's address.
+	CodeNotLeader = "not-leader"
 )
+
+// Replication roles carried in ReplHello.
+const (
+	RoleLeader = "leader"
+	// RoleFollower opens (or offers) a leader→follower replication stream.
+	RoleFollower = "follower"
+	// RoleCandidate is a promoting follower fetching any longer surviving
+	// log suffix before it assumes leadership.
+	RoleCandidate = "candidate"
+)
+
+// ReplHello opens (or answers) a node-to-node replication session. A
+// follower dials with its role, last held log index, and commit knowledge;
+// the answering node replies with its own. Whoever holds more of the log
+// streams the suffix to the other via ReplAppend.
+type ReplHello struct {
+	NodeID    string `json:"nodeId"`
+	Role      string `json:"role"`
+	LastIndex uint64 `json:"lastIndex,omitempty"`
+	Commit    uint64 `json:"commit,omitempty"`
+}
+
+// ReplAppend carries a batch of contiguous log entries plus the sender's
+// commit index. An empty batch is invalid — commit-only advances use
+// ReplCommit.
+type ReplAppend struct {
+	Entries []replog.Entry `json:"entries"`
+	Commit  uint64         `json:"commit,omitempty"`
+}
+
+// ReplAck acknowledges that the follower durably holds every log entry up
+// to and including Index.
+type ReplAck struct {
+	Index uint64 `json:"index"`
+}
+
+// ReplCommit announces a commit-index advance with no accompanying entries.
+type ReplCommit struct {
+	Commit uint64 `json:"commit"`
+}
 
 // Frame is the tagged union carried on the wire. Exactly one payload field
 // matching Type must be set (Bye has none).
 type Frame struct {
-	Type    string   `json:"type"`
-	Hello   *Hello   `json:"hello,omitempty"`
-	Welcome *Welcome `json:"welcome,omitempty"`
-	Op      *Op      `json:"op,omitempty"`
-	Server  *Server  `json:"srv,omitempty"`
-	Ack     *Ack     `json:"ack,omitempty"`
-	Error   *Error   `json:"err,omitempty"`
+	Type       string      `json:"type"`
+	Hello      *Hello      `json:"hello,omitempty"`
+	Welcome    *Welcome    `json:"welcome,omitempty"`
+	Op         *Op         `json:"op,omitempty"`
+	Server     *Server     `json:"srv,omitempty"`
+	Ack        *Ack        `json:"ack,omitempty"`
+	Error      *Error      `json:"err,omitempty"`
+	ReplHello  *ReplHello  `json:"replHello,omitempty"`
+	ReplAppend *ReplAppend `json:"replAppend,omitempty"`
+	ReplAck    *ReplAck    `json:"replAck,omitempty"`
+	ReplCommit *ReplCommit `json:"replCommit,omitempty"`
 }
 
 // Validation errors.
@@ -147,6 +209,18 @@ func (f *Frame) validate() error {
 	if f.Error != nil {
 		n++
 	}
+	if f.ReplHello != nil {
+		n++
+	}
+	if f.ReplAppend != nil {
+		n++
+	}
+	if f.ReplAck != nil {
+		n++
+	}
+	if f.ReplCommit != nil {
+		n++
+	}
 	want := 1
 	var payload bool
 	switch f.Type {
@@ -162,6 +236,14 @@ func (f *Frame) validate() error {
 		payload = f.Ack != nil
 	case TError:
 		payload = f.Error != nil
+	case TReplHello:
+		payload = f.ReplHello != nil
+	case TReplAppend:
+		payload = f.ReplAppend != nil
+	case TReplAck:
+		payload = f.ReplAck != nil
+	case TReplCommit:
+		payload = f.ReplCommit != nil
 	case TBye:
 		payload, want = true, 0
 	default:
@@ -210,6 +292,43 @@ func (f *Frame) validatePayload() error {
 			}
 		default:
 			return fmt.Errorf("%w: server msg with unknown kind %d", ErrBadPayload, m.Kind)
+		}
+	case TReplHello:
+		h := f.ReplHello
+		if h.NodeID == "" {
+			return fmt.Errorf("%w: repl hello without node id", ErrBadPayload)
+		}
+		switch h.Role {
+		case RoleLeader, RoleFollower, RoleCandidate:
+		default:
+			return fmt.Errorf("%w: repl hello with unknown role %q", ErrBadPayload, h.Role)
+		}
+	case TReplAppend:
+		a := f.ReplAppend
+		if len(a.Entries) == 0 {
+			return fmt.Errorf("%w: repl append without entries", ErrBadPayload)
+		}
+		for i := range a.Entries {
+			e := &a.Entries[i]
+			if err := e.Validate(); err != nil {
+				return fmt.Errorf("%w: entry %d: %v", ErrBadPayload, i, err)
+			}
+			if e.Kind == replog.KindOp {
+				if e.Msg.Op.Kind != ot.KindIns && e.Msg.Op.Kind != ot.KindDel {
+					return fmt.Errorf("%w: entry %d carrying non-update kind %d", ErrBadPayload, i, e.Msg.Op.Kind)
+				}
+				if e.Msg.Ctx == nil && e.Msg.Compact == nil {
+					return fmt.Errorf("%w: entry %d without context", ErrBadPayload, i)
+				}
+			}
+			if i > 0 && e.Index != a.Entries[i-1].Index+1 {
+				return fmt.Errorf("%w: entries not contiguous at %d (%d after %d)",
+					ErrBadPayload, i, e.Index, a.Entries[i-1].Index)
+			}
+		}
+	case TReplAck:
+		if f.ReplAck.Index == 0 {
+			return fmt.Errorf("%w: repl ack of index 0", ErrBadPayload)
 		}
 	}
 	return nil

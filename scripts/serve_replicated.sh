@@ -1,0 +1,85 @@
+#!/usr/bin/env sh
+# serve_replicated.sh — end-to-end smoke of the replicated jupiterd cluster.
+#
+# Starts a 3-node cluster (fixed priority order: n0 leads, then n1, n2),
+# types through a client configured with the full address list, then
+# SIGKILLs the leader mid-session and keeps typing: the client must fail
+# over to the promoted n1 and resume its session, and a second client
+# joining afterwards must see the identical document. jupiterctl -status
+# asserts the promotion is visible in the survivors' metrics. Exits
+# non-zero on divergence or any failure.
+#
+# Ports default to 19170-19175; override with BASE_PORT for parallel runs.
+#
+# Usage: scripts/serve_replicated.sh   (or: make serve-replicated)
+set -eu
+
+BASE_PORT="${BASE_PORT:-19170}"
+P0=$BASE_PORT; P1=$((BASE_PORT + 1)); P2=$((BASE_PORT + 2))
+M0=$((BASE_PORT + 3)); M1=$((BASE_PORT + 4)); M2=$((BASE_PORT + 5))
+PEERS="n0=127.0.0.1:$P0,n1=127.0.0.1:$P1,n2=127.0.0.1:$P2"
+ADDRS="127.0.0.1:$P0,127.0.0.1:$P1,127.0.0.1:$P2"
+
+TMP="$(mktemp -d)"
+PIDS=""
+cleanup() {
+	for pid in $PIDS; do
+		kill -9 "$pid" 2>/dev/null || true
+		wait "$pid" 2>/dev/null || true
+	done
+	rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+echo "serve-replicated: building jupiterd and jupiterctl"
+go build -o "$TMP/jupiterd" ./cmd/jupiterd
+go build -o "$TMP/jupiterctl" ./cmd/jupiterctl
+
+echo "serve-replicated: starting 3-node cluster on ports $P0-$P2"
+"$TMP/jupiterd" -addr "127.0.0.1:$P0" -metrics "127.0.0.1:$M0" -node-id n0 -peers "$PEERS" -repl-retry 50ms -v 2>"$TMP/n0.log" &
+N0_PID=$!; PIDS="$PIDS $N0_PID"
+"$TMP/jupiterd" -addr "127.0.0.1:$P1" -metrics "127.0.0.1:$M1" -node-id n1 -peers "$PEERS" -repl-retry 50ms -v 2>"$TMP/n1.log" &
+N1_PID=$!; PIDS="$PIDS $N1_PID"
+"$TMP/jupiterd" -addr "127.0.0.1:$P2" -metrics "127.0.0.1:$M2" -node-id n2 -peers "$PEERS" -repl-retry 50ms -v 2>"$TMP/n2.log" &
+N2_PID=$!; PIDS="$PIDS $N2_PID"
+
+for log in n0 n1 n2; do
+	ok=""
+	for _ in $(seq 1 100); do
+		grep -q "serving on" "$TMP/$log.log" 2>/dev/null && { ok=1; break; }
+		sleep 0.1
+	done
+	[ -n "$ok" ] || { echo "serve-replicated: $log never came up:"; cat "$TMP/$log.log"; exit 1; }
+done
+
+# Phase 1: type through the leader; commit gating means an acked op is on a
+# majority before the client ever sees it.
+"$TMP/jupiterctl" -addr "$ADDRS" -doc demo -type 'replicated ' -wait-seq 11 >"$TMP/a.out" 2>"$TMP/a.log" ||
+	{ echo "serve-replicated: phase-1 client failed:"; cat "$TMP/a.log"; exit 1; }
+echo "serve-replicated: phase 1 done: $(cat "$TMP/a.out")"
+
+echo "serve-replicated: SIGKILL the leader (n0, pid $N0_PID)"
+kill -9 "$N0_PID"; wait "$N0_PID" 2>/dev/null || true
+
+# Phase 2: a client through the same address list must land on the promoted
+# n1 (11 committed ops + 7 new = 18).
+"$TMP/jupiterctl" -addr "$ADDRS" -doc demo -type 'jupiter' -wait-seq 18 -timeout 60s -v >"$TMP/b.out" 2>"$TMP/b.log" ||
+	{ echo "serve-replicated: phase-2 client failed:"; cat "$TMP/b.log"; cat "$TMP/n1.log"; exit 1; }
+B="$(cat "$TMP/b.out")"
+echo "serve-replicated: phase 2 done: $B"
+
+# A reader joining after the failover sees the same document.
+C="$("$TMP/jupiterctl" -addr "$ADDRS" -doc demo -wait-seq 18 -timeout 60s 2>"$TMP/c.log")" ||
+	{ echo "serve-replicated: reader failed:"; cat "$TMP/c.log"; exit 1; }
+[ "$B" = "$C" ] || { echo "serve-replicated: FAIL: clients diverged: '$B' vs '$C'"; exit 1; }
+[ "${#B}" -eq 18 ] || { echo "serve-replicated: FAIL: expected 18 characters, got ${#B}"; exit 1; }
+
+# The promotion is visible in metrics: n1 leads with at least one failover,
+# n2 still follows.
+STATUS1="$("$TMP/jupiterctl" -status "127.0.0.1:$M1")"
+echo "$STATUS1" | grep -q "role          leader" || { echo "serve-replicated: FAIL: n1 not leader:"; echo "$STATUS1"; exit 1; }
+echo "$STATUS1" | grep -q "failovers     1" || { echo "serve-replicated: FAIL: n1 failover not counted:"; echo "$STATUS1"; exit 1; }
+"$TMP/jupiterctl" -status "127.0.0.1:$M2" | grep -q "role          follower" ||
+	{ echo "serve-replicated: FAIL: n2 not follower"; exit 1; }
+
+echo "serve-replicated: OK — leader killed, n1 promoted, clients converged on \"$B\""
