@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check fuzz fuzz-wire bench bench-smoke bench-compare bench-loopback chaos chaos-socket replication-chaos serve-demo serve-replicated ci
+.PHONY: all build test race vet fmt-check fuzz fuzz-wire bench bench-smoke bench-compare bench-loopback bench-e14 sweep-e14 chaos chaos-socket replication-chaos serve-demo serve-replicated ci
 
 all: build test
 
@@ -61,6 +61,15 @@ chaos-socket:
 # bench-compare against the checked-in BENCH_baseline.txt.
 bench-loopback:
 	$(GO) test -run NONE -bench 'BenchmarkE12_LoopbackTCP' -benchtime=3x -count=1 .
+
+# One iteration of the E14 codec/batching matrix: proves every wire-protocol
+# configuration still converges under bench load (PR-path smoke).
+bench-e14:
+	$(GO) test -run NONE -bench 'BenchmarkE14' -benchtime=1x -count=1 .
+
+# Full E14 sweep; writes BENCH_e14_baseline.txt for the nightly gate.
+sweep-e14:
+	scripts/sweep_pipeline.sh
 
 # Short seeded leader-kill chaos run: a 3-node replicated cluster with 4 TCP
 # clients through the fault proxy, the leader fail-stopped mid-edit, failover

@@ -61,6 +61,22 @@ type Config struct {
 	Doc string
 	// MaxFrame caps wire frames (0 = wire.DefaultMaxFrame).
 	MaxFrame int
+	// Codec caps what the client offers in its Hello: "json" pins the
+	// session to the JSON codec; "" offers binary first with JSON fallback.
+	// The server picks; both sides then speak the selection.
+	Codec string
+	// NoBatch makes the client speak protocol v1 exactly: no codec offer,
+	// no op batches, one frame per operation. Interop tests use it; there is
+	// no reason to set it otherwise.
+	NoBatch bool
+	// Window bounds operations in flight (sent but not yet acknowledged) on
+	// one connection; further ops wait in the resend buffer until acks make
+	// room. Bounding the window bounds the server's transformation-ladder
+	// depth under load (E12). 0 = 64; negative = unbounded (v1 behavior).
+	Window int
+	// BatchOps bounds operations coalesced into one opb frame (0 = 16;
+	// values below 2 or NoBatch disable coalescing).
+	BatchOps int
 	// DialTimeout bounds one dial attempt (0 = 5s).
 	DialTimeout time.Duration
 	// MinBackoff/MaxBackoff bound the reconnect backoff (0 = 25ms / 2s).
@@ -89,6 +105,26 @@ func (c *Config) addrs() []string {
 		return c.Addrs
 	}
 	return []string{c.Addr}
+}
+
+func (c *Config) window() int {
+	if c.Window < 0 {
+		return int(^uint(0) >> 1) // unbounded
+	}
+	if c.Window == 0 {
+		return 64
+	}
+	return c.Window
+}
+
+func (c *Config) batchOps() int {
+	if c.NoBatch || c.BatchOps < 0 {
+		return 1
+	}
+	if c.BatchOps == 0 {
+		return 16
+	}
+	return c.BatchOps
 }
 
 func (c *Config) dialTimeout() time.Duration {
@@ -123,6 +159,8 @@ type Client struct {
 	id           opid.ClientID   // assigned by the server at first join
 	addrIdx      int             // index into cfg.addrs() of the current target
 	resend       []css.ClientMsg // generated, not yet protocol-acked, in order
+	sentN        int             // prefix of resend shipped on this connection
+	srvV2        bool            // server negotiated (understands opb frames)
 	lastFrameSeq uint64          // last server frame applied (resume point)
 	serverSeq    uint64          // highest global op sequence processed
 	connGen      int             // bumped on every successful handshake
@@ -135,7 +173,7 @@ type Client struct {
 	// writeMu.
 	writeMu sync.Mutex
 	nc      net.Conn
-	codec   *wire.Codec
+	codec   *wire.Stream
 
 	backoff Backoff // redial schedule; guarded by the manager goroutine only
 
@@ -234,10 +272,13 @@ func (c *Client) connect() error {
 		c.rotateAddr("")
 		return err
 	}
-	codec := wire.NewCodec(nc, c.cfg.MaxFrame)
+	codec := wire.NewStream(nc, c.cfg.MaxFrame)
 
 	c.mu.Lock()
 	hello := wire.Hello{Doc: c.cfg.Doc}
+	if !c.cfg.NoBatch {
+		hello.Codecs = wire.PreferredCodecs(c.cfg.Codec)
+	}
 	if c.replica != nil {
 		hello.ClientID = int32(c.id)
 		hello.LastFrameSeq = c.lastFrameSeq
@@ -279,18 +320,20 @@ func (c *Client) connect() error {
 	}
 
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		nc.Close()
 		return ErrClosed
 	}
 	if c.replica == nil {
 		if f.Welcome.Snapshot == nil {
+			c.mu.Unlock()
 			nc.Close()
 			return fmt.Errorf("client: welcome without snapshot for a new session")
 		}
 		replica, err := css.NewClientFromSnapshot(opid.ClientID(f.Welcome.ClientID), f.Welcome.Snapshot, c.cfg.Recorder)
 		if err != nil {
+			c.mu.Unlock()
 			nc.Close()
 			return fmt.Errorf("client: root from snapshot: %w", err)
 		}
@@ -300,29 +343,82 @@ func (c *Client) connect() error {
 		// consistent from global sequence = number of replayed ops.
 		c.serverSeq = uint64(len(f.Welcome.Snapshot.FrontierIDs) + len(f.Welcome.Snapshot.Replay))
 	} else if !f.Welcome.Resume {
+		c.mu.Unlock()
 		nc.Close()
 		return fmt.Errorf("client: expected resume welcome")
+	}
+	// Adopt the server's codec selection for our own sends (frames
+	// self-identify, so the switch needs no synchronization with reads).
+	// Compact contexts ride along with the binary codec: O(1) context
+	// instead of one id per concurrent op.
+	if cd, ok := wire.Lookup(f.Welcome.Codec); ok {
+		codec.Use(cd)
+	}
+	if f.Welcome.Codec == wire.CodecBinary {
+		c.replica.UseCompactContexts()
 	}
 	c.nc = nc
 	c.codec = codec
 	c.connected = true
 	c.connGen++
-	pending := append([]css.ClientMsg(nil), c.resend...)
+	c.sentN = 0
+	c.srvV2 = f.Welcome.Codec != ""
+	pending := len(c.resend)
 	c.cond.Broadcast()
+	c.mu.Unlock()
 
-	// Replay unacknowledged operations in order. Holding writeMu (under mu)
-	// keeps a concurrent generator from interleaving a newer op before an
-	// older one.
-	c.writeMu.Lock()
-	defer c.writeMu.Unlock()
-	for i := range pending {
-		if err := codec.Write(&wire.Frame{Type: wire.TOp, Op: &wire.Op{Msg: pending[i]}}); err != nil {
-			// The manager will notice the dead connection and retry.
-			break
+	// Replay unacknowledged operations: pump ships the resend prefix from
+	// zero, in order, bounded by the send window; acks drive the rest out.
+	c.pump()
+	c.logf("client c%d: connected to %s (%d ops pending)", c.ID(), addr, pending)
+	return nil
+}
+
+// pump ships generated-but-unsent operations, oldest first, while the send
+// window has room: up to BatchOps per frame, as one opb batch when the server
+// understands them. It is called after anything that creates work (a local
+// edit, a reconnect) or room (an ack). Writes happen with writeMu acquired
+// under mu, so concurrent pumps leave the wire in generation order.
+func (c *Client) pump() {
+	for {
+		c.mu.Lock()
+		if !c.connected || c.closed || c.termErr != nil {
+			c.mu.Unlock()
+			return
+		}
+		n := len(c.resend) - c.sentN // available
+		if room := c.cfg.window() - c.sentN; n > room {
+			n = room
+		}
+		if bo := c.cfg.batchOps(); n > bo {
+			n = bo
+		}
+		if !c.srvV2 && n > 1 {
+			n = 1 // v1 server: one op per frame
+		}
+		if n <= 0 {
+			c.mu.Unlock()
+			return
+		}
+		msgs := append([]css.ClientMsg(nil), c.resend[c.sentN:c.sentN+n]...)
+		c.sentN += n
+		codec := c.codec
+		c.writeMu.Lock()
+		c.mu.Unlock()
+		var err error
+		if len(msgs) == 1 {
+			err = codec.Write(&wire.Frame{Type: wire.TOp, Op: &wire.Op{Msg: msgs[0]}})
+		} else {
+			err = codec.Write(&wire.Frame{Type: wire.TOpBatch, OpBatch: &wire.OpBatch{Msgs: msgs}})
+		}
+		c.writeMu.Unlock()
+		if err != nil {
+			// Connection died under us; the ops stay in the resend buffer and
+			// the manager's reconnect replays them (sentN resets there).
+			c.logf("client c%d: send failed (buffered): %v", c.ID(), err)
+			return
 		}
 	}
-	c.logf("client c%d: connected to %s (%d ops replayed)", c.id, addr, len(pending))
-	return nil
 }
 
 // manage owns reconnection: read frames until the connection dies, then
@@ -404,7 +500,7 @@ func (c *Client) sleep(d time.Duration) {
 
 // readFrames applies server frames until the connection errors. gen guards
 // against applying frames from a stale connection after a racing reconnect.
-func (c *Client) readFrames(codec *wire.Codec, gen int) {
+func (c *Client) readFrames(codec *wire.Stream, gen int) {
 	for {
 		f, err := codec.Read()
 		if err != nil {
@@ -422,6 +518,23 @@ func (c *Client) readFrames(codec *wire.Codec, gen int) {
 			if err != nil {
 				return
 			}
+			c.pump() // acks may have opened the send window
+		case wire.TServerBatch:
+			for i := range f.ServerBatch.Frames {
+				if !c.applyServerFrame(&f.ServerBatch.Frames[i], gen) {
+					return
+				}
+			}
+			// One cumulative ack for the whole batch: Ack.Seq is a
+			// watermark, so acking the last frame acks them all.
+			last := f.ServerBatch.Frames[len(f.ServerBatch.Frames)-1].Seq
+			c.writeMu.Lock()
+			err := codec.Write(&wire.Frame{Type: wire.TAck, Ack: &wire.Ack{Seq: last}})
+			c.writeMu.Unlock()
+			if err != nil {
+				return
+			}
+			c.pump()
 		case wire.TError:
 			if f.Error.Code == wire.CodeBadResume {
 				c.fail(fmt.Errorf("client: server rejected resume: %s", f.Error.Msg))
@@ -459,12 +572,17 @@ func (c *Client) applyServerFrame(s *wire.Server, gen int) bool {
 	case css.MsgAck:
 		if len(c.resend) > 0 && c.resend[0].Op.ID == s.Msg.AckID {
 			c.resend = c.resend[1:]
+			if c.sentN > 0 {
+				c.sentN--
+			}
 		} else {
 			// Out-of-order ack would be a protocol bug; scrub defensively.
 			kept := c.resend[:0]
-			for _, m := range c.resend {
+			for i, m := range c.resend {
 				if m.Op.ID != s.Msg.AckID {
 					kept = append(kept, m)
+				} else if i < c.sentN {
+					c.sentN--
 				}
 			}
 			c.resend = kept
@@ -511,22 +629,10 @@ func (c *Client) generate(gen func(*css.Client) (css.ClientMsg, error)) error {
 		return err
 	}
 	c.resend = append(c.resend, msg)
-	connected := c.connected
-	codec := c.codec
-	if !connected {
-		c.mu.Unlock()
-		return nil // buffered; replayed on reconnect
-	}
-	// Ship while holding writeMu acquired under mu, so concurrent edits
-	// leave the client in generation order.
-	c.writeMu.Lock()
 	c.mu.Unlock()
-	err = codec.Write(&wire.Frame{Type: wire.TOp, Op: &wire.Op{Msg: msg}})
-	c.writeMu.Unlock()
-	if err != nil {
-		// Connection died under us; the op stays in the resend buffer.
-		c.logf("client c%d: send failed (buffered): %v", c.ID(), err)
-	}
+	// Local-first: generation never blocks. pump ships what the send window
+	// permits (nothing, when disconnected — the reconnect replays it).
+	c.pump()
 	return nil
 }
 

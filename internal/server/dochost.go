@@ -34,6 +34,13 @@ type docHost struct {
 	// only). Apply and release both run on this loop; the replicator's
 	// release goroutine merely submits the closures.
 	pending map[uint64]*pendingRelease
+
+	// flushQ lists clients with frames delivered but not yet shipped; the
+	// run loop flushes it after draining a burst of requests, so frames
+	// produced by consecutive operations coalesce into batch frames.
+	flushQ      []opid.ClientID
+	batchMax    int // frames per srvb / requests drained per flush; 0 = batching off
+	frameBudget int // soft byte cap for one composed batch frame
 }
 
 // pendingRelease is one applied-but-uncommitted log entry's deferred output:
@@ -46,6 +53,16 @@ type pendingRelease struct {
 	conn    *conn
 }
 
+// outEntry is one retained outbox frame plus its encoded body, cached so
+// that resends (resume replay) and batch composition never re-marshal. The
+// cache is keyed by codec name: a client that reconnects under a different
+// codec invalidates entry-by-entry as the replay touches them.
+type outEntry struct {
+	fr    wire.Server
+	enc   []byte
+	codec string
+}
+
 // clientSlot is one client session: the retained outbox keyed by frame
 // sequence numbers, the resume/dedup bookkeeping, and the currently attached
 // connection (nil while the client is away).
@@ -53,26 +70,41 @@ type clientSlot struct {
 	id opid.ClientID
 
 	// outbox holds every frame sent but not yet acknowledged, in frame-seq
-	// order; outbox[0].Seq == ackedSeq+1 whenever non-empty.
-	outbox   []wire.Server
+	// order; outbox[0].fr.Seq == ackedSeq+1 whenever non-empty.
+	outbox   []outEntry
 	nextSeq  uint64 // last frame sequence assigned
 	ackedSeq uint64 // highest frame sequence the client confirmed
 
 	lastOpSeq uint64 // highest operation sequence received (dedup on resend)
 
+	// pendingN counts outbox tail entries delivered but not yet flushed to
+	// the connection; buffered marks membership in the host's flush queue.
+	pendingN int
+	buffered bool
+
 	conn *conn
 }
 
 func newDocHost(e *Engine, name string) *docHost {
-	return &docHost{
-		eng:     e,
-		name:    name,
-		reqs:    make(chan func(), 1024),
-		stopCh:  make(chan struct{}),
-		srv:     css.NewServer(nil, nil, e.cfg.Recorder),
-		clients: make(map[opid.ClientID]*clientSlot),
-		pending: make(map[uint64]*pendingRelease),
+	maxFrame := e.cfg.MaxFrame
+	if maxFrame <= 0 {
+		maxFrame = wire.DefaultMaxFrame
 	}
+	h := &docHost{
+		eng:         e,
+		name:        name,
+		reqs:        make(chan func(), 1024),
+		stopCh:      make(chan struct{}),
+		srv:         css.NewServer(nil, nil, e.cfg.Recorder),
+		clients:     make(map[opid.ClientID]*clientSlot),
+		pending:     make(map[uint64]*pendingRelease),
+		batchMax:    e.cfg.batchMax(),
+		frameBudget: maxFrame / 2,
+	}
+	// Compact contexts pass through whenever a client sends them; expansion
+	// is unconditional, so v1 clients interoperate either way.
+	h.srv.UseCompactContexts()
+	return h
 }
 
 func (h *docHost) run() {
@@ -81,6 +113,20 @@ func (h *docHost) run() {
 		select {
 		case f := <-h.reqs:
 			f()
+			// Opportunistically drain a bounded burst of already-queued
+			// requests before flushing, so frames produced by consecutive
+			// operations coalesce into batch frames. Bounded by batchMax:
+			// a hot document still flushes regularly.
+		drain:
+			for n := 0; n < h.batchMax; n++ {
+				select {
+				case g := <-h.reqs:
+					g()
+				default:
+					break drain
+				}
+			}
+			h.flush()
 		case <-h.stopCh:
 			// Drain whatever was already queued, then exit.
 			for {
@@ -88,6 +134,7 @@ func (h *docHost) run() {
 				case f := <-h.reqs:
 					f()
 				default:
+					h.flush()
 					return
 				}
 			}
@@ -160,8 +207,8 @@ func (h *docHost) doJoinNew(c *conn) (bool, int32) {
 		return false, 0
 	}
 	h.clients[id] = &clientSlot{id: id, conn: c}
-	welcome := &wire.Frame{Type: wire.TWelcome, Welcome: &wire.Welcome{ClientID: int32(id), Snapshot: snap}}
-	if body, err := wire.Encode(welcome); err == nil {
+	welcome := &wire.Frame{Type: wire.TWelcome, Welcome: &wire.Welcome{ClientID: int32(id), Snapshot: snap, Codec: c.codecName}}
+	if body, err := wire.EncodeWith(c.wcodec, welcome); err == nil {
 		h.eng.reg.Counter("snapshot_bytes_total").Add(int64(len(body)))
 		h.eng.reg.Gauge("snapshot_bytes_last").Set(int64(len(body)))
 	}
@@ -203,7 +250,11 @@ func (h *docHost) doResume(c *conn, hello wire.Hello) (bool, int32) {
 	// The resume point doubles as an acknowledgement.
 	h.trimOutbox(slot, hello.LastFrameSeq)
 	slot.conn = c
-	if !c.enqueue(&wire.Frame{Type: wire.TWelcome, Welcome: &wire.Welcome{ClientID: int32(id), Resume: true}}) {
+	// The replay below covers the whole retained outbox, including any tail
+	// not yet flushed to the previous connection — clear the flush debt so
+	// the next flush does not ship those frames twice.
+	slot.pendingN = 0
+	if !c.enqueue(&wire.Frame{Type: wire.TWelcome, Welcome: &wire.Welcome{ClientID: int32(id), Resume: true, Codec: c.codecName}}) {
 		slot.conn = nil
 		c.close()
 		return false, 0
@@ -212,14 +263,9 @@ func (h *docHost) doResume(c *conn, hello wire.Hello) (bool, int32) {
 	// an outbox larger than the queue disconnects the client partway, and
 	// the next resume continues from its new ack point — progress is
 	// monotone because the client acks what it got.
-	for i := range slot.outbox {
-		fr := slot.outbox[i]
-		if !c.enqueue(&wire.Frame{Type: wire.TServer, Server: &fr}) {
-			h.eng.reg.Counter("backpressure_disconnects_total").Inc()
-			slot.conn = nil
-			c.close()
-			return false, 0
-		}
+	h.shipFrames(slot, slot.outbox)
+	if slot.conn == nil {
+		return false, 0
 	}
 	h.eng.reg.Counter("resumes_total").Inc()
 	h.eng.logf("doc %q: c%d resumed at frame %d (%d replayed) from %s",
@@ -234,14 +280,29 @@ func (h *docHost) submitOp(c *conn, msg css.ClientMsg) {
 	h.submit(func() { h.doOp(c, msg) })
 }
 
-func (h *docHost) doOp(c *conn, msg css.ClientMsg) {
+// submitOps routes one op batch to the apply loop as a single request: the
+// whole batch applies in one queue slot, and its broadcasts coalesce into
+// the same flush.
+func (h *docHost) submitOps(c *conn, msgs []css.ClientMsg) {
+	h.submit(func() {
+		for i := range msgs {
+			if !h.doOp(c, msgs[i]) {
+				return
+			}
+		}
+	})
+}
+
+// doOp applies one client operation; it reports false when the connection
+// was cut or superseded (a batch stops at the first failure).
+func (h *docHost) doOp(c *conn, msg css.ClientMsg) bool {
 	slot, ok := h.clients[msg.From]
 	if !ok || slot.conn != c {
-		return // stale connection; the client has moved on
+		return false // stale connection; the client has moved on
 	}
 	if msg.Op.ID.Seq <= slot.lastOpSeq {
 		h.eng.reg.Counter("dedup_dropped_total").Inc()
-		return // duplicate resend after reconnect
+		return true // duplicate resend after reconnect
 	}
 	if msg.Op.ID.Seq != slot.lastOpSeq+1 {
 		// A gap in the client's own operation sequence means the transport
@@ -254,7 +315,7 @@ func (h *docHost) doOp(c *conn, msg css.ClientMsg) {
 		c.reject(wire.CodeProtocol, "operation sequence gap: transport dropped a frame")
 		slot.conn = nil
 		c.close()
-		return
+		return false
 	}
 	t0 := time.Now()
 	outs, err := h.srv.Receive(msg)
@@ -264,7 +325,7 @@ func (h *docHost) doOp(c *conn, msg css.ClientMsg) {
 		c.reject(wire.CodeProtocol, err.Error())
 		slot.conn = nil
 		c.close()
-		return
+		return false
 	}
 	h.eng.reg.Histogram("apply_latency").Observe(time.Since(t0))
 	h.eng.reg.Counter("ops_applied").Inc()
@@ -275,11 +336,12 @@ func (h *docHost) doOp(c *conn, msg css.ClientMsg) {
 		// Replicated: hold the outputs until a majority holds the entry.
 		idx := r.appendEntry(replog.Entry{Kind: replog.KindOp, Doc: h.name, Msg: &msg})
 		h.pending[idx] = &pendingRelease{outs: outs}
-		return
+		return true
 	}
 	for _, out := range outs {
 		h.deliver(out.To, out.Msg)
 	}
+	return true
 }
 
 // foldFrontier appends the GC-frontier messages (if due) to an operation's
@@ -361,27 +423,136 @@ func (h *docHost) release(idx uint64) {
 	}
 }
 
-// deliver stamps the next frame sequence for the target client, retains the
-// frame in its outbox, and forwards it to the live connection if any. A full
-// send queue disconnects the target (backpressure policy); the frame stays
-// retained for resume.
+// deliver stamps the next frame sequence for the target client and retains
+// the frame in its outbox. Nothing touches the connection here: the frame is
+// counted against the slot's unflushed tail, and the run loop's flush ships
+// the whole tail at once — one batch frame instead of one frame per op.
 func (h *docHost) deliver(to opid.ClientID, msg css.ServerMsg) {
 	slot, ok := h.clients[to]
 	if !ok {
 		return
 	}
 	slot.nextSeq++
-	fr := wire.Server{Seq: slot.nextSeq, Msg: msg}
-	slot.outbox = append(slot.outbox, fr)
+	slot.outbox = append(slot.outbox, outEntry{fr: wire.Server{Seq: slot.nextSeq, Msg: msg}})
 	h.eng.reg.Gauge("outbox_frames").Add(1)
 	if slot.conn == nil {
 		return
 	}
-	if !slot.conn.enqueue(&wire.Frame{Type: wire.TServer, Server: &fr}) {
+	slot.pendingN++
+	if !slot.buffered {
+		slot.buffered = true
+		h.flushQ = append(h.flushQ, to)
+	}
+}
+
+// flush ships every buffered client's unflushed outbox tail. Runs on the
+// apply loop after each drained burst of requests.
+func (h *docHost) flush() {
+	if len(h.flushQ) == 0 {
+		return
+	}
+	q := h.flushQ
+	h.flushQ = h.flushQ[:0]
+	for _, id := range q {
+		slot, ok := h.clients[id]
+		if !ok {
+			continue
+		}
+		slot.buffered = false
+		n := slot.pendingN
+		slot.pendingN = 0
+		if n == 0 || slot.conn == nil {
+			continue
+		}
+		h.eng.reg.Histogram("batched_ops_per_flush").Observe(time.Duration(n) * time.Microsecond)
+		h.shipFrames(slot, slot.outbox[len(slot.outbox)-n:])
+	}
+}
+
+// encFor returns the entry's frame body encoded with the connection's
+// negotiated codec, caching it on the entry so resume replays and batch
+// composition never re-marshal an already-encoded frame.
+func (h *docHost) encFor(e *outEntry, c *conn) []byte {
+	name := c.wcodec.Name()
+	if e.enc == nil || e.codec != name {
+		body, err := wire.EncodeWith(c.wcodec, &wire.Frame{Type: wire.TServer, Server: &e.fr})
+		if err != nil {
+			return nil
+		}
+		e.enc, e.codec = body, name
+	}
+	return e.enc
+}
+
+// shipFrames forwards a run of retained outbox entries to the slot's live
+// connection. v2 peers get srvb batch frames — composed from the cached
+// per-frame bodies without re-encoding when the codec is binary — chunked by
+// batchMax and a byte budget; v1 peers get one frame each. A full send queue
+// disconnects the target (backpressure policy); the frames stay retained for
+// resume.
+func (h *docHost) shipFrames(slot *clientSlot, entries []outEntry) {
+	c := slot.conn
+	if c == nil || len(entries) == 0 {
+		return
+	}
+	cut := func() {
 		h.eng.reg.Counter("backpressure_disconnects_total").Inc()
-		h.eng.logf("doc %q: c%d too slow, disconnecting", h.name, to)
-		slot.conn.close()
+		h.eng.logf("doc %q: c%d too slow, disconnecting", h.name, slot.id)
+		c.close()
 		slot.conn = nil
+	}
+	if !c.batchOK || h.batchMax <= 1 {
+		for i := range entries {
+			body := h.encFor(&entries[i], c)
+			if body == nil || !c.enqueueRaw(body) {
+				cut()
+				return
+			}
+		}
+		return
+	}
+	for start := 0; start < len(entries); {
+		end, total := start, 0
+		for end < len(entries) && end-start < h.batchMax {
+			body := h.encFor(&entries[end], c)
+			if body == nil {
+				cut()
+				return
+			}
+			if end > start && total+len(body) > h.frameBudget {
+				break
+			}
+			total += len(body)
+			end++
+		}
+		chunk := entries[start:end]
+		ok := false
+		switch {
+		case len(chunk) == 1:
+			ok = c.enqueueRaw(chunk[0].enc)
+		case c.codecName == wire.CodecBinary:
+			// Compose the batch body from the cached inner bodies — the
+			// binary srvb layout embeds complete srv frame bodies verbatim.
+			bodies := make([][]byte, len(chunk))
+			for i := range chunk {
+				bodies[i] = chunk[i].enc
+			}
+			ok = c.enqueueRaw(wire.AppendServerBatchRaw(nil, bodies))
+		default:
+			frames := make([]wire.Server, len(chunk))
+			for i := range chunk {
+				frames[i] = chunk[i].fr
+			}
+			ok = c.enqueue(&wire.Frame{Type: wire.TServerBatch, ServerBatch: &wire.ServerBatch{Frames: frames}})
+		}
+		if !ok {
+			cut()
+			return
+		}
+		if len(chunk) > 1 {
+			h.eng.reg.Counter("batch_frames_total").Inc()
+		}
+		start = end
 	}
 }
 
@@ -401,7 +572,7 @@ func (h *docHost) trimOutbox(slot *clientSlot, seq uint64) {
 		return
 	}
 	n := 0
-	for n < len(slot.outbox) && slot.outbox[n].Seq <= seq {
+	for n < len(slot.outbox) && slot.outbox[n].fr.Seq <= seq {
 		n++
 	}
 	if n > 0 {

@@ -74,9 +74,13 @@ func (e *Engine) persistDocs(docs []*docHost) error {
 			if !ok {
 				continue
 			}
+			outbox := make([]wire.Server, len(slot.outbox))
+			for i := range slot.outbox {
+				outbox[i] = slot.outbox[i].fr
+			}
 			pd.Slots = append(pd.Slots, persistedSlot{
 				ID:        int32(slot.id),
-				Outbox:    slot.outbox,
+				Outbox:    outbox,
 				NextSeq:   slot.nextSeq,
 				AckedSeq:  slot.ackedSeq,
 				LastOpSeq: slot.lastOpSeq,
@@ -121,13 +125,18 @@ func (h *docHost) loadPersisted() error {
 		return fmt.Errorf("server: load doc %q: %w", h.name, err)
 	}
 	h.srv = srv
+	h.srv.UseCompactContexts()
 	h.nextID = pd.NextID
 	h.applied = pd.Applied
 	for _, ps := range pd.Slots {
 		id := opid.ClientID(ps.ID)
+		outbox := make([]outEntry, len(ps.Outbox))
+		for i := range ps.Outbox {
+			outbox[i] = outEntry{fr: ps.Outbox[i]}
+		}
 		h.clients[id] = &clientSlot{
 			id:        id,
-			outbox:    ps.Outbox,
+			outbox:    outbox,
 			nextSeq:   ps.NextSeq,
 			ackedSeq:  ps.AckedSeq,
 			lastOpSeq: ps.LastOpSeq,

@@ -57,6 +57,16 @@ type Config struct {
 	MetricsAddr string
 	// MaxFrame caps wire frame bodies (0 = wire.DefaultMaxFrame).
 	MaxFrame int
+	// Codec restricts what the server will SEND to negotiating peers:
+	// "json" pins every connection to the JSON codec regardless of what the
+	// peer offers; "" or "binary" lets negotiation pick the best offered
+	// codec. Decoding always accepts both (frames self-identify).
+	Codec string
+	// BatchMax bounds how many srv frames coalesce into one srvb batch frame
+	// (and how many queued requests a document's apply loop drains before
+	// flushing). 0 = 32; negative disables batching entirely — every frame
+	// ships individually, as the v1 protocol did.
+	BatchMax int
 	// SendQueue is the per-connection outbound frame queue capacity; a
 	// connection whose queue overflows is disconnected (0 = 256).
 	SendQueue int
@@ -100,6 +110,16 @@ func (c *Config) sendQueue() int {
 		return 256
 	}
 	return c.SendQueue
+}
+
+func (c *Config) batchMax() int {
+	if c.BatchMax < 0 {
+		return 0
+	}
+	if c.BatchMax == 0 {
+		return 32
+	}
+	return c.BatchMax
 }
 
 func (c *Config) writeTimeout() time.Duration {
@@ -218,6 +238,22 @@ func (e *Engine) MetricsAddr() string {
 		return ""
 	}
 	return e.httpLn.Addr().String()
+}
+
+// negotiateCodec picks the first offered codec this engine both implements
+// and is configured to send. When nothing matches it falls back to JSON:
+// every peer decodes JSON regardless of what it offered, because frames
+// self-identify on the wire.
+func (e *Engine) negotiateCodec(offered []string) (wire.Codec, string) {
+	for _, name := range offered {
+		if e.cfg.Codec == wire.CodecJSON && name != wire.CodecJSON {
+			continue
+		}
+		if cd, ok := wire.Lookup(name); ok {
+			return cd, name
+		}
+	}
+	return wire.JSONCodec, wire.CodecJSON
 }
 
 func (e *Engine) logf(format string, args ...any) {
@@ -415,9 +451,18 @@ func (e *Engine) DocSerialized(doc string) ([]opid.OpID, bool) {
 type conn struct {
 	eng   *Engine
 	nc    net.Conn
-	codec *wire.Codec
+	codec *wire.Stream
 
-	sendCh chan *wire.Frame
+	// Negotiated send codec. Set by the read loop while handling the Hello,
+	// before the connection attaches to a document, so the apply loop's later
+	// reads are ordered after the writes (happens-before via the request
+	// queue). batchOK means the peer understands srvb batch frames (it
+	// offered codecs, so it speaks protocol v2 even if JSON was selected).
+	wcodec    wire.Codec
+	codecName string
+	batchOK   bool
+
+	sendCh chan outFrame
 
 	closeOnce sync.Once
 	closedCh  chan struct{}
@@ -430,12 +475,21 @@ type conn struct {
 	clientID int32
 }
 
+// outFrame is one entry of a connection's send queue: either a frame to
+// encode with the negotiated codec, or a pre-encoded body to write verbatim
+// (the outbox byte cache and batch composition paths).
+type outFrame struct {
+	f   *wire.Frame
+	raw []byte
+}
+
 func newConn(e *Engine, nc net.Conn) *conn {
 	return &conn{
 		eng:      e,
 		nc:       nc,
-		codec:    wire.NewCodec(nc, e.cfg.MaxFrame),
-		sendCh:   make(chan *wire.Frame, e.cfg.sendQueue()),
+		codec:    wire.NewStream(nc, e.cfg.MaxFrame),
+		wcodec:   wire.JSONCodec,
+		sendCh:   make(chan outFrame, e.cfg.sendQueue()),
 		closedCh: make(chan struct{}),
 	}
 }
@@ -443,13 +497,24 @@ func newConn(e *Engine, nc net.Conn) *conn {
 // enqueue appends a frame for the write loop; it reports false (without
 // blocking) when the queue is full or the connection is closed.
 func (c *conn) enqueue(f *wire.Frame) bool {
+	return c.enqueueOut(outFrame{f: f})
+}
+
+// enqueueRaw appends a pre-encoded frame body for the write loop. The body
+// must already be in a codec the peer accepts (callers use the negotiated
+// one); the write loop prefixes and ships it without re-encoding.
+func (c *conn) enqueueRaw(body []byte) bool {
+	return c.enqueueOut(outFrame{raw: body})
+}
+
+func (c *conn) enqueueOut(of outFrame) bool {
 	select {
 	case <-c.closedCh:
 		return false
 	default:
 	}
 	select {
-	case c.sendCh <- f:
+	case c.sendCh <- of:
 		c.eng.reg.Histogram("send_queue_depth").Observe(time.Duration(len(c.sendCh)) * time.Microsecond)
 		return true
 	default:
@@ -477,9 +542,15 @@ func (c *conn) shutdown() {
 }
 
 // writeFrame sends one frame with the given deadline budget.
-func (c *conn) writeFrame(f *wire.Frame, budget time.Duration) bool {
+func (c *conn) writeFrame(of outFrame, budget time.Duration) bool {
 	_ = c.nc.SetWriteDeadline(time.Now().Add(budget))
-	if err := c.codec.Write(f); err != nil {
+	var err error
+	if of.raw != nil {
+		err = c.codec.WriteRaw(of.raw)
+	} else {
+		err = c.codec.Write(of.f)
+	}
+	if err != nil {
 		return false
 	}
 	c.eng.reg.Counter("frames_out").Inc()
@@ -566,6 +637,14 @@ func (c *conn) readLoop() {
 			return
 		}
 	}
+	if len(f.Hello.Codecs) > 0 {
+		// A v2 client: negotiate the send codec and enable batch frames.
+		// v1 clients (no offer) keep JSON and per-frame delivery.
+		c.batchOK = true
+		c.wcodec, c.codecName = c.eng.negotiateCodec(f.Hello.Codecs)
+		c.codec.Use(c.wcodec)
+		c.eng.reg.Counter("conns_codec_" + c.codecName + "_total").Inc()
+	}
 	_ = c.nc.SetReadDeadline(time.Time{})
 	h, err := c.eng.host(f.Hello.Doc)
 	if err != nil {
@@ -593,6 +672,14 @@ func (c *conn) readLoop() {
 				return
 			}
 			h.submitOp(c, f.Op.Msg)
+		case wire.TOpBatch:
+			for i := range f.OpBatch.Msgs {
+				if int32(f.OpBatch.Msgs[i].From) != id {
+					c.reject(wire.CodeProtocol, "op from foreign client id")
+					return
+				}
+			}
+			h.submitOps(c, f.OpBatch.Msgs)
 		case wire.TAck:
 			h.submitAck(id, f.Ack.Seq)
 		case wire.TBye:

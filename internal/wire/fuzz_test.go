@@ -46,6 +46,34 @@ func FuzzWireDecode(f *testing.F) {
 		[]byte(`{"type":"repl_ack","replAck":{"index":0}}`),
 		[]byte(`{"type":"repl_commit"}`),
 	}
+	// Codec-v2 shapes: negotiation fields and batch frames.
+	seeds = append(seeds,
+		[]byte(`{"type":"hello","hello":{"doc":"notes","codecs":["binary","json"]}}`),
+		[]byte(`{"type":"welcome","welcome":{"clientId":4,"resume":true,"codec":"binary"}}`),
+		[]byte(`{"type":"opb","opb":{"msgs":[{"from":1,"op":{"kind":"ins","val":"a","pos":0,"id":{"client":1,"seq":1},"pri":1},"ctx":[]},{"from":1,"op":{"kind":"ins","val":"b","pos":1,"id":{"client":1,"seq":2},"pri":1},"compact":{"origin":1,"remote":0,"ownSeq":2}}]}}`),
+		[]byte(`{"type":"opb","opb":{"msgs":[]}}`),
+		[]byte(`{"type":"srvb","srvb":{"frames":[{"seq":1,"msg":{"kind":1,"op":{"kind":"ins","val":"a","pos":0,"id":{"client":1,"seq":1},"pri":1},"ctx":[],"seq":1,"origin":1}},{"seq":2,"msg":{"kind":2,"ctx":null,"seq":2,"ackId":{"client":2,"seq":1},"origin":2}}]}}`),
+		[]byte(`{"type":"srvb","srvb":{"frames":[{"seq":2,"msg":{"kind":2,"ctx":null,"seq":1,"ackId":{"client":1,"seq":1},"origin":1}},{"seq":1,"msg":{"kind":2,"ctx":null,"seq":2,"ackId":{"client":1,"seq":2},"origin":1}}]}}`),
+		[]byte(`{"type":"repl_hello","replHello":{"nodeId":"n1","role":"follower","lastIndex":7,"commit":5,"codecs":["binary","json"],"codec":"binary"}}`),
+	)
+	// Binary-codec seeds: the binary rendering of every JSON seed the
+	// decoder accepts, so the fuzzer starts from valid binary bodies of
+	// every frame type, plus adversarial raw bytes.
+	for _, s := range seeds {
+		if fr, err := Decode(s); err == nil {
+			if body, err := EncodeWith(BinaryCodec, fr); err == nil {
+				seeds = append(seeds, body)
+			}
+		}
+	}
+	seeds = append(seeds,
+		[]byte{0xBF},                   // magic with no type
+		[]byte{0xBF, 0x63},             // magic with unknown type
+		[]byte{0xBF, 0x01},             // truncated hello
+		[]byte{0xBF, 0x05, 0xFF},       // truncated uvarint
+		[]byte{0xBF, 0x07, 0x00},       // bye with trailing byte
+		[]byte{0xBF, 0x06, 0xFF, 0x61}, // error with hostile string length
+	)
 	for _, s := range seeds {
 		f.Add(s)
 	}
@@ -65,14 +93,39 @@ func FuzzWireDecode(f *testing.F) {
 		if again.Type != fr.Type {
 			t.Fatalf("type changed across round trip: %q -> %q", fr.Type, again.Type)
 		}
-		// And the framed stream form must round-trip too.
+		// Any accepted frame the binary codec can render must round-trip
+		// through it byte-identically (the canonical-encoding invariant the
+		// outbox byte cache and golden pins rely on).
+		if bbody, err := EncodeWith(BinaryCodec, fr); err == nil {
+			bfr, err := Decode(bbody)
+			if err != nil {
+				t.Fatalf("binary body failed to decode: %v\nbody: %x", err, bbody)
+			}
+			bagain, err := EncodeWith(BinaryCodec, bfr)
+			if err != nil {
+				t.Fatalf("binary round trip failed to re-encode: %v", err)
+			}
+			if !bytes.Equal(bbody, bagain) {
+				t.Fatalf("binary encoding not canonical:\n first: %x\nsecond: %x", bbody, bagain)
+			}
+		}
+		// And the framed stream form must round-trip too, in both codecs.
 		var buf bytes.Buffer
-		c := NewCodec(&buf, 0)
+		c := NewStream(&buf, 0)
 		if err := c.Write(fr); err != nil {
 			t.Fatalf("accepted frame failed stream write: %v", err)
 		}
 		if _, err := c.Read(); err != nil {
 			t.Fatalf("stream round trip failed: %v", err)
+		}
+		if _, err := EncodeWith(BinaryCodec, fr); err == nil {
+			c.Use(BinaryCodec)
+			if err := c.Write(fr); err != nil {
+				t.Fatalf("accepted frame failed binary stream write: %v", err)
+			}
+			if _, err := c.Read(); err != nil {
+				t.Fatalf("binary stream round trip failed: %v", err)
+			}
 		}
 	})
 }

@@ -1,0 +1,86 @@
+package wire
+
+import (
+	"encoding/hex"
+	"testing"
+)
+
+// TestBinaryGolden pins the binary encoding of every frame type to exact
+// bytes. The binary codec is a WIRE FORMAT: peers of different builds must
+// agree on it, and the server's outbox byte cache assumes the encoding of a
+// frame never changes within a process generation. Any diff here is a
+// protocol change — if it is intentional, it needs a new codec name
+// negotiated in Hello.Codecs, not a silent re-pin.
+//
+// The frames are testFrames() in binary_test.go, in order (one entry per
+// frame; welcome/op/srv appear once per payload variant).
+func TestBinaryGolden(t *testing.T) {
+	golden := []struct {
+		typ string
+		hex string
+	}{
+		{"hello",
+			"bf01056e6f746573060c020662696e617279046a736f6e"},
+		{"welcome",
+			"bf02080662696e6172790100"},
+		{"welcome",
+			"bf0204046a736f6e0001020201040101610201010102040301040102046201020101"},
+		{"op",
+			"bf03020102010002610200"},
+		{"op",
+			"bf0304020401000461020102030204010101040401020c0101"},
+		{"op",
+			"bf030a010a09060a7a040a0e09"},
+		{"opb",
+			"bf08020201020100026102000201020202026204020002"},
+		{"srv",
+			"bf04010101020301020100026100"},
+		{"srv",
+			"bf0402020102080201"},
+		{"srv",
+			"bf040303000002030204010101040401020c0101"},
+		{"srv",
+			"bf040401060e05010e03040e710e0503"},
+		{"srvb",
+			"bf090211bf0405010306030106010006630102010109bf0406020404080402"},
+		{"ack",
+			"bf0507"},
+		{"err",
+			"bf060a6e6f742d6c6561646572086e31206c656164730e3132372e302e302e313a39313732"},
+		{"bye",
+			"bf07"},
+		{"repl_hello",
+			"bf0a026e3108666f6c6c6f7765720705020662696e617279046a736f6e0662696e617279"},
+		{"repl_append",
+			"bf0b0102010101640600020201640001060106010006610200"},
+		{"repl_ack",
+			"bf0c02"},
+		{"repl_commit",
+			"bf0d09"},
+	}
+	frames := testFrames()
+	if len(frames) != len(golden) {
+		t.Fatalf("testFrames has %d frames, golden table has %d — pin the new frame", len(frames), len(golden))
+	}
+	for i, fr := range frames {
+		if fr.Type != golden[i].typ {
+			t.Fatalf("frame %d is %q, golden table says %q", i, fr.Type, golden[i].typ)
+		}
+		want, err := hex.DecodeString(golden[i].hex)
+		if err != nil {
+			t.Fatalf("frame %d: bad golden hex: %v", i, err)
+		}
+		got, err := EncodeWith(BinaryCodec, fr)
+		if err != nil {
+			t.Fatalf("frame %d (%s): encode: %v", i, fr.Type, err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("frame %d (%s): encoding drifted\n want %x\n  got %x", i, fr.Type, want, got)
+		}
+		// The pinned bytes must also still decode (forward readability of
+		// captured streams).
+		if _, err := Decode(want); err != nil {
+			t.Errorf("frame %d (%s): pinned bytes no longer decode: %v", i, fr.Type, err)
+		}
+	}
+}

@@ -12,7 +12,7 @@ import (
 // frame.
 func TestReadRawFrameRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
-	c := NewCodec(&buf, 0)
+	c := NewStream(&buf, 0)
 	frames := []*Frame{
 		{Type: THello, Hello: &Hello{Doc: "d"}},
 		{Type: TAck, Ack: &Ack{Seq: 42}},
@@ -41,7 +41,7 @@ func TestReadRawFrameRoundTrip(t *testing.T) {
 		t.Fatal("relayed bytes differ from the original stream")
 	}
 	// The relayed stream still decodes.
-	dec := NewCodec(&relayed, 0)
+	dec := NewStream(&relayed, 0)
 	for i, want := range frames {
 		f, err := dec.Read()
 		if err != nil {

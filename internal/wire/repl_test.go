@@ -41,7 +41,7 @@ func TestReplFramesRoundTrip(t *testing.T) {
 		{Type: TReplCommit, ReplCommit: &ReplCommit{Commit: 9}},
 	}
 	var buf bytes.Buffer
-	c := NewCodec(&buf, 0)
+	c := NewStream(&buf, 0)
 	for _, f := range frames {
 		if err := c.Write(f); err != nil {
 			t.Fatalf("write %q: %v", f.Type, err)
@@ -122,7 +122,7 @@ func TestReplAppendOversized(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	small := NewCodec(&buf, 256)
+	small := NewStream(&buf, 256)
 	if err := small.Write(f); !errors.Is(err, ErrFrameTooLarge) {
 		t.Fatalf("write: got %v, want ErrFrameTooLarge", err)
 	}
@@ -151,7 +151,7 @@ func TestReplFrameTruncatedBody(t *testing.T) {
 	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(body)))
 	buf.Write(lenBuf[:])
 	buf.Write(body[:len(body)/2])
-	c := NewCodec(&buf, 0)
+	c := NewStream(&buf, 0)
 	if _, err := c.Read(); err == nil || strings.Contains(err.Error(), "unknown") {
 		t.Fatalf("got %v, want truncated-body read error", err)
 	}

@@ -1,24 +1,30 @@
 // Package wire is the framing layer of the network runtime: a
-// length-prefixed JSON frame codec over any io.ReadWriter.
+// length-prefixed frame stream over any io.ReadWriter, with a pluggable
+// body codec (JSON or compact binary).
 //
 // Every frame is a 4-byte big-endian length followed by exactly that many
-// bytes of JSON. The JSON is a tagged union: a "type" discriminator plus the
-// one payload field matching it. Operation, context, and snapshot payloads
-// reuse the css/core JSON encodings, so a captured byte stream is readable
-// with the same tooling as a recorded history.
+// body bytes. A JSON body is a tagged union: a "type" discriminator plus the
+// one payload field matching it, reusing the css/core JSON encodings so a
+// captured byte stream is readable with the same tooling as a recorded
+// history. A binary body starts with a magic byte no JSON document can
+// (0xBF), so a reader decodes either form without knowing in advance which
+// codec the peer writes — negotiation (Hello.Codecs/Welcome.Codec) only
+// governs what a peer is ALLOWED to send. See codec.go and binary.go.
 //
 //	Frame        Direction         Payload
-//	hello        client → server   document name, client id (0 = new), resume point
-//	welcome      server → client   assigned client id, join snapshot or resume ack
+//	hello        client → server   document name, client id (0 = new), resume point, offered codecs
+//	welcome      server → client   assigned client id, join snapshot or resume ack, selected codec
 //	op           client → server   css.ClientMsg (an original operation + context)
+//	opb          client → server   batch of css.ClientMsg (coalesced buffered ops)
 //	srv          server → client   css.ServerMsg (broadcast / ack / frontier) + frame seq
+//	srvb         server → client   batch of srv frames, one flush of the doc apply loop
 //	ack          client → server   highest server frame seq durably processed
 //	err          server → client   terminal error, connection closes after
 //	bye          either            graceful close
 //
 // Replication frames (jupiterd ↔ jupiterd, the internal/replog layer):
 //
-//	repl_hello   peer → peer       node id, role, last log index, commit index
+//	repl_hello   peer → peer       node id, role, last log index, commit index, codecs
 //	repl_append  leader → follower a batch of log entries + the commit index
 //	repl_ack     follower → leader highest contiguous log index held
 //	repl_commit  leader → follower commit index advance with no new entries
@@ -26,8 +32,10 @@
 // Hardening: the decoder rejects frames longer than the configured maximum
 // BEFORE reading the body (a hostile length prefix cannot make the reader
 // allocate), rejects empty and truncated frames, rejects unknown types,
-// rejects type/payload mismatches, and surfaces JSON syntax errors. See
-// wire_test.go and FuzzWireDecode.
+// rejects type/payload mismatches, and surfaces JSON syntax errors. The
+// binary decoder additionally bounds every element count by the bytes that
+// remain, so a hostile count cannot force a large allocation. See
+// wire_test.go, golden_test.go, and FuzzWireDecode.
 package wire
 
 import (
@@ -36,6 +44,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 
 	"jupiter/internal/css"
 	"jupiter/internal/ot"
@@ -49,13 +59,15 @@ const DefaultMaxFrame = 8 << 20
 
 // Frame type discriminators.
 const (
-	THello   = "hello"
-	TWelcome = "welcome"
-	TOp      = "op"
-	TServer  = "srv"
-	TAck     = "ack"
-	TError   = "err"
-	TBye     = "bye"
+	THello       = "hello"
+	TWelcome     = "welcome"
+	TOp          = "op"
+	TOpBatch     = "opb"
+	TServer      = "srv"
+	TServerBatch = "srvb"
+	TAck         = "ack"
+	TError       = "err"
+	TBye         = "bye"
 
 	TReplHello  = "repl_hello"
 	TReplAppend = "repl_append"
@@ -71,6 +83,10 @@ type Hello struct {
 	Doc          string `json:"doc"`
 	ClientID     int32  `json:"clientId,omitempty"`
 	LastFrameSeq uint64 `json:"lastFrameSeq,omitempty"`
+	// Codecs lists the body codecs the client can speak, in preference
+	// order. Absent (a pre-codec-v2 client) means JSON only, and also tells
+	// the server the client cannot decode batch frames.
+	Codecs []string `json:"codecs,omitempty"`
 }
 
 // Welcome answers a Hello. Snapshot is set for new clients (the css join
@@ -80,11 +96,23 @@ type Welcome struct {
 	ClientID int32         `json:"clientId"`
 	Snapshot *css.Snapshot `json:"snapshot,omitempty"`
 	Resume   bool          `json:"resume,omitempty"`
+	// Codec is the body codec the server selected from Hello.Codecs. Empty
+	// on a pre-codec-v2 server: the client must stay on JSON and must not
+	// send batch frames.
+	Codec string `json:"codec,omitempty"`
 }
 
 // Op carries one client operation to the server.
 type Op struct {
 	Msg css.ClientMsg `json:"msg"`
+}
+
+// OpBatch carries several buffered client operations in one frame: the
+// client's flush policy coalesces everything generated since the last flush.
+// The server applies the batch through one pass of the doc apply loop.
+// Valid only after the session negotiated a codec (Welcome.Codec non-empty).
+type OpBatch struct {
+	Msgs []css.ClientMsg `json:"msgs"`
 }
 
 // Server carries one server-to-client protocol message. Seq is the per-client
@@ -94,6 +122,15 @@ type Op struct {
 type Server struct {
 	Seq uint64        `json:"seq"`
 	Msg css.ServerMsg `json:"msg"`
+}
+
+// ServerBatch carries several srv frames in one wire frame — one flush of
+// the per-doc apply loop, or one chunk of a resume replay. Frame seqs are
+// strictly increasing within a batch, and the client answers with a single
+// cumulative Ack for the last one (group ack). Valid only toward clients
+// that negotiated a codec.
+type ServerBatch struct {
+	Frames []Server `json:"frames"`
 }
 
 // Ack confirms that the client durably processed every server frame up to
@@ -143,6 +180,11 @@ type ReplHello struct {
 	Role      string `json:"role"`
 	LastIndex uint64 `json:"lastIndex,omitempty"`
 	Commit    uint64 `json:"commit,omitempty"`
+	// Codecs (dialer) offers body codecs in preference order; Codec
+	// (answerer) selects one. Either side absent means JSON, so mixed-version
+	// clusters keep replicating during a rolling upgrade.
+	Codecs []string `json:"codecs,omitempty"`
+	Codec  string   `json:"codec,omitempty"`
 }
 
 // ReplAppend carries a batch of contiguous log entries plus the sender's
@@ -167,17 +209,19 @@ type ReplCommit struct {
 // Frame is the tagged union carried on the wire. Exactly one payload field
 // matching Type must be set (Bye has none).
 type Frame struct {
-	Type       string      `json:"type"`
-	Hello      *Hello      `json:"hello,omitempty"`
-	Welcome    *Welcome    `json:"welcome,omitempty"`
-	Op         *Op         `json:"op,omitempty"`
-	Server     *Server     `json:"srv,omitempty"`
-	Ack        *Ack        `json:"ack,omitempty"`
-	Error      *Error      `json:"err,omitempty"`
-	ReplHello  *ReplHello  `json:"replHello,omitempty"`
-	ReplAppend *ReplAppend `json:"replAppend,omitempty"`
-	ReplAck    *ReplAck    `json:"replAck,omitempty"`
-	ReplCommit *ReplCommit `json:"replCommit,omitempty"`
+	Type        string       `json:"type"`
+	Hello       *Hello       `json:"hello,omitempty"`
+	Welcome     *Welcome     `json:"welcome,omitempty"`
+	Op          *Op          `json:"op,omitempty"`
+	OpBatch     *OpBatch     `json:"opb,omitempty"`
+	Server      *Server      `json:"srv,omitempty"`
+	ServerBatch *ServerBatch `json:"srvb,omitempty"`
+	Ack         *Ack         `json:"ack,omitempty"`
+	Error       *Error       `json:"err,omitempty"`
+	ReplHello   *ReplHello   `json:"replHello,omitempty"`
+	ReplAppend  *ReplAppend  `json:"replAppend,omitempty"`
+	ReplAck     *ReplAck     `json:"replAck,omitempty"`
+	ReplCommit  *ReplCommit  `json:"replCommit,omitempty"`
 }
 
 // Validation errors.
@@ -200,7 +244,13 @@ func (f *Frame) validate() error {
 	if f.Op != nil {
 		n++
 	}
+	if f.OpBatch != nil {
+		n++
+	}
 	if f.Server != nil {
+		n++
+	}
+	if f.ServerBatch != nil {
 		n++
 	}
 	if f.Ack != nil {
@@ -230,8 +280,12 @@ func (f *Frame) validate() error {
 		payload = f.Welcome != nil
 	case TOp:
 		payload = f.Op != nil
+	case TOpBatch:
+		payload = f.OpBatch != nil
 	case TServer:
 		payload = f.Server != nil
+	case TServerBatch:
+		payload = f.ServerBatch != nil
 	case TAck:
 		payload = f.Ack != nil
 	case TError:
@@ -265,33 +319,36 @@ func (f *Frame) validatePayload() error {
 			return fmt.Errorf("%w: hello without document name", ErrBadPayload)
 		}
 	case TOp:
-		m := &f.Op.Msg
-		if m.Op.Kind != ot.KindIns && m.Op.Kind != ot.KindDel {
-			return fmt.Errorf("%w: op frame carrying non-update kind %d", ErrBadPayload, m.Op.Kind)
+		if err := validateClientMsg(&f.Op.Msg); err != nil {
+			return err
 		}
-		if m.Ctx == nil && m.Compact == nil {
-			return fmt.Errorf("%w: op frame without context", ErrBadPayload)
+	case TOpBatch:
+		b := f.OpBatch
+		if len(b.Msgs) == 0 {
+			return fmt.Errorf("%w: op batch without messages", ErrBadPayload)
+		}
+		for i := range b.Msgs {
+			if err := validateClientMsg(&b.Msgs[i]); err != nil {
+				return fmt.Errorf("%w: batch msg %d: %v", ErrBadPayload, i, err)
+			}
 		}
 	case TServer:
-		m := &f.Server.Msg
-		switch m.Kind {
-		case css.MsgBroadcast:
-			if m.Op.Kind != ot.KindIns && m.Op.Kind != ot.KindDel {
-				return fmt.Errorf("%w: broadcast carrying non-update kind %d", ErrBadPayload, m.Op.Kind)
+		if err := validateServerMsg(&f.Server.Msg); err != nil {
+			return err
+		}
+	case TServerBatch:
+		b := f.ServerBatch
+		if len(b.Frames) == 0 {
+			return fmt.Errorf("%w: srv batch without frames", ErrBadPayload)
+		}
+		for i := range b.Frames {
+			if err := validateServerMsg(&b.Frames[i].Msg); err != nil {
+				return fmt.Errorf("%w: batch frame %d: %v", ErrBadPayload, i, err)
 			}
-			if m.Ctx == nil && m.Compact == nil {
-				return fmt.Errorf("%w: broadcast without context", ErrBadPayload)
+			if i > 0 && b.Frames[i].Seq <= b.Frames[i-1].Seq {
+				return fmt.Errorf("%w: batch frame seqs not increasing at %d (%d after %d)",
+					ErrBadPayload, i, b.Frames[i].Seq, b.Frames[i-1].Seq)
 			}
-		case css.MsgAck:
-			if m.AckID.Zero() {
-				return fmt.Errorf("%w: ack without operation id", ErrBadPayload)
-			}
-		case css.MsgFrontier:
-			if m.Ctx == nil {
-				return fmt.Errorf("%w: frontier without context", ErrBadPayload)
-			}
-		default:
-			return fmt.Errorf("%w: server msg with unknown kind %d", ErrBadPayload, m.Kind)
 		}
 	case TReplHello:
 		h := f.ReplHello
@@ -334,7 +391,46 @@ func (f *Frame) validatePayload() error {
 	return nil
 }
 
-// Encode renders the frame body (without the length prefix).
+// validateClientMsg checks one client operation message (op frames and op
+// batch elements).
+func validateClientMsg(m *css.ClientMsg) error {
+	if m.Op.Kind != ot.KindIns && m.Op.Kind != ot.KindDel {
+		return fmt.Errorf("%w: op frame carrying non-update kind %d", ErrBadPayload, m.Op.Kind)
+	}
+	if m.Ctx == nil && m.Compact == nil {
+		return fmt.Errorf("%w: op frame without context", ErrBadPayload)
+	}
+	return nil
+}
+
+// validateServerMsg checks one server message (srv frames and srv batch
+// elements).
+func validateServerMsg(m *css.ServerMsg) error {
+	switch m.Kind {
+	case css.MsgBroadcast:
+		if m.Op.Kind != ot.KindIns && m.Op.Kind != ot.KindDel {
+			return fmt.Errorf("%w: broadcast carrying non-update kind %d", ErrBadPayload, m.Op.Kind)
+		}
+		if m.Ctx == nil && m.Compact == nil {
+			return fmt.Errorf("%w: broadcast without context", ErrBadPayload)
+		}
+	case css.MsgAck:
+		if m.AckID.Zero() {
+			return fmt.Errorf("%w: ack without operation id", ErrBadPayload)
+		}
+	case css.MsgFrontier:
+		if m.Ctx == nil {
+			return fmt.Errorf("%w: frontier without context", ErrBadPayload)
+		}
+	default:
+		return fmt.Errorf("%w: server msg with unknown kind %d", ErrBadPayload, m.Kind)
+	}
+	return nil
+}
+
+// Encode renders the frame body in the JSON codec (without the length
+// prefix). Kept as the package-level encoder because JSON is the format
+// every peer version decodes; use a Codec from Lookup for binary bodies.
 func Encode(f *Frame) ([]byte, error) {
 	if err := f.validate(); err != nil {
 		return nil, err
@@ -343,9 +439,15 @@ func Encode(f *Frame) ([]byte, error) {
 }
 
 // Decode parses and validates one frame body (without the length prefix).
+// The codec is detected from the first byte — 0xBF is the binary magic, no
+// valid JSON document starts with it — so a reader needs no negotiation
+// state to accept either form.
 func Decode(data []byte) (*Frame, error) {
 	if len(data) == 0 {
 		return nil, ErrEmptyFrame
+	}
+	if data[0] == binMagic {
+		return decodeBinary(data)
 	}
 	var f Frame
 	if err := json.Unmarshal(data, &f); err != nil {
@@ -357,61 +459,125 @@ func Decode(data []byte) (*Frame, error) {
 	return &f, nil
 }
 
-// Codec reads and writes frames on a stream. Reads and writes are
-// independently safe to use from one reader and one writer goroutine; two
-// concurrent writers must synchronize externally.
-type Codec struct {
+// bufPool recycles body buffers across frame reads and writes. Buffers that
+// grew beyond 64 KiB (snapshots, resume replays) are dropped back to the
+// allocator rather than pinned in the pool.
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+const bufPoolMax = 64 << 10
+
+func getBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+func putBuf(b *[]byte) {
+	if cap(*b) > bufPoolMax {
+		return
+	}
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}
+
+// Stream reads and writes length-prefixed frames on an io.ReadWriter.
+// Reads and writes are independently safe to use from one reader and one
+// writer goroutine; two concurrent writers must synchronize externally.
+// Body buffers are pooled: neither Read nor Write allocates per frame
+// beyond what the codec itself needs.
+type Stream struct {
 	rw       io.ReadWriter
 	maxFrame int
 	lenBuf   [4]byte
+	enc      atomic.Pointer[Codec] // active encode codec; reads auto-detect
 }
 
-// NewCodec wraps a stream. maxFrame <= 0 selects DefaultMaxFrame.
-func NewCodec(rw io.ReadWriter, maxFrame int) *Codec {
+// NewStream wraps rw. maxFrame <= 0 selects DefaultMaxFrame. The stream
+// encodes with the JSON codec until Use switches it after negotiation.
+func NewStream(rw io.ReadWriter, maxFrame int) *Stream {
 	if maxFrame <= 0 {
 		maxFrame = DefaultMaxFrame
 	}
-	return &Codec{rw: rw, maxFrame: maxFrame}
+	s := &Stream{rw: rw, maxFrame: maxFrame}
+	c := JSONCodec
+	s.enc.Store(&c)
+	return s
 }
 
-// Write encodes and sends one frame.
-func (c *Codec) Write(f *Frame) error {
-	body, err := Encode(f)
+// Use switches the encode codec for all subsequent writes. Safe to call
+// from the reader goroutine while the writer goroutine is between frames
+// (the switch is atomic); readers never need it because Decode auto-detects.
+func (s *Stream) Use(c Codec) { s.enc.Store(&c) }
+
+// Codec returns the active encode codec.
+func (s *Stream) Codec() Codec { return *s.enc.Load() }
+
+// Write encodes and sends one frame with the active codec.
+func (s *Stream) Write(f *Frame) error {
+	bp := getBuf()
+	defer putBuf(bp)
+	buf := append(*bp, 0, 0, 0, 0) // length prefix placeholder
+	buf, err := (*s.enc.Load()).AppendFrame(buf, f)
 	if err != nil {
 		return err
 	}
-	if len(body) > c.maxFrame {
-		return fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, len(body), c.maxFrame)
+	*bp = buf[:0]
+	return s.writePrefixed(buf)
+}
+
+// WriteRaw sends one pre-encoded frame body (any codec the peer accepts —
+// the caller is responsible for matching the negotiated one). This is the
+// zero-re-encode path for cached outbox bodies.
+func (s *Stream) WriteRaw(body []byte) error {
+	if len(body) == 0 {
+		return ErrEmptyFrame
 	}
-	buf := make([]byte, 4+len(body))
-	binary.BigEndian.PutUint32(buf[:4], uint32(len(body)))
-	copy(buf[4:], body)
-	if _, err := c.rw.Write(buf); err != nil {
+	bp := getBuf()
+	defer putBuf(bp)
+	buf := append(*bp, 0, 0, 0, 0)
+	buf = append(buf, body...)
+	*bp = buf[:0]
+	return s.writePrefixed(buf)
+}
+
+// writePrefixed fills the 4-byte placeholder at the head of buf and writes
+// prefix+body in one call, preserving frame-boundary writes for the chaos
+// proxy's mid-frame cut tests.
+func (s *Stream) writePrefixed(buf []byte) error {
+	body := len(buf) - 4
+	if body > s.maxFrame {
+		return fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, body, s.maxFrame)
+	}
+	binary.BigEndian.PutUint32(buf[:4], uint32(body))
+	if _, err := s.rw.Write(buf); err != nil {
 		return fmt.Errorf("wire: write: %w", err)
 	}
 	return nil
 }
 
-// Read receives and decodes one frame. A hostile or corrupt length prefix is
-// rejected before any body byte is read, so the reader never allocates more
-// than the configured maximum.
-func (c *Codec) Read() (*Frame, error) {
-	if _, err := io.ReadFull(c.rw, c.lenBuf[:]); err != nil {
+// Read receives and decodes one frame, accepting either codec. A hostile or
+// corrupt length prefix is rejected before any body byte is read, so the
+// reader never allocates more than the configured maximum.
+func (s *Stream) Read() (*Frame, error) {
+	if _, err := io.ReadFull(s.rw, s.lenBuf[:]); err != nil {
 		if errors.Is(err, io.EOF) {
 			return nil, io.EOF
 		}
 		return nil, fmt.Errorf("wire: read length: %w", err)
 	}
-	n := binary.BigEndian.Uint32(c.lenBuf[:])
+	n := binary.BigEndian.Uint32(s.lenBuf[:])
 	if n == 0 {
 		return nil, ErrEmptyFrame
 	}
-	if int64(n) > int64(c.maxFrame) {
-		return nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, c.maxFrame)
+	if int64(n) > int64(s.maxFrame) {
+		return nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, s.maxFrame)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(c.rw, body); err != nil {
+	bp := getBuf()
+	defer putBuf(bp)
+	if cap(*bp) < int(n) {
+		*bp = make([]byte, 0, n)
+	}
+	body := (*bp)[:n]
+	if _, err := io.ReadFull(s.rw, body); err != nil {
 		return nil, fmt.Errorf("wire: read body (%d bytes): %w", n, err)
 	}
-	return Decode(body)
+	f, err := Decode(body) // decoders copy; body returns to the pool
+	*bp = body[:0]
+	return f, err
 }

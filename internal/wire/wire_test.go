@@ -31,7 +31,7 @@ func sampleFrames(t *testing.T) []*Frame {
 
 func TestCodecRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
-	c := NewCodec(&buf, 0)
+	c := NewStream(&buf, 0)
 	frames := sampleFrames(t)
 	for _, f := range frames {
 		if err := c.Write(f); err != nil {
@@ -56,7 +56,7 @@ func TestOpFramePreservesMessage(t *testing.T) {
 	id := opid.OpID{Client: 2, Seq: 9}
 	msg := css.ClientMsg{From: 2, Op: ot.Ins('z', 4, id), Ctx: opid.NewSet(opid.OpID{Client: 1, Seq: 3})}
 	var buf bytes.Buffer
-	c := NewCodec(&buf, 0)
+	c := NewStream(&buf, 0)
 	if err := c.Write(&Frame{Type: TOp, Op: &Op{Msg: msg}}); err != nil {
 		t.Fatal(err)
 	}
@@ -94,14 +94,14 @@ func TestReadRejectsOversizedLengthPrefix(t *testing.T) {
 	binary.BigEndian.PutUint32(lenBuf[:], 1<<31-1)
 	buf.Write(lenBuf[:])
 	buf.WriteString("whatever")
-	c := NewCodec(&buf, 1024)
+	c := NewStream(&buf, 1024)
 	if _, err := c.Read(); !errors.Is(err, ErrFrameTooLarge) {
 		t.Fatalf("got %v, want ErrFrameTooLarge", err)
 	}
 }
 
 func TestReadRejectsZeroLength(t *testing.T) {
-	c := NewCodec(bytes.NewBuffer(make([]byte, 4)), 0)
+	c := NewStream(bytes.NewBuffer(make([]byte, 4)), 0)
 	if _, err := c.Read(); !errors.Is(err, ErrEmptyFrame) {
 		t.Fatalf("got %v, want ErrEmptyFrame", err)
 	}
@@ -113,7 +113,7 @@ func TestReadRejectsTruncatedBody(t *testing.T) {
 	binary.BigEndian.PutUint32(lenBuf[:], 100)
 	buf.Write(lenBuf[:])
 	buf.WriteString(`{"type":"bye"}`) // far fewer than 100 bytes
-	c := NewCodec(&buf, 0)
+	c := NewStream(&buf, 0)
 	if _, err := c.Read(); err == nil || strings.Contains(err.Error(), "unknown") {
 		t.Fatalf("got %v, want truncated-body read error", err)
 	}
@@ -121,7 +121,7 @@ func TestReadRejectsTruncatedBody(t *testing.T) {
 
 func TestWriteRejectsOversizedFrame(t *testing.T) {
 	var buf bytes.Buffer
-	c := NewCodec(&buf, 64)
+	c := NewStream(&buf, 64)
 	big := &Frame{Type: TError, Error: &Error{Code: CodeProtocol, Msg: strings.Repeat("x", 128)}}
 	if err := c.Write(big); !errors.Is(err, ErrFrameTooLarge) {
 		t.Fatalf("got %v, want ErrFrameTooLarge", err)
@@ -133,7 +133,7 @@ func TestWriteRejectsOversizedFrame(t *testing.T) {
 
 func TestWriteRejectsInvalidFrame(t *testing.T) {
 	var buf bytes.Buffer
-	c := NewCodec(&buf, 0)
+	c := NewStream(&buf, 0)
 	if err := c.Write(&Frame{Type: THello}); !errors.Is(err, ErrBadPayload) {
 		t.Fatalf("got %v, want ErrBadPayload", err)
 	}

@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# sweep_pipeline.sh — the E14 wire-codec × batching × pipeline-window sweep.
+#
+# Runs BenchmarkE14_WireCodec (codec/batching matrix at 4 and 16 loopback
+# clients) and BenchmarkE14_Pipeline (send-window sweep at 16 clients) with
+# enough iterations to be stable, and writes the raw `go test -bench` output
+# to BENCH_e14_baseline.txt — the file the nightly benchdiff gate compares
+# against (metric ns/op-applied, lower is better).
+#
+# Usage:
+#   scripts/sweep_pipeline.sh [output-file]
+#
+# The acceptance bar for the codec-v2 stack (EXPERIMENTS.md, E14): in
+# BenchmarkE14_Throughput (16 clients, one doc each — the wire-bound
+# shape), binary-batch must be at least 2x faster in ns/op-applied than
+# json-v1. The shared-doc WireCodec matrix is ladder-bound (E12) and not
+# expected to hit 2x.
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_e14_baseline.txt}"
+
+go test -run NONE -bench 'BenchmarkE14' -benchtime=3x -count=1 -timeout 45m . | tee "$out"
+
+# Print the headline ratio so a manual run answers the E14 question directly.
+awk '
+/E14_Throughput\/cfg=json-v1\//      { for (i=1;i<=NF;i++) if ($(i+1)=="ns/op-applied") v1=$i }
+/E14_Throughput\/cfg=binary-batch\// { for (i=1;i<=NF;i++) if ($(i+1)=="ns/op-applied") v2=$i }
+END {
+    if (v1 && v2) printf "\nE14: binary-batch serves %.2fx the ops/sec of json-v1 at 16 clients x 16 docs (%.0f vs %.0f ns/op-applied)\n", v1/v2, v2, v1
+}' "$out"
