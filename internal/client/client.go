@@ -413,9 +413,18 @@ func (c *Client) pump() {
 		}
 		c.writeMu.Unlock()
 		if err != nil {
-			// Connection died under us; the ops stay in the resend buffer and
-			// the manager's reconnect replays them (sentN resets there).
-			c.logf("client c%d: send failed (buffered): %v", c.ID(), err)
+			var we *wire.WriteError
+			if errors.As(err, &we) {
+				// Connection died under us; the ops stay in the resend buffer
+				// and the manager's reconnect replays them (sentN resets there).
+				c.logf("client c%d: send failed (buffered): %v", c.ID(), err)
+				return
+			}
+			// Encode/validation failure: the frame never touched the wire and
+			// the connection is still healthy, so waiting for a reconnect to
+			// reset sentN would strand these ops forever. Retrying would fail
+			// identically — surface it as a terminal error instead.
+			c.fail(fmt.Errorf("client c%d: encode failed for %d op(s): %w", c.ID(), len(msgs), err))
 			return
 		}
 	}

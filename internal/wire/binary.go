@@ -31,7 +31,8 @@ import (
 //	           (1=op 2=ctx 4=compact 8=ackId), [op], [set], [compact], [opid]
 //	snapshot = uvarint #ids opid*, uvarint #elems elem*, uvarint #replay smsg*
 //	srvb     = uvarint #frames, per frame: uvarint length, a complete
-//	           encoded srv frame body (so cached bodies compose raw)
+//	           binary-encoded srv frame body, 0xBF srv-type included (so
+//	           cached bodies compose raw; nothing else may be embedded)
 //
 // Contexts are where the bytes are: an explicit context over a long session
 // is thousands of ids, which the set encoding collapses to per-client
@@ -389,8 +390,9 @@ func appendEntry(b []byte, e *replog.Entry) ([]byte, error) {
 
 // breader is a bounds-checked cursor over a binary body. The first error
 // sticks; helpers return zero values after it. Every element count is
-// bounded by the bytes remaining (each element costs at least one byte), so
-// a hostile count cannot force a large allocation.
+// bounded by the bytes remaining (each element costs at least one byte),
+// and decode-side preallocations are further capped by capHint so a
+// hostile count cannot force an allocation much larger than the frame.
 type breader struct {
 	b   []byte
 	err error
@@ -493,6 +495,18 @@ func (r *breader) count() int {
 		return 0
 	}
 	return int(n)
+}
+
+// capHint bounds the initial capacity of a decode-side slice. count() only
+// guarantees one byte per element, but decoded elements are tens of bytes
+// each, so trusting a wire count would let an 8 MiB frame demand hundreds
+// of MB up front. Start modest and let append grow against parsed bytes.
+func capHint(n int) int {
+	const max = 4096
+	if n > max {
+		return max
+	}
+	return n
 }
 
 func (r *breader) id() opid.OpID {
@@ -619,17 +633,17 @@ func (r *breader) serverFrame() Server {
 func (r *breader) snapshot() *css.Snapshot {
 	s := &css.Snapshot{}
 	n := r.count()
-	s.FrontierIDs = make([]opid.OpID, 0, n)
+	s.FrontierIDs = make([]opid.OpID, 0, capHint(n))
 	for i := 0; i < n && r.err == nil; i++ {
 		s.FrontierIDs = append(s.FrontierIDs, r.id())
 	}
 	n = r.count()
-	s.FrontierDoc = make([]list.Elem, 0, n)
+	s.FrontierDoc = make([]list.Elem, 0, capHint(n))
 	for i := 0; i < n && r.err == nil; i++ {
 		s.FrontierDoc = append(s.FrontierDoc, r.elem())
 	}
 	n = r.count()
-	s.Replay = make([]css.ServerMsg, 0, n)
+	s.Replay = make([]css.ServerMsg, 0, capHint(n))
 	for i := 0; i < n && r.err == nil; i++ {
 		s.Replay = append(s.Replay, r.serverMsg())
 	}
@@ -641,7 +655,7 @@ func (r *breader) strings() []string {
 	if n == 0 {
 		return nil
 	}
-	out := make([]string, 0, n)
+	out := make([]string, 0, capHint(n))
 	for i := 0; i < n && r.err == nil; i++ {
 		out = append(out, r.str())
 	}
@@ -690,7 +704,7 @@ func decodeBinary(data []byte) (*Frame, error) {
 	case btOpBatch:
 		f.Type = TOpBatch
 		n := r.count()
-		msgs := make([]css.ClientMsg, 0, n)
+		msgs := make([]css.ClientMsg, 0, capHint(n))
 		for i := 0; i < n && r.err == nil; i++ {
 			msgs = append(msgs, r.clientMsg())
 		}
@@ -702,7 +716,7 @@ func decodeBinary(data []byte) (*Frame, error) {
 	case btServerBatch:
 		f.Type = TServerBatch
 		n := r.count()
-		frames := make([]Server, 0, n)
+		frames := make([]Server, 0, capHint(n))
 		for i := 0; i < n && r.err == nil; i++ {
 			ln := r.u()
 			if r.err != nil {
@@ -712,17 +726,25 @@ func decodeBinary(data []byte) (*Frame, error) {
 				r.fail("batch frame length %d exceeds %d remaining bytes", ln, len(r.b))
 				break
 			}
-			inner, err := Decode(r.b[:ln])
+			// Embedded bodies must be plain binary srv frames (the
+			// AppendServerBatchRaw contract). Checking the header before
+			// parsing keeps hostile srvb-in-srvb nesting from recursing:
+			// a srv body cannot itself embed frames, so decode depth is 1.
+			if ln < 2 || r.b[0] != binMagic || r.b[1] != btServer {
+				r.fail("batch frame %d is not a binary srv body, want srv", i)
+				break
+			}
+			sub := breader{b: r.b[2:ln]}
 			r.b = r.b[ln:]
-			if err != nil {
-				r.fail("batch frame %d: %v", i, err)
+			s := sub.serverFrame()
+			if sub.err == nil && len(sub.b) != 0 {
+				sub.fail("%d trailing bytes", len(sub.b))
+			}
+			if sub.err != nil {
+				r.fail("batch frame %d: %v", i, sub.err)
 				break
 			}
-			if inner.Type != TServer {
-				r.fail("batch frame %d is %q, want srv", i, inner.Type)
-				break
-			}
-			frames = append(frames, *inner.Server)
+			frames = append(frames, s)
 		}
 		f.ServerBatch = &ServerBatch{Frames: frames}
 	case btAck:
@@ -747,7 +769,7 @@ func decodeBinary(data []byte) (*Frame, error) {
 		f.Type = TReplAppend
 		a := &ReplAppend{Commit: r.u()}
 		n := r.count()
-		a.Entries = make([]replog.Entry, 0, n)
+		a.Entries = make([]replog.Entry, 0, capHint(n))
 		for i := 0; i < n && r.err == nil; i++ {
 			a.Entries = append(a.Entries, r.entry())
 		}

@@ -2,7 +2,9 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"reflect"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -191,6 +193,45 @@ func TestBinaryDecodeAdversarial(t *testing.T) {
 func mustSrvbWithInner(t *testing.T, inner []byte) []byte {
 	t.Helper()
 	return AppendServerBatchRaw(nil, [][]byte{inner})
+}
+
+// TestBinarySrvbNoNesting: srvb may only embed plain binary srv bodies. A
+// crafted tower of srvb-in-srvb wrappers must be rejected at the outermost
+// level — before the fix this recursed once per level with O(depth^2)
+// error wrapping, letting an unauthenticated peer pin a core for minutes
+// with one frame.
+func TestBinarySrvbNoNesting(t *testing.T) {
+	body := []byte{binMagic, btBye}
+	for i := 0; i < 2000; i++ {
+		body = AppendServerBatchRaw(nil, [][]byte{body})
+	}
+	_, err := Decode(body)
+	if err == nil {
+		t.Fatal("accepted nested srvb tower")
+	}
+	if !strings.Contains(err.Error(), "want srv") {
+		t.Errorf("error %q does not mention want srv", err)
+	}
+}
+
+// TestBinaryHostileCountAllocation: an element count near the frame size
+// must not preallocate count*sizeof(element) bytes — for opb that would be
+// ~90x amplification over the bytes actually sent.
+func TestBinaryHostileCountAllocation(t *testing.T) {
+	const n = 1 << 20
+	data := append([]byte{binMagic, btOpBatch}, binary.AppendUvarint(nil, n)...)
+	data = append(data, make([]byte, n)...)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	_, err := Decode(data)
+	runtime.ReadMemStats(&after)
+	if err == nil {
+		t.Fatal("accepted hostile op batch")
+	}
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 8<<20 {
+		t.Errorf("decoding a %d-byte hostile frame allocated %d bytes", len(data), grew)
+	}
 }
 
 // TestBinarySrvbNotIncreasing: batch frame seqs must strictly increase.

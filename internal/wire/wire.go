@@ -232,6 +232,16 @@ var (
 	ErrBadPayload    = errors.New("wire: payload does not match frame type")
 )
 
+// WriteError marks a transport-level write failure, as opposed to an
+// encode/validation failure. Transport failures heal on reconnect (the
+// connection is dead, resend buffers replay); encode failures do not —
+// the same frame fails identically on a healthy connection, so callers
+// must not leave the frame queued for a retry that can never succeed.
+type WriteError struct{ Err error }
+
+func (e *WriteError) Error() string { return "wire: write: " + e.Err.Error() }
+func (e *WriteError) Unwrap() error { return e.Err }
+
 // validate checks the type/payload pairing.
 func (f *Frame) validate() error {
 	n := 0
@@ -546,7 +556,7 @@ func (s *Stream) writePrefixed(buf []byte) error {
 	}
 	binary.BigEndian.PutUint32(buf[:4], uint32(body))
 	if _, err := s.rw.Write(buf); err != nil {
-		return fmt.Errorf("wire: write: %w", err)
+		return &WriteError{Err: err}
 	}
 	return nil
 }
