@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check fuzz fuzz-wire bench bench-smoke bench-compare bench-loopback bench-e14 sweep-e14 chaos chaos-socket replication-chaos serve-demo serve-replicated ci
+.PHONY: all build test race vet fmt-check fuzz fuzz-wire bench bench-smoke bench-compare bench-loopback bench-e14 sweep-e14 chaos chaos-socket replication-chaos serve-demo serve-replicated load-smoke load-chaos sweep-e15 ci
 
 all: build test
 
@@ -88,4 +88,20 @@ serve-demo:
 serve-replicated:
 	sh scripts/serve_replicated.sh
 
-ci: fmt-check vet build test race fuzz-wire chaos-socket replication-chaos serve-demo serve-replicated
+# Deterministic ~30s open-loop load smoke against a live jupiterd: seeded
+# Poisson arrivals, drain barriers, sampled weak-spec check, SLO gate.
+# jupiterload exits non-zero on any failure (EXPERIMENTS.md, E15).
+load-smoke:
+	sh scripts/load_smoke.sh
+
+# Seeded chaos-under-load sweep: open load through the fault proxy at a
+# 3-node cluster, leader fail-stopped mid-measure. Raise LOAD_CHAOS_SCHEDULES
+# for longer sweeps (the nightly pins 50, the acceptance floor).
+load-chaos:
+	LOAD_CHAOS_SCHEDULES=$${LOAD_CHAOS_SCHEDULES:-4} $(GO) test -run 'TestChaosUnderLoad' -count=1 ./internal/loadgen
+
+# Full E15 rate sweep; writes BENCH_e15.json, the nightly gate's baseline.
+sweep-e15:
+	scripts/sweep_load.sh
+
+ci: fmt-check vet build test race fuzz-wire chaos-socket replication-chaos serve-demo serve-replicated load-smoke

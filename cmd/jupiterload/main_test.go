@@ -1,0 +1,103 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"jupiter/internal/loadgen"
+	"jupiter/internal/server"
+)
+
+// TestRunEndToEnd drives the binary's run mode against an in-process
+// jupiterd and checks the report JSON it writes.
+func TestRunEndToEnd(t *testing.T) {
+	eng := server.New(server.Config{Addr: "127.0.0.1:0", MetricsAddr: "127.0.0.1:0", Logf: t.Logf})
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = eng.Shutdown(ctx)
+	}()
+
+	out := filepath.Join(t.TempDir(), "report.json")
+	err := run([]string{
+		"-addr", eng.Addr(),
+		"-metrics", eng.MetricsAddr(),
+		"-rate", "150", "-docs", "2", "-sessions", "8",
+		"-warmup", "200ms", "-duration", "1s",
+		"-seed", "3", "-q", "-o", out,
+	}, os.Stdout)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	body, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res loadgen.Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatalf("report not JSON: %v\n%s", err, body)
+	}
+	if res.Ops.Acked == 0 || res.LatencyE2E.P999Ms <= 0 {
+		t.Fatalf("report missing numbers: %+v", res)
+	}
+	if res.Spec.DocsChecked == 0 {
+		t.Fatalf("spec check absent: %+v", res.Spec)
+	}
+	if !res.SLO.Pass {
+		t.Fatalf("SLO evaluation failed: %+v", res.SLO)
+	}
+}
+
+// TestGateMode pins the benchdiff-style regression gate: a sustained-rate
+// drop below -min-ratio must exit non-zero, recovery and empty baselines
+// must not.
+func TestGateMode(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, rate float64) string {
+		p := filepath.Join(dir, name)
+		body, _ := json.Marshal(loadgen.SweepSummary{MaxSustainable: rate})
+		if err := os.WriteFile(p, body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	oldGood := write("old.json", 2000)
+	newBad := write("bad.json", 1000)
+	newOK := write("ok.json", 1900)
+	empty := write("empty.json", 0)
+
+	if err := run([]string{"-gate", "-min-ratio", "0.85", oldGood, newBad}, os.Stdout); err == nil {
+		t.Fatal("gate passed a 50% throughput regression")
+	} else if !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("unexpected gate error: %v", err)
+	}
+	if err := run([]string{"-gate", "-min-ratio", "0.85", oldGood, newOK}, os.Stdout); err != nil {
+		t.Fatalf("gate failed a healthy run: %v", err)
+	}
+	if err := run([]string{"-gate", "-min-ratio", "0.85", empty, newBad}, os.Stdout); err != nil {
+		t.Fatalf("gate failed on an empty baseline: %v", err)
+	}
+	if err := run([]string{"-gate", oldGood}, os.Stdout); err == nil {
+		t.Fatal("gate accepted one file")
+	}
+}
+
+func TestFlagErrors(t *testing.T) {
+	if err := run([]string{"-rate", "0", "-duration", "1s"}, os.Stdout); err == nil {
+		t.Fatal("accepted zero rate")
+	}
+	if err := run([]string{"stray"}, os.Stdout); err == nil {
+		t.Fatal("accepted stray positional args")
+	}
+	if err := run([]string{"-sweep", "100,nope"}, os.Stdout); err == nil {
+		t.Fatal("accepted malformed sweep rates")
+	}
+}

@@ -96,6 +96,13 @@ type Config struct {
 	// record each client's observation sequence with it). Called with the
 	// client's lock held: keep it cheap and never call back into the client.
 	OnServerFrame func(s *wire.Server)
+	// OnAck, when non-nil, observes the protocol-level acknowledgement of
+	// each locally generated operation: the op's identity and the global
+	// sequence it was serialized at. This is the load generator's latency
+	// hook — cheaper than filtering OnServerFrame, and scoped to own ops
+	// only. Called with the client's lock held: keep it cheap and never call
+	// back into the client.
+	OnAck func(id opid.OpID, seq uint64)
 	// Logf, when non-nil, receives one line per connection event.
 	Logf func(format string, args ...any)
 }
@@ -599,6 +606,9 @@ func (c *Client) applyServerFrame(s *wire.Server, gen int) bool {
 		if s.Msg.Seq > c.serverSeq {
 			c.serverSeq = s.Msg.Seq
 		}
+		if c.cfg.OnAck != nil {
+			c.cfg.OnAck(s.Msg.AckID, s.Msg.Seq)
+		}
 	case css.MsgBroadcast:
 		if s.Msg.Seq > c.serverSeq {
 			c.serverSeq = s.Msg.Seq
@@ -621,37 +631,53 @@ func (c *Client) fail(err error) {
 	c.mu.Unlock()
 }
 
-// generate runs one local edit and ships (or buffers) the message.
-func (c *Client) generate(gen func(*css.Client) (css.ClientMsg, error)) error {
+// generate runs one local edit and ships (or buffers) the message, returning
+// the generated operation's identity so callers can correlate the later
+// OnAck callback with this edit.
+func (c *Client) generate(gen func(*css.Client) (css.ClientMsg, error)) (opid.OpID, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return ErrClosed
+		return opid.OpID{}, ErrClosed
 	}
 	if c.termErr != nil {
 		defer c.mu.Unlock()
-		return c.termErr
+		return opid.OpID{}, c.termErr
 	}
 	msg, err := gen(c.replica)
 	if err != nil {
 		c.mu.Unlock()
-		return err
+		return opid.OpID{}, err
 	}
 	c.resend = append(c.resend, msg)
+	id := msg.Op.ID
 	c.mu.Unlock()
 	// Local-first: generation never blocks. pump ships what the send window
 	// permits (nothing, when disconnected — the reconnect replays it).
 	c.pump()
-	return nil
+	return id, nil
 }
 
 // Insert generates Ins(val, pos) locally and propagates it.
 func (c *Client) Insert(val rune, pos int) error {
+	_, err := c.InsertID(val, pos)
+	return err
+}
+
+// InsertID is Insert returning the generated operation's identity (the load
+// generator matches it against OnAck to measure end-to-end ack latency).
+func (c *Client) InsertID(val rune, pos int) (opid.OpID, error) {
 	return c.generate(func(r *css.Client) (css.ClientMsg, error) { return r.GenerateIns(val, pos) })
 }
 
 // Delete generates a delete of the element at pos and propagates it.
 func (c *Client) Delete(pos int) error {
+	_, err := c.DeleteID(pos)
+	return err
+}
+
+// DeleteID is Delete returning the generated operation's identity.
+func (c *Client) DeleteID(pos int) (opid.OpID, error) {
 	return c.generate(func(r *css.Client) (css.ClientMsg, error) { return r.GenerateDel(pos) })
 }
 
@@ -660,6 +686,14 @@ func (c *Client) Document() []list.Elem {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.replica.Document()
+}
+
+// DocLen returns the replica's current list length without copying the
+// elements — what an open-loop load generator calls once per generated op.
+func (c *Client) DocLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.replica.DocLen()
 }
 
 // Text returns the document rendered as a string.

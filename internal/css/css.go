@@ -167,6 +167,10 @@ func (r *replica) record(op ot.Op, visible opid.Set) {
 // Document returns a copy of the replica's current list.
 func (r *replica) Document() []list.Elem { return r.doc.Elems() }
 
+// DocLen returns the current list length without materializing a copy — the
+// O(1) read the load generator uses to pick edit positions at high rates.
+func (r *replica) DocLen() int { return r.doc.Len() }
+
 // Space returns the replica's n-ary ordered state-space.
 func (r *replica) Space() *statespace.Space { return r.space }
 

@@ -1,0 +1,401 @@
+package loadgen_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"jupiter/internal/chaosproxy"
+	"jupiter/internal/core"
+	"jupiter/internal/list"
+	"jupiter/internal/loadgen"
+	"jupiter/internal/opid"
+	"jupiter/internal/ot"
+	"jupiter/internal/server"
+)
+
+func checkNoGoroutineLeak(t *testing.T) func() {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		var n int
+		for time.Now().Before(deadline) {
+			n = runtime.NumGoroutine()
+			if n <= base {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 64<<10)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("goroutine leak: %d running, baseline %d\n%s", n, base, buf)
+	}
+}
+
+// TestRunSmoke is the deterministic-seed integration smoke: a low-rate open
+// loop against an in-process jupiterd must complete cleanly — converged,
+// spec-checked, zero coordinated-omission debt, and live progress snapshots
+// whose counters and histogram counts only ever grow.
+func TestRunSmoke(t *testing.T) {
+	t.Cleanup(checkNoGoroutineLeak(t))
+	eng := server.New(server.Config{Addr: "127.0.0.1:0", MetricsAddr: "127.0.0.1:0", Logf: t.Logf})
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = eng.Shutdown(ctx)
+	}()
+
+	var mu sync.Mutex
+	var progress []loadgen.Progress
+	cfg := loadgen.Config{
+		Addrs:    []string{eng.Addr()},
+		Docs:     3,
+		Sessions: 12,
+		Conns:    5, // doc 0 gets extra conns, exercising cross-conn convergence
+		Rate:     200,
+		Warmup:   300 * time.Millisecond,
+		Duration: 2 * time.Second,
+		Drain:    15 * time.Second,
+		Workers:  2,
+		Seed:     7,
+		// At 200/s over 2 workers the schedule has ~10ms between arrivals;
+		// a loopback ack is microseconds, so nothing should ever run this
+		// late. Any debt here is a generator bug, not host jitter.
+		DebtThreshold: 250 * time.Millisecond,
+		SpecSample:    2,
+		MetricsAddr:   eng.MetricsAddr(),
+		ProgressEvery: 100 * time.Millisecond,
+		OnProgress: func(p loadgen.Progress) {
+			mu.Lock()
+			progress = append(progress, p)
+			mu.Unlock()
+		},
+		Logf: t.Logf,
+	}
+	res, err := loadgen.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed() {
+		t.Fatalf("run failed: %v", res.Failures)
+	}
+
+	if res.Ops.Intended == 0 || res.Ops.Writes == 0 || res.Ops.Reads == 0 {
+		t.Fatalf("workload did not flow: %+v", res.Ops)
+	}
+	if res.Ops.Acked != res.Ops.Writes {
+		t.Fatalf("acked %d != writes %d after a clean drain", res.Ops.Acked, res.Ops.Writes)
+	}
+	if res.Ops.Errors != 0 {
+		t.Fatalf("%d errors on a loopback run", res.Ops.Errors)
+	}
+	if res.LatencyE2E.P50Ms <= 0 || res.LatencyE2E.P99Ms <= 0 || res.LatencyE2E.P999Ms <= 0 {
+		t.Fatalf("latency quantiles must be non-zero: %+v", res.LatencyE2E)
+	}
+	if res.LatencyE2E.P50Ms > res.LatencyE2E.P99Ms || res.LatencyE2E.P99Ms > res.LatencyE2E.P999Ms {
+		t.Fatalf("quantiles out of order: %+v", res.LatencyE2E)
+	}
+	if res.AchievedRate <= 0 {
+		t.Fatalf("achieved rate %f", res.AchievedRate)
+	}
+
+	// Zero coordinated-omission debt at low rate.
+	if res.CO.DelayedOps != 0 {
+		t.Fatalf("CO debt at 200/s loopback: %+v", res.CO)
+	}
+
+	// The sampled weak-spec runtime check really ran.
+	if res.Spec.DocsChecked < 1 || res.Spec.Events == 0 {
+		t.Fatalf("spec check did not run: %+v", res.Spec)
+	}
+	if len(res.Spec.Violations) != 0 {
+		t.Fatalf("spec violations: %v", res.Spec.Violations)
+	}
+
+	// Server-side histograms were scraped.
+	if res.Server["apply_latency"].Count == 0 {
+		t.Fatalf("server apply_latency not scraped: %+v", res.Server)
+	}
+	if res.Server["apply_queue_wait"].Count == 0 {
+		t.Fatalf("server apply_queue_wait not scraped: %+v", res.Server)
+	}
+
+	// The engine serialized every generated write.
+	var seq uint64
+	for d := 0; d < cfg.Docs; d++ {
+		if st, ok := eng.DocState(fmt.Sprintf("load-%03d", d)); ok {
+			seq += st.Seq
+		}
+	}
+	if seq != uint64(res.Ops.Writes+res.Ops.Warmup) {
+		t.Fatalf("engine serialized %d ops, generator issued %d", seq, res.Ops.Writes+res.Ops.Warmup)
+	}
+
+	// Progress snapshots: counters and histogram counts are monotone.
+	mu.Lock()
+	defer mu.Unlock()
+	if len(progress) < 3 {
+		t.Fatalf("only %d progress snapshots over a 2.3s+ run at 100ms", len(progress))
+	}
+	for i := 1; i < len(progress); i++ {
+		prev, cur := progress[i-1], progress[i]
+		if cur.Intended < prev.Intended || cur.Writes < prev.Writes ||
+			cur.Acked < prev.Acked || cur.Reads < prev.Reads ||
+			cur.Errors < prev.Errors || cur.E2E.Count < prev.E2E.Count {
+			t.Fatalf("progress retreated between snapshots %d and %d:\n %+v\n %+v", i-1, i, prev, cur)
+		}
+		if cur.Elapsed <= prev.Elapsed {
+			t.Fatalf("progress elapsed not increasing at %d", i)
+		}
+	}
+}
+
+// TestRunConfigErrors pins the config validation: these are caller bugs and
+// must fail before any connection is dialed.
+func TestRunConfigErrors(t *testing.T) {
+	base := loadgen.Config{Addrs: []string{"127.0.0.1:1"}, Docs: 4, Rate: 100, Duration: time.Second}
+	cases := []struct {
+		name   string
+		mutate func(*loadgen.Config)
+	}{
+		{"no addrs", func(c *loadgen.Config) { c.Addrs = nil }},
+		{"no docs", func(c *loadgen.Config) { c.Docs = 0 }},
+		{"no rate", func(c *loadgen.Config) { c.Rate = 0 }},
+		{"no duration", func(c *loadgen.Config) { c.Duration = 0 }},
+		{"conns below docs", func(c *loadgen.Config) { c.Conns = 2 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			tc.mutate(&cfg)
+			if _, err := loadgen.Run(context.Background(), cfg); err == nil {
+				t.Fatal("want config error, got nil")
+			}
+		})
+	}
+}
+
+func id(c int32, s uint64) opid.OpID {
+	return opid.OpID{Client: opid.ClientID(c), Seq: s}
+}
+
+// TestCorruptedHistoryCaught proves the drain-time runtime check actually
+// bites: a history whose replicas read the same visible set in different
+// orders (a convergence violation) and a history that returns an element
+// nobody inserted (a weak-spec violation) must both come back non-empty from
+// exactly the code path Run uses at drain time.
+func TestCorruptedHistoryCaught(t *testing.T) {
+	a, x := id(1, 1), id(2, 1)
+	ea, ex := list.Elem{Val: 'a', ID: a}, list.Elem{Val: 'x', ID: x}
+
+	clean := &core.History{}
+	clean.Append("c1", ot.Ins('a', 0, a), []list.Elem{ea}, opid.NewSet())
+	clean.Append("c2", ot.Ins('x', 0, x), []list.Elem{ex}, opid.NewSet())
+	clean.Append("c1", ot.Read(id(-99, 1)), []list.Elem{ea, ex}, opid.NewSet(a, x))
+	clean.Append("c2", ot.Read(id(-99, 2)), []list.Elem{ea, ex}, opid.NewSet(a, x))
+	if v := loadgen.CheckHistory("clean", clean); len(v) != 0 {
+		t.Fatalf("clean history flagged: %v", v)
+	}
+
+	// Same visible set, different list order on the two replicas.
+	diverged := &core.History{}
+	diverged.Append("c1", ot.Ins('a', 0, a), []list.Elem{ea}, opid.NewSet())
+	diverged.Append("c2", ot.Ins('x', 0, x), []list.Elem{ex}, opid.NewSet())
+	diverged.Append("c1", ot.Read(id(-99, 1)), []list.Elem{ea, ex}, opid.NewSet(a, x))
+	diverged.Append("c2", ot.Read(id(-99, 2)), []list.Elem{ex, ea}, opid.NewSet(a, x))
+	if v := loadgen.CheckHistory("diverged", diverged); len(v) == 0 {
+		t.Fatal("convergence corruption not caught")
+	}
+
+	// A read returns an element whose insertion never happened.
+	ghost := &core.History{}
+	ghost.Append("c1", ot.Ins('a', 0, a), []list.Elem{ea}, opid.NewSet())
+	ghost.Append("c1", ot.Read(id(-99, 1)), []list.Elem{ea, {Val: 'g', ID: id(9, 9)}}, opid.NewSet(a))
+	if v := loadgen.CheckHistory("ghost", ghost); len(v) == 0 {
+		t.Fatal("ghost element not caught")
+	}
+}
+
+// ---------------------------------------------------- chaos under load ----
+
+// loadChaosSchedules resolves how many seeded chaos-under-load schedules to
+// run: the LOAD_CHAOS_SCHEDULES env var (the Makefile's load-chaos target
+// and the nightly workflow pin it to the 50-schedule acceptance floor), else
+// a short PR-path smoke — each schedule costs seconds of wall clock, unlike
+// the millisecond-scale socket/repl chaos schedules.
+func loadChaosSchedules() int {
+	if s := os.Getenv("LOAD_CHAOS_SCHEDULES"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	if testing.Short() {
+		return 2
+	}
+	return 4
+}
+
+func startReplCluster(t *testing.T, n int, retry time.Duration) []*server.Engine {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	peers := make([]server.Peer, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		peers[i] = server.Peer{ID: fmt.Sprintf("n%d", i), Addr: ln.Addr().String()}
+	}
+	engs := make([]*server.Engine, n)
+	for i := range engs {
+		engs[i] = server.New(server.Config{
+			NodeID:    peers[i].ID,
+			Cluster:   peers,
+			Listener:  lns[i],
+			ReplRetry: retry,
+		})
+		if err := engs[i].Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return engs
+}
+
+// runLoadChaosSchedule is one seeded schedule of the harness's headline
+// composition: open load through a chaosproxy at a 3-node cluster, the
+// leader fail-stopped mid-measure. The run must complete, exactly one
+// survivor must promote, the error budget and declared latency SLO must
+// hold, and the drain barriers + sampled spec check must pass over the
+// failover.
+func runLoadChaosSchedule(t *testing.T, seed int64) {
+	engs := startReplCluster(t, 3, 5*time.Millisecond)
+	killed := false
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		for i, e := range engs {
+			if i == 0 && killed {
+				continue
+			}
+			_ = e.Shutdown(ctx)
+		}
+	}()
+
+	const nLinks = 6
+	proxy := chaosproxy.NewForTest(t, engs[0].Addr(), chaosproxy.Random(seed, nLinks))
+	addrs := []string{proxy.Addr(), engs[1].Addr(), engs[2].Addr()}
+
+	const (
+		warmup  = 250 * time.Millisecond
+		measure = 1500 * time.Millisecond
+	)
+	cfg := loadgen.Config{
+		Addrs:    addrs,
+		Docs:     2,
+		Sessions: 12,
+		Conns:    4,
+		Rate:     150,
+		Warmup:   warmup,
+		Duration: measure,
+		Drain:    25 * time.Second,
+		Workers:  2,
+		Seed:     seed + 1,
+		// A failover stalls dispatch while windows are full; that is real
+		// debt the report must carry, not an assertion failure.
+		DebtThreshold: time.Second,
+		SpecSample:    1,
+		SLO: loadgen.SLO{
+			P999:         20 * time.Second, // drain-bounded; acks buffered across failover
+			MaxErrorRate: 0,                // zero error budget: failover must be lossless
+		},
+		Logf: t.Logf,
+	}
+
+	// The kill lands mid-measure, its offset part of the seeded schedule.
+	killRng := rand.New(rand.NewSource(seed * 31))
+	killAt := warmup + time.Duration(killRng.Int63n(int64(measure*2/3)))
+	killDone := make(chan struct{})
+	go func() {
+		defer close(killDone)
+		time.Sleep(killAt)
+		engs[0].Kill()
+		proxy.Heal() // injection is over; the backend is gone anyway
+	}()
+
+	res, err := loadgen.Run(context.Background(), cfg)
+	<-killDone
+	killed = true
+	if err != nil {
+		t.Fatalf("seed %d: run error: %v", seed, err)
+	}
+	if res.Failed() {
+		t.Fatalf("seed %d: run failed: %v", seed, res.Failures)
+	}
+	if res.Ops.Acked == 0 || res.Ops.Acked != res.Ops.Writes {
+		t.Fatalf("seed %d: lossy run: %+v", seed, res.Ops)
+	}
+	if res.Spec.DocsChecked+len(res.Spec.Overflowed) == 0 {
+		t.Fatalf("seed %d: spec sample empty: %+v", seed, res.Spec)
+	}
+
+	// Exactly one promotion: n1 took over, n2 deferred.
+	if got := engs[1].Metrics().Counter("failovers_total").Value(); got != 1 {
+		t.Fatalf("seed %d: n1 failovers_total = %d, want 1", seed, got)
+	}
+	if got := engs[2].Metrics().Counter("failovers_total").Value(); got != 0 {
+		t.Fatalf("seed %d: n2 failovers_total = %d, want 0", seed, got)
+	}
+
+	// Post-failover convergence across the survivors: the promoted leader
+	// and the follower replicate to identical document states.
+	for d := 0; d < cfg.Docs; d++ {
+		doc := fmt.Sprintf("load-%03d", d)
+		st1, ok := engs[1].DocState(doc)
+		if !ok {
+			t.Fatalf("seed %d: promoted leader does not host %q", seed, doc)
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			st2, ok := engs[2].DocState(doc)
+			if ok && st2.Seq == st1.Seq && st2.Text == st1.Text {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("seed %d: follower never converged on %q: leader (seq %d, %d chars), follower (%v, seq %d)",
+					seed, doc, st1.Seq, len(st1.Text), ok, st2.Seq)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}
+
+// TestChaosUnderLoad composes the load harness with the replication layer's
+// fault model: every seeded schedule must survive a mid-measure leader
+// fail-stop within a zero error budget and its declared SLO. Nightly runs
+// pin LOAD_CHAOS_SCHEDULES=50 (the acceptance floor); the PR path runs a
+// short smoke.
+func TestChaosUnderLoad(t *testing.T) {
+	t.Cleanup(checkNoGoroutineLeak(t))
+	schedules := loadChaosSchedules()
+	for seed := int64(0); seed < int64(schedules); seed++ {
+		ok := t.Run(fmt.Sprintf("seed=%03d", seed), func(t *testing.T) {
+			runLoadChaosSchedule(t, seed)
+		})
+		if !ok {
+			t.Fatalf("schedule %d failed; stopping the sweep", seed)
+		}
+	}
+}

@@ -89,14 +89,58 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.mu.Unlock()
 }
 
+// Merge folds another histogram's observations into h. The load generator
+// gives each worker goroutine a private histogram and merges them for
+// reporting, so the hot path never contends on a shared mutex. The source is
+// read under its own lock first, then applied under h's — the locks are
+// never held together, so concurrent merges in any direction cannot
+// deadlock (but h must not be o).
+func (h *Histogram) Merge(o *Histogram) {
+	if h == o || o == nil {
+		return
+	}
+	o.mu.Lock()
+	count, sum, max := o.count, o.sum, o.max
+	buckets := o.buckets
+	o.mu.Unlock()
+	h.mu.Lock()
+	h.count += count
+	h.sum += sum
+	if max > h.max {
+		h.max = max
+	}
+	for i := range buckets {
+		h.buckets[i] += buckets[i]
+	}
+	h.mu.Unlock()
+}
+
+// Quantile returns a bucketed upper estimate of the q-th quantile (clamped
+// to [0,1]) as a duration: the upper bound of the bucket holding the q-th
+// observation, so the estimate is never below the true value and at most 2x
+// above it (log2 buckets). Zero when the histogram is empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ms := quantile(&h.buckets, h.count, q)
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
 // HistSnapshot is a consistent view of a histogram.
 type HistSnapshot struct {
-	Count int64   `json:"count"`
-	SumMs float64 `json:"sumMs"`
-	AvgMs float64 `json:"avgMs"`
-	MaxMs float64 `json:"maxMs"`
-	P50Ms float64 `json:"p50Ms"`
-	P99Ms float64 `json:"p99Ms"`
+	Count  int64   `json:"count"`
+	SumMs  float64 `json:"sumMs"`
+	AvgMs  float64 `json:"avgMs"`
+	MaxMs  float64 `json:"maxMs"`
+	P50Ms  float64 `json:"p50Ms"`
+	P99Ms  float64 `json:"p99Ms"`
+	P999Ms float64 `json:"p999Ms"`
 }
 
 // quantile returns the upper bound (in ms) of the bucket holding the q-th
@@ -125,11 +169,12 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	s := HistSnapshot{
-		Count: h.count,
-		SumMs: float64(h.sum) / float64(time.Millisecond),
-		MaxMs: float64(h.max) / float64(time.Millisecond),
-		P50Ms: quantile(&h.buckets, h.count, 0.50),
-		P99Ms: quantile(&h.buckets, h.count, 0.99),
+		Count:  h.count,
+		SumMs:  float64(h.sum) / float64(time.Millisecond),
+		MaxMs:  float64(h.max) / float64(time.Millisecond),
+		P50Ms:  quantile(&h.buckets, h.count, 0.50),
+		P99Ms:  quantile(&h.buckets, h.count, 0.99),
+		P999Ms: quantile(&h.buckets, h.count, 0.999),
 	}
 	if h.count > 0 {
 		s.AvgMs = s.SumMs / float64(h.count)

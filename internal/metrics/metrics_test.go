@@ -2,7 +2,9 @@ package metrics
 
 import (
 	"encoding/json"
+	"math/rand"
 	"net/http/httptest"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -51,6 +53,176 @@ func TestHistogramQuantiles(t *testing.T) {
 	if s.MaxMs < 499 || s.MaxMs > 501 {
 		t.Fatalf("max = %vms", s.MaxMs)
 	}
+}
+
+// refQuantile is the exact reference: sort and index with the same rank
+// convention the histogram uses (rank = floor(q*n), clamped to n-1).
+func refQuantile(ds []time.Duration, q float64) time.Duration {
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	rank := int(q * float64(len(s)))
+	if rank >= len(s) {
+		rank = len(s) - 1
+	}
+	return s[rank]
+}
+
+// TestQuantileAccuracy pins the histogram's quantile estimates against the
+// exact sort-based reference across workload shapes. The log2-bucket
+// estimate is an upper bound: never below the true value, and at most 2x
+// above it (1µs floor for sub-microsecond observations).
+func TestQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cases := []struct {
+		name string
+		obs  func() []time.Duration
+	}{
+		{"constant", func() []time.Duration {
+			ds := make([]time.Duration, 1000)
+			for i := range ds {
+				ds[i] = 3 * time.Millisecond
+			}
+			return ds
+		}},
+		{"single", func() []time.Duration {
+			return []time.Duration{700 * time.Microsecond}
+		}},
+		{"uniform", func() []time.Duration {
+			ds := make([]time.Duration, 5000)
+			for i := range ds {
+				ds[i] = time.Duration(rng.Int63n(int64(20 * time.Millisecond)))
+			}
+			return ds
+		}},
+		{"bimodal", func() []time.Duration {
+			ds := make([]time.Duration, 4000)
+			for i := range ds {
+				if i%10 == 0 {
+					ds[i] = 200*time.Millisecond + time.Duration(rng.Int63n(int64(50*time.Millisecond)))
+				} else {
+					ds[i] = 100*time.Microsecond + time.Duration(rng.Int63n(int64(400*time.Microsecond)))
+				}
+			}
+			return ds
+		}},
+		{"heavy-tail", func() []time.Duration {
+			ds := make([]time.Duration, 5000)
+			for i := range ds {
+				// Exponentiated uniform: most observations tiny, a long tail.
+				us := int64(1) << uint(rng.Intn(20))
+				ds[i] = time.Duration(us) * time.Microsecond
+			}
+			return ds
+		}},
+		{"sub-microsecond", func() []time.Duration {
+			ds := make([]time.Duration, 100)
+			for i := range ds {
+				ds[i] = time.Duration(rng.Int63n(int64(time.Microsecond)))
+			}
+			return ds
+		}},
+	}
+	qs := []float64{0, 0.5, 0.9, 0.99, 0.999, 1}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ds := tc.obs()
+			h := &Histogram{}
+			for _, d := range ds {
+				h.Observe(d)
+			}
+			for _, q := range qs {
+				got := h.Quantile(q)
+				exact := refQuantile(ds, q)
+				if got < exact {
+					t.Errorf("q=%v: estimate %v below exact %v", q, got, exact)
+				}
+				ceil := 2 * exact
+				if ceil < 2*time.Microsecond {
+					ceil = 2 * time.Microsecond
+				}
+				if got > ceil {
+					t.Errorf("q=%v: estimate %v above 2x exact %v", q, got, exact)
+				}
+			}
+		})
+	}
+}
+
+// TestHistogramMerge verifies that merging sharded histograms is
+// observation-equivalent to one shared histogram, and that self/nil merges
+// are no-ops.
+func TestHistogramMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shared := &Histogram{}
+	parts := []*Histogram{{}, {}, {}}
+	for i := 0; i < 3000; i++ {
+		d := time.Duration(rng.Int63n(int64(time.Second)))
+		shared.Observe(d)
+		parts[i%len(parts)].Observe(d)
+	}
+	merged := &Histogram{}
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	if got, want := merged.Snapshot(), shared.Snapshot(); got != want {
+		t.Fatalf("merged snapshot %+v != shared %+v", got, want)
+	}
+	before := merged.Snapshot()
+	merged.Merge(merged)
+	merged.Merge(nil)
+	if got := merged.Snapshot(); got != before {
+		t.Fatalf("self/nil merge changed the histogram: %+v -> %+v", before, got)
+	}
+}
+
+// TestHistogramMergeConcurrent exercises the live-reporting shape: workers
+// observe while an aggregator repeatedly merges their shards, plus
+// cross-merges in both directions. The race detector covers the locking;
+// the bidirectional merges prove the no-nested-locks design cannot deadlock.
+func TestHistogramMergeConcurrent(t *testing.T) {
+	const workers, each = 4, 2000
+	parts := make([]*Histogram, workers)
+	for i := range parts {
+		parts[i] = &Histogram{}
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // live aggregator, results discarded
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			scratch := &Histogram{}
+			for _, p := range parts {
+				scratch.Merge(p)
+			}
+			_ = scratch.Snapshot()
+		}
+	}()
+	for _, p := range parts {
+		wg.Add(1)
+		go func(p *Histogram) {
+			defer wg.Done()
+			for j := 0; j < each; j++ {
+				p.Observe(time.Duration(j) * time.Microsecond)
+			}
+		}(p)
+	}
+	for i := 1; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) { // cross-merges in both directions must not deadlock
+			defer wg.Done()
+			parts[i].Merge(parts[0])
+			parts[0].Merge(parts[i])
+		}(i)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
 }
 
 func TestBucketOfMonotone(t *testing.T) {

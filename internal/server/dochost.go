@@ -275,16 +275,26 @@ func (h *docHost) doResume(c *conn, hello wire.Hello) (bool, int32) {
 
 // ------------------------------------------------------------- op / ack ----
 
-// submitOp routes one client operation to the apply loop.
+// submitOp routes one client operation to the apply loop. The elapsed time
+// between enqueue and execution is recorded as apply_queue_wait: under open
+// load the interesting server-side latency is this queueing delay, not the
+// (fast, E11) transformation itself.
 func (h *docHost) submitOp(c *conn, msg css.ClientMsg) {
-	h.submit(func() { h.doOp(c, msg) })
+	t0 := time.Now()
+	h.submit(func() {
+		h.eng.reg.Histogram("apply_queue_wait").Observe(time.Since(t0))
+		h.doOp(c, msg)
+	})
 }
 
 // submitOps routes one op batch to the apply loop as a single request: the
 // whole batch applies in one queue slot, and its broadcasts coalesce into
-// the same flush.
+// the same flush. Queue wait is recorded once per batch (it is a property
+// of the queue slot, not of each op).
 func (h *docHost) submitOps(c *conn, msgs []css.ClientMsg) {
+	t0 := time.Now()
 	h.submit(func() {
+		h.eng.reg.Histogram("apply_queue_wait").Observe(time.Since(t0))
 		for i := range msgs {
 			if !h.doOp(c, msgs[i]) {
 				return

@@ -26,10 +26,11 @@ import (
 //     path again (all such states contain the matching state's set).
 //
 // States whose operation sets do not contain the frontier are dropped.
-// Survivors' creation-parent chains may pass through dropped states, so
-// each survivor gets its materialized operation set cached as its base (and,
-// under WithDocs, its document materialized) and its chain links cleared —
-// dropped State objects then become garbage-collectible.
+// Survivors' creation-parent (and lazy-document) chains may pass through
+// dropped states; any link that crosses out of the kept set is cut, with the
+// operation set (and, under WithDocs, the document) materialized at the cut —
+// dropped State objects then become garbage-collectible. Links between
+// survivors stay lazy.
 func (s *Space) CompactTo(frontier opid.Set) error {
 	root, ok := s.lookup(frontier, "")
 	if !ok {
@@ -39,14 +40,56 @@ func (s *Space) CompactTo(frontier opid.Set) error {
 		return nil // nothing to do
 	}
 
-	kept := make(map[*State]opid.Set, s.numStates)
+	// A state contains the frontier iff the number of its operations outside
+	// the frontier equals depth−|frontier|. Counting along the creation-parent
+	// chain with memoization makes the whole scan O(total chain nodes) — no
+	// per-state set materialization, which would be O(states × history) in the
+	// common compaction (a long-lived document whose space is nearly one
+	// chain, with most states below or just above the frontier).
+	fl := len(frontier)
+	notInF := make(map[*State]int, s.numStates)
+	var path []*State
+	countNotIn := func(st *State) int {
+		path = path[:0]
+		cur, n := st, 0
+		for {
+			if v, ok := notInF[cur]; ok {
+				n = v
+				break
+			}
+			if cur.base != nil {
+				for id := range cur.base {
+					if !frontier.Contains(id) {
+						n++
+					}
+				}
+				notInF[cur] = n
+				break
+			}
+			path = append(path, cur)
+			cur = cur.parent
+		}
+		for i := len(path) - 1; i >= 0; i-- {
+			c := path[i]
+			if !frontier.Contains(c.added) {
+				n++
+			}
+			notInF[c] = n
+		}
+		return n
+	}
+
+	kept := make(map[*State]struct{}, s.numStates)
 	for _, st := range s.byID {
 		if st == nil {
 			continue
 		}
-		ops := st.Ops()
-		if frontier.Subset(ops) {
-			kept[st] = ops
+		// A state smaller than the frontier cannot contain it.
+		if st.depth < fl {
+			continue
+		}
+		if countNotIn(st) == st.depth-fl {
+			kept[st] = struct{}{}
 		}
 	}
 
@@ -76,18 +119,30 @@ func (s *Space) CompactTo(frontier opid.Set) error {
 	// The new root keeps no parents: everything before the frontier is gone.
 	root.parents = nil
 
-	// Detach survivors from dropped chain states: anchor each at its own
-	// materialized base (and materialized document, when docs are recorded,
-	// since lazy document chains may also cross dropped states).
-	for st, ops := range kept {
-		if s.recordDocs {
-			st.Doc()
+	// Detach survivors from dropped chain states. Only a survivor whose
+	// creation parent was dropped needs anchoring at a materialized base —
+	// chains that stay within the kept set remain valid (they terminate, by
+	// induction, at an anchored state) and keep their O(1) representation.
+	// Likewise a lazy document link is cut only when it crosses out of the
+	// kept set.
+	for st := range kept {
+		if st.base == nil {
+			if _, ok := kept[st.parent]; !ok {
+				ops := st.Ops()
+				st.base = ops
+				st.parent = nil
+				st.added = opid.OpID{}
+			}
 		}
-		st.docParent = nil
-		st.docOp = ot.Op{}
-		st.base = ops
-		st.parent = nil
-		st.added = opid.OpID{}
+		if st.docParent != nil {
+			if _, ok := kept[st.docParent]; !ok {
+				if s.recordDocs {
+					st.Doc()
+				}
+				st.docParent = nil
+				st.docOp = ot.Op{}
+			}
+		}
 	}
 
 	// Retain order keys only for operations still labeling edges or still

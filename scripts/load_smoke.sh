@@ -1,0 +1,61 @@
+#!/usr/bin/env sh
+# load_smoke.sh — the PR-path load-harness smoke (EXPERIMENTS.md, E15).
+#
+# Starts jupiterd on ephemeral ports and drives cmd/jupiterload against it:
+# a deterministic ~30s open-loop run (seeded Poisson arrivals, zipfian doc
+# popularity, mixed readers/writers) that must end with every op acked, the
+# drain barriers converged, the sampled weak-spec check clean, and the
+# declared SLO held. jupiterload exits non-zero on any of those, so this
+# script is the assertion; the JSON report is echoed for the CI log.
+#
+# Usage: scripts/load_smoke.sh   (or: make load-smoke)
+set -eu
+
+TMP="$(mktemp -d)"
+DAEMON_PID=""
+cleanup() {
+	if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+		kill -TERM "$DAEMON_PID" 2>/dev/null || true
+		wait "$DAEMON_PID" 2>/dev/null || true
+	fi
+	rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+echo "load-smoke: building jupiterd and jupiterload"
+go build -o "$TMP/jupiterd" ./cmd/jupiterd
+go build -o "$TMP/jupiterload" ./cmd/jupiterload
+
+# GC on: without frontier compaction a long-lived hot document's apply cost
+# grows with its history (deep Algorithm 1 ladders) and no sustained rate
+# exists to measure — see ROADMAP item 4.
+"$TMP/jupiterd" -addr 127.0.0.1:0 -metrics 127.0.0.1:0 -gc-every "${LOAD_GC_EVERY:-64}" 2>"$TMP/jupiterd.log" &
+DAEMON_PID=$!
+
+ADDR=""
+for _ in $(seq 1 100); do
+	ADDR="$(sed -n 's/.*serving on \([0-9.]*:[0-9]*\).*/\1/p' "$TMP/jupiterd.log" | head -n1)"
+	[ -n "$ADDR" ] && break
+	kill -0 "$DAEMON_PID" 2>/dev/null || { echo "load-smoke: jupiterd died:"; cat "$TMP/jupiterd.log"; exit 1; }
+	sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "load-smoke: jupiterd never reported its address"; cat "$TMP/jupiterd.log"; exit 1; }
+METRICS="$(sed -n 's|.*metrics on http://\([0-9.]*:[0-9]*\)/.*|\1|p' "$TMP/jupiterd.log" | head -n1)"
+echo "load-smoke: jupiterd on $ADDR (metrics $METRICS)"
+
+# Deterministic seed; generous loopback SLO (CI hosts are noisy, only gross
+# stalls should trip it); zero error budget by default.
+"$TMP/jupiterload" \
+	-addr "$ADDR" -metrics "$METRICS" \
+	-rate "${LOAD_RATE:-500}" -docs 10 -sessions 200 -conns 20 \
+	-warmup 2s -duration "${LOAD_DURATION:-20s}" -seed 1 \
+	-slo-p99 1s -slo-min-rate "${LOAD_MIN_RATE:-350}" \
+	-progress-every 5s -o "$TMP/report.json"
+
+echo "load-smoke: report:"
+cat "$TMP/report.json"
+
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+echo "load-smoke: OK"

@@ -1,0 +1,70 @@
+#!/usr/bin/env sh
+# sweep_load.sh — the E15 throughput-vs-latency rate sweep.
+#
+# Starts jupiterd on ephemeral ports and runs cmd/jupiterload in sweep mode:
+# one full open-loop run per target rate, each with its own warmup, measure,
+# drain, and sampled weak-spec check. The output is a loadgen.SweepSummary
+# JSON (one Result per rate plus the derived maximum sustainable throughput:
+# the highest rate that kept achieved/target ≥ MIN_FRAC, p99 under the knee,
+# and failed nothing). The nightly workflow writes BENCH_e15_nightly.json
+# and gates it against the checked-in BENCH_e15.json with `jupiterload
+# -gate`.
+#
+# Usage:
+#   scripts/sweep_load.sh [output-file]
+# Env:
+#   LOAD_RATES    comma-separated target rates   (default 500,1000,2000,4000)
+#   LOAD_DURATION measure phase per rate         (default 10s)
+#   LOAD_KNEE_MS  p99 ceiling for "sustained"    (default 250)
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_e15.json}"
+
+TMP="$(mktemp -d)"
+DAEMON_PID=""
+cleanup() {
+	if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+		kill -TERM "$DAEMON_PID" 2>/dev/null || true
+		wait "$DAEMON_PID" 2>/dev/null || true
+	fi
+	rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+echo "sweep-load: building jupiterd and jupiterload"
+go build -o "$TMP/jupiterd" ./cmd/jupiterd
+go build -o "$TMP/jupiterload" ./cmd/jupiterload
+
+# GC on: without frontier compaction a long-lived hot document's apply cost
+# grows with its history (deep Algorithm 1 ladders) and no sustained rate
+# exists to measure — see ROADMAP item 4.
+"$TMP/jupiterd" -addr 127.0.0.1:0 -metrics 127.0.0.1:0 -gc-every "${LOAD_GC_EVERY:-64}" 2>"$TMP/jupiterd.log" &
+DAEMON_PID=$!
+
+ADDR=""
+for _ in $(seq 1 100); do
+	ADDR="$(sed -n 's/.*serving on \([0-9.]*:[0-9]*\).*/\1/p' "$TMP/jupiterd.log" | head -n1)"
+	[ -n "$ADDR" ] && break
+	kill -0 "$DAEMON_PID" 2>/dev/null || { echo "sweep-load: jupiterd died:"; cat "$TMP/jupiterd.log"; exit 1; }
+	sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "sweep-load: jupiterd never reported its address"; cat "$TMP/jupiterd.log"; exit 1; }
+METRICS="$(sed -n 's|.*metrics on http://\([0-9.]*:[0-9]*\)/.*|\1|p' "$TMP/jupiterd.log" | head -n1)"
+echo "sweep-load: jupiterd on $ADDR (metrics $METRICS)"
+
+"$TMP/jupiterload" \
+	-addr "$ADDR" -metrics "$METRICS" \
+	-sweep "${LOAD_RATES:-500,1000,2000,4000}" \
+	-knee-p99-ms "${LOAD_KNEE_MS:-250}" \
+	-docs 10 -sessions 200 -conns 20 \
+	-warmup 2s -duration "${LOAD_DURATION:-10s}" -seed 1 \
+	-progress-every 5s -o "$out"
+
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+
+# Headline for a manual run; the JSON is the artifact.
+sed -n 's/.*"maxSustainableRate": \([0-9.]*\).*/sweep-load: max sustainable throughput \1 ops\/sec/p' "$out"
+echo "sweep-load: wrote $out"
