@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check fuzz fuzz-wire bench bench-smoke bench-compare bench-loopback bench-e14 sweep-e14 chaos chaos-socket replication-chaos serve-demo serve-replicated load-smoke load-chaos sweep-e15 ci
+.PHONY: all build test race vet fmt-check fuzz fuzz-wire bench bench-smoke bench-compare bench-loopback bench-e14 sweep-e14 chaos chaos-socket replication-chaos migration-chaos serve-demo serve-replicated shard-smoke load-smoke load-chaos sweep-e15 sweep-e16 ci
 
 all: build test
 
@@ -78,6 +78,25 @@ sweep-e14:
 replication-chaos:
 	REPL_CHAOS_SCHEDULES=$${REPL_CHAOS_SCHEDULES:-6} $(GO) test -run 'TestReplicatedLeaderKillChaos' -count=1 ./internal/server
 
+# Seeded migration-under-chaos run: two shards behind fault proxies, a
+# placement service ping-ponging the doc between them mid-edit, exactly-once
+# delivery and the weak list spec checked per schedule. Raise
+# MIGRATION_CHAOS_SCHEDULES for longer sweeps (the nightly pins 50).
+migration-chaos:
+	MIGRATION_CHAOS_SCHEDULES=$${MIGRATION_CHAOS_SCHEDULES:-4} $(GO) test -run 'TestMigration|TestWrongShard' -count=1 ./internal/placement
+
+# End-to-end sharded-cluster smoke: jupiterplace + 2 shards, a document
+# migrated between them mid-edit, clients reroute and converge, the move
+# visible in the table and metrics.
+shard-smoke:
+	sh scripts/serve_sharded.sh
+
+# The E16 shard-scaling sweep: placement-routed open load over thousands of
+# zipf docs at 1 and 4 shards; writes BENCH_e16.json, the nightly gate's
+# baseline.
+sweep-e16:
+	scripts/sweep_shards.sh
+
 # End-to-end jupiterd smoke: two TCP clients, a forced reconnect, metrics,
 # convergence assertion. Exits non-zero on divergence.
 serve-demo:
@@ -104,4 +123,4 @@ load-chaos:
 sweep-e15:
 	scripts/sweep_load.sh
 
-ci: fmt-check vet build test race fuzz-wire chaos-socket replication-chaos serve-demo serve-replicated load-smoke
+ci: fmt-check vet build test race fuzz-wire chaos-socket replication-chaos migration-chaos serve-demo serve-replicated shard-smoke load-smoke

@@ -30,8 +30,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
+	"net/url"
 	"os"
 	"strings"
 	"time"
@@ -59,6 +61,9 @@ func run(args []string) error {
 		noBatch   = fs.Bool("no-batch", false, "speak protocol v1: JSON only, one frame per op (interop testing)")
 		timeout   = fs.Duration("timeout", 30*time.Second, "overall deadline for barriers")
 		status    = fs.String("status", "", "query this metrics address (host:port) for replication status and exit")
+		placeDump = fs.String("placement", "", "query this jupiterplace HTTP address (host:port) for the routing table and per-shard doc counts, then exit")
+		migrate   = fs.String("migrate", "", "with -placement: migrate \"doc:shard\" via the placement service, then exit")
+		route     = fs.String("route", "", "jupiterplace route address; join the document via placement routing instead of -addr")
 		verbose   = fs.Bool("v", false, "log connection events")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -68,12 +73,21 @@ func run(args []string) error {
 	if *status != "" {
 		return printStatus(*status, *timeout)
 	}
+	if *migrate != "" {
+		if *placeDump == "" {
+			return fmt.Errorf("-migrate requires -placement (the jupiterplace HTTP address)")
+		}
+		return runMigrate(*placeDump, *migrate, *timeout)
+	}
+	if *placeDump != "" {
+		return printPlacement(*placeDump, *timeout)
+	}
 
 	addrs := strings.Split(*addr, ",")
 	for i := range addrs {
 		addrs[i] = strings.TrimSpace(addrs[i])
 	}
-	cfg := client.Config{Addrs: addrs, Doc: *doc, Codec: *codec, NoBatch: *noBatch}
+	cfg := client.Config{Addrs: addrs, Doc: *doc, Codec: *codec, NoBatch: *noBatch, Placement: *route}
 	if *verbose {
 		cfg.Logf = log.Printf
 	}
@@ -162,5 +176,85 @@ func printStatus(metricsAddr string, timeout time.Duration) error {
 		num("connections_total")-num("conns_codec_binary_total")-num("conns_codec_json_total"))
 	fmt.Printf("batching      %d batch frames, %d ops applied\n",
 		num("batch_frames_total"), num("ops_applied"))
+	fmt.Printf("migrations    %d out, %d in, %d failed, %d moved hints\n",
+		num("migrations_out_total"), num("migrations_in_total"),
+		num("migration_failures_total"), num("moved_hints_total"))
+	// Hot documents: the doc_ops_rate top-k instrument renders as an entry
+	// array in the metrics snapshot.
+	if rows, ok := m["doc_ops_rate"].([]any); ok && len(rows) > 0 {
+		fmt.Printf("hot docs\n")
+		for _, r := range rows {
+			e, _ := r.(map[string]any)
+			if e == nil {
+				continue
+			}
+			doc, _ := e["key"].(string)
+			rate, _ := e["ratePerSec"].(float64)
+			total, _ := e["total"].(float64)
+			fmt.Printf("  %-24s %8.1f ops/s  %10.0f total\n", doc, rate, total)
+		}
+	}
+	return nil
+}
+
+// runMigrate asks jupiterplace to migrate a document ("doc:shard") and
+// reports the resulting table version.
+func runMigrate(httpAddr, spec string, timeout time.Duration) error {
+	doc, shard, ok := strings.Cut(spec, ":")
+	if !ok || doc == "" || shard == "" {
+		return fmt.Errorf("bad -migrate %q (want doc:shard)", spec)
+	}
+	cl := &http.Client{Timeout: timeout}
+	resp, err := cl.PostForm("http://"+httpAddr+"/migrate", url.Values{"doc": {doc}, "to": {shard}})
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("migrate %s -> %s: %s: %s", doc, shard, resp.Status, strings.TrimSpace(string(body)))
+	}
+	fmt.Printf("migrated %-16s -> %s\n%s", doc, shard, body)
+	return nil
+}
+
+// printPlacement fetches jupiterplace's /table document and reports the
+// routing table with per-shard doc counts.
+func printPlacement(httpAddr string, timeout time.Duration) error {
+	cl := &http.Client{Timeout: timeout}
+	resp, err := cl.Get("http://" + httpAddr + "/table")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var view struct {
+		Table struct {
+			Version uint64 `json:"version"`
+			VNodes  int    `json:"vnodes"`
+			Shards  []struct {
+				ID    string   `json:"id"`
+				Addrs []string `json:"addrs"`
+			} `json:"shards"`
+			Overrides []struct {
+				Doc   string `json:"doc"`
+				Shard string `json:"shard"`
+			} `json:"overrides"`
+		} `json:"table"`
+		Docs map[string]int `json:"docs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		return fmt.Errorf("table from %s: %w", httpAddr, err)
+	}
+	fmt.Printf("placement     %s\n", httpAddr)
+	fmt.Printf("table         v%d, %d vnodes/shard\n", view.Table.Version, view.Table.VNodes)
+	for _, sh := range view.Table.Shards {
+		fmt.Printf("shard %-8s %s  (%d docs)\n", sh.ID, strings.Join(sh.Addrs, ","), view.Docs[sh.ID])
+	}
+	if len(view.Table.Overrides) > 0 {
+		fmt.Printf("overrides     %d migrated docs\n", len(view.Table.Overrides))
+		for _, o := range view.Table.Overrides {
+			fmt.Printf("  %-24s -> %s\n", o.Doc, o.Shard)
+		}
+	}
 	return nil
 }

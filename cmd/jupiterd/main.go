@@ -34,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"jupiter/internal/placement"
 	"jupiter/internal/server"
 )
 
@@ -75,6 +76,8 @@ func run(args []string) error {
 		peersFlag   = fs.String("peers", "", "priority-ordered cluster roster, id=host:port comma-separated; first entry is the initial leader")
 		replRetry   = fs.Duration("repl-retry", 0, "replication dial/scan retry pace (0 = 500ms)")
 		persistDir  = fs.String("persist-dir", "", "standalone only: save documents here on graceful shutdown and restore on restart")
+		shardID     = fs.String("shard-id", "", "this shard's id within a doc-sharded cluster (rejects hellos routed to other shards)")
+		placeAddr   = fs.String("placement", "", "placement service route address; on startup the daemon checks its -shard-id is in the served table")
 		verbose     = fs.Bool("v", false, "log connection and session events")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -86,6 +89,9 @@ func run(args []string) error {
 	}
 	if len(peers) > 1 && *nodeID == "" {
 		return fmt.Errorf("-peers requires -node-id")
+	}
+	if *shardID != "" && len(peers) > 1 {
+		return fmt.Errorf("-shard-id and -peers are mutually exclusive (sharding assumes standalone shards)")
 	}
 
 	cfg := server.Config{
@@ -100,6 +106,7 @@ func run(args []string) error {
 		Cluster:     peers,
 		ReplRetry:   *replRetry,
 		PersistDir:  *persistDir,
+		ShardID:     *shardID,
 	}
 	if *verbose {
 		cfg.Logf = log.Printf
@@ -115,6 +122,23 @@ func run(args []string) error {
 	if len(peers) > 1 {
 		log.Printf("jupiterd: replicated node %s in a %d-node cluster (leader priority: %s)",
 			*nodeID, len(peers), peers[0].ID)
+	}
+	if *shardID != "" {
+		log.Printf("jupiterd: serving as shard %s", *shardID)
+	}
+	if *placeAddr != "" {
+		// Best-effort sanity check: a shard whose id is missing from the
+		// placement table will never receive traffic — worth a loud warning.
+		cache := placement.NewCache(*placeAddr)
+		if _, err := cache.Lookup("jupiterd-startup-probe"); err != nil {
+			log.Printf("jupiterd: warning: placement service %s unreachable: %v", *placeAddr, err)
+		} else if *shardID != "" {
+			if _, err := cache.Shard(*shardID); err != nil {
+				log.Printf("jupiterd: warning: shard %s not in the placement table at %s", *shardID, *placeAddr)
+			} else {
+				log.Printf("jupiterd: registered in placement table at %s", *placeAddr)
+			}
+		}
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -48,6 +48,7 @@ func run(args []string, stdout *os.File) error {
 	fs := flag.NewFlagSet("jupiterload", flag.ContinueOnError)
 	var (
 		addr     = fs.String("addr", "127.0.0.1:9170", "server address(es), comma-separated for a replicated cluster")
+		place    = fs.String("placement", "", "jupiterplace route address; route documents across a sharded cluster instead of -addr")
 		metrics  = fs.String("metrics", "", "jupiterd metrics address to scrape for server-side latency")
 		rate     = fs.Float64("rate", 1000, "aggregate target arrival rate, ops/sec")
 		docs     = fs.Int("docs", 10, "number of documents")
@@ -95,8 +96,13 @@ func run(args []string, stdout *os.File) error {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
 
+	addrs := strings.Split(*addr, ",")
+	if *place != "" {
+		addrs = nil // placement routing supersedes the static address list
+	}
 	cfg := loadgen.Config{
-		Addrs:         strings.Split(*addr, ","),
+		Addrs:         addrs,
+		Placement:     *place,
 		Docs:          *docs,
 		Sessions:      *sessions,
 		Rate:          *rate,

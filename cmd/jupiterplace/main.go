@@ -1,0 +1,102 @@
+// Command jupiterplace runs the placement service of a doc-sharded jupiterd
+// cluster: it owns the consistent-hash routing table mapping documents onto
+// shard processes, answers route queries from clients over the wire
+// protocol, and drives live document migrations between shards.
+//
+// Examples:
+//
+//	jupiterplace -addr 127.0.0.1:9180 -http 127.0.0.1:9181 \
+//	    -shards s0=127.0.0.1:9100,s1=127.0.0.1:9200
+//	curl http://127.0.0.1:9181/table
+//	curl -X POST 'http://127.0.0.1:9181/migrate?doc=notes&to=s1'
+//
+// A shard may list several addresses (failover targets) separated by '+':
+// -shards s0=host1:9100+host2:9100,s1=host3:9200.
+//
+// The table is in-memory; restarting jupiterplace loses migration overrides,
+// which is safe — shards keep answering for documents they migrated away
+// with a moved hint, so clients still find the document's current home.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"jupiter/internal/placement"
+	"jupiter/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "jupiterplace:", err)
+		os.Exit(1)
+	}
+}
+
+// parseShards turns "s0=addr[+addr],s1=addr" into a shard list.
+func parseShards(s string) ([]wire.Shard, error) {
+	if s == "" {
+		return nil, fmt.Errorf("-shards is required (s0=host:port,s1=host:port,...)")
+	}
+	var shards []wire.Shard
+	for _, part := range strings.Split(s, ",") {
+		id, addrs, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || id == "" || addrs == "" {
+			return nil, fmt.Errorf("bad shard %q (want id=host:port[+host:port])", part)
+		}
+		shards = append(shards, wire.Shard{ID: id, Addrs: strings.Split(addrs, "+")})
+	}
+	return shards, nil
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("jupiterplace", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", "127.0.0.1:9180", "TCP listen address for route queries (wire protocol)")
+		httpAddr   = fs.String("http", "127.0.0.1:9181", "HTTP listen address for /table, /migrate, and metrics (empty to disable)")
+		shardsFlag = fs.String("shards", "", "shard roster, id=host:port comma-separated ('+' separates one shard's failover addresses)")
+		vnodes     = fs.Int("vnodes", 64, "virtual nodes per shard on the hash ring")
+		maxFrame   = fs.Int("max-frame", 0, "maximum wire frame size in bytes (0 = default)")
+		verbose    = fs.Bool("v", false, "log route and migration events")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	shards, err := parseShards(*shardsFlag)
+	if err != nil {
+		return err
+	}
+
+	cfg := placement.Config{
+		Addr:     *addr,
+		HTTPAddr: *httpAddr,
+		MaxFrame: *maxFrame,
+		Table:    wire.Table{Version: 1, VNodes: *vnodes, Shards: shards},
+	}
+	if *verbose {
+		cfg.Logf = log.Printf
+	}
+	svc, err := placement.NewService(cfg)
+	if err != nil {
+		return err
+	}
+	if err := svc.Start(); err != nil {
+		return err
+	}
+	log.Printf("jupiterplace: serving routes on %s (%d shards, %d vnodes)", svc.Addr(), len(shards), *vnodes)
+	if ha := svc.HTTPAddr(); ha != "" {
+		log.Printf("jupiterplace: admin on http://%s/table", ha)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	log.Printf("jupiterplace: %v, shutting down", s)
+	svc.Close()
+	return nil
+}

@@ -43,6 +43,7 @@ import (
 	"jupiter/internal/css"
 	"jupiter/internal/list"
 	"jupiter/internal/opid"
+	"jupiter/internal/placement"
 	"jupiter/internal/wire"
 )
 
@@ -57,6 +58,14 @@ type Config struct {
 	// just the ordinary redial loop landing on a different node and resuming
 	// there.
 	Addrs []string
+	// Placement, when non-empty, supersedes Addr/Addrs: the placement
+	// service's address. The client fetches the routing table from it and
+	// dials the shard owning Doc, re-routing on Moved hints (the document
+	// migrated) and wrong-shard rejections (the cached table went stale).
+	Placement string
+	// PlacementCache, when non-nil, supersedes Placement: a shared routing
+	// cache, so the many clients of one process fetch the table once.
+	PlacementCache *placement.Cache
 	// Doc is the document to join.
 	Doc string
 	// MaxFrame caps wire frames (0 = wire.DefaultMaxFrame).
@@ -157,7 +166,8 @@ func (c *Config) maxBackoff() time.Duration {
 
 // Client is a connected (or reconnecting) replica of one document.
 type Client struct {
-	cfg Config
+	cfg   Config
+	place *placement.Cache // nil without placement routing
 
 	mu   sync.Mutex
 	cond *sync.Cond // signaled on any state change under mu
@@ -204,12 +214,21 @@ func Dial(cfg Config) (*Client, error) {
 		Max:  cfg.maxBackoff(),
 		Rand: rand.New(rand.NewSource(seed)),
 	}}
+	c.place = cfg.PlacementCache
+	if c.place == nil && cfg.Placement != "" {
+		c.place = placement.NewCache(cfg.Placement)
+	}
 	c.cond = sync.NewCond(&c.mu)
 	// One pass over the address list: with a replicated cluster the first
 	// configured address may be a follower (or down), and the join should
-	// land on whichever node is leading right now.
+	// land on whichever node is leading right now. With placement routing,
+	// a couple of attempts absorb a Moved hint from a just-migrated doc.
+	attempts := len(cfg.addrs())
+	if c.place != nil && attempts < 3 {
+		attempts = 3
+	}
 	var err error
-	for i := 0; i < len(cfg.addrs()); i++ {
+	for i := 0; i < attempts; i++ {
 		if err = c.connect(); err == nil {
 			break
 		}
@@ -242,21 +261,39 @@ func (c *Client) logf(format string, args ...any) {
 	}
 }
 
-// pickAddr returns the address the next attempt should target.
-func (c *Client) pickAddr() string {
+// target returns the address the next attempt should dial and the shard id
+// to present in the Hello. With placement routing the shard comes from the
+// routing cache (fetch-on-miss, local Moved overrides first); otherwise it
+// is the configured address list and no shard id.
+func (c *Client) target() (addr, shard string, err error) {
+	if c.place != nil {
+		sh, err := c.place.Lookup(c.cfg.Doc)
+		if err != nil {
+			return "", "", err
+		}
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return sh.Addrs[c.addrIdx%len(sh.Addrs)], sh.ID, nil
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	addrs := c.cfg.addrs()
-	return addrs[c.addrIdx%len(addrs)]
+	return addrs[c.addrIdx%len(addrs)], "", nil
 }
 
 // rotateAddr moves to the next candidate address after a failed attempt; a
 // non-empty hint (the leader address from a not-leader rejection) jumps
 // straight to that node when it is in the configured list. Successful
-// attempts never rotate, so the client sticks with a working server.
+// attempts never rotate, so the client sticks with a working server. Under
+// placement routing the index rotates within whatever address list the next
+// target lookup returns (the modulo is applied at pick time).
 func (c *Client) rotateAddr(hint string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.place != nil {
+		c.addrIdx++ // reduced modulo the shard's address list at pick time
+		return
+	}
 	addrs := c.cfg.addrs()
 	if hint != "" {
 		for i, a := range addrs {
@@ -273,7 +310,13 @@ func (c *Client) rotateAddr(hint string) {
 // the connection is installed and buffered operations are replayed; on
 // failure the target rotates to the next candidate address.
 func (c *Client) connect() error {
-	addr := c.pickAddr()
+	addr, shard, err := c.target()
+	if err != nil {
+		// Placement service unreachable: invalidate so the next attempt
+		// refetches, and let the backoff pace the retries.
+		c.place.Invalidate()
+		return err
+	}
 	nc, err := net.DialTimeout("tcp", addr, c.cfg.dialTimeout())
 	if err != nil {
 		c.rotateAddr("")
@@ -282,7 +325,7 @@ func (c *Client) connect() error {
 	codec := wire.NewStream(nc, c.cfg.MaxFrame)
 
 	c.mu.Lock()
-	hello := wire.Hello{Doc: c.cfg.Doc}
+	hello := wire.Hello{Doc: c.cfg.Doc, Shard: shard}
 	if !c.cfg.NoBatch {
 		hello.Codecs = wire.PreferredCodecs(c.cfg.Codec)
 	}
@@ -308,6 +351,17 @@ func (c *Client) connect() error {
 
 	switch f.Type {
 	case wire.TWelcome:
+	case wire.TMoved:
+		// The document lives on another shard now; adopt the hint and let
+		// the retry dial the new home.
+		nc.Close()
+		if c.place != nil {
+			c.place.ApplyMoved(*f.Moved)
+			c.mu.Lock()
+			c.addrIdx = 0 // the hint's address list starts fresh
+			c.mu.Unlock()
+		}
+		return fmt.Errorf("client: document moved to shard %s", f.Moved.Shard)
 	case wire.TError:
 		nc.Close()
 		err := fmt.Errorf("client: server rejected session: %s: %s", f.Error.Code, f.Error.Msg)
@@ -316,6 +370,12 @@ func (c *Client) connect() error {
 			c.fail(err)
 		case wire.CodeNotLeader:
 			c.rotateAddr(f.Error.Leader)
+		case wire.CodeWrongShard:
+			// Our routing table is stale: drop it and refetch next attempt.
+			if c.place != nil {
+				c.place.Invalidate()
+			}
+			c.rotateAddr("")
 		default:
 			c.rotateAddr("")
 		}
@@ -551,6 +611,19 @@ func (c *Client) readFrames(codec *wire.Stream, gen int) {
 				return
 			}
 			c.pump()
+		case wire.TMoved:
+			// Mid-session migration: the shard cut us loose with a pointer to
+			// the document's new home. Record it and let the manager redial;
+			// the resume handshake (and the blind resend of anything
+			// unacknowledged) runs against the target shard.
+			if c.place != nil {
+				c.place.ApplyMoved(*f.Moved)
+				c.mu.Lock()
+				c.addrIdx = 0
+				c.mu.Unlock()
+			}
+			c.logf("client c%d: document moved to shard %s", c.ID(), f.Moved.Shard)
+			return
 		case wire.TError:
 			if f.Error.Code == wire.CodeBadResume {
 				c.fail(fmt.Errorf("client: server rejected resume: %s", f.Error.Msg))

@@ -15,30 +15,30 @@ import (
 // failure, leader-hint jumps, and fallback to Addr when Addrs is empty.
 func TestAddrRotation(t *testing.T) {
 	c := &Client{cfg: Config{Addrs: []string{"a:1", "b:2", "c:3"}}}
-	if got := c.pickAddr(); got != "a:1" {
+	if got, _, _ := c.target(); got != "a:1" {
 		t.Fatalf("initial addr = %q, want a:1", got)
 	}
 	c.rotateAddr("")
-	if got := c.pickAddr(); got != "b:2" {
+	if got, _, _ := c.target(); got != "b:2" {
 		t.Fatalf("after one rotation addr = %q, want b:2", got)
 	}
 	// A not-leader hint naming a configured address jumps straight to it.
 	c.rotateAddr("c:3")
-	if got := c.pickAddr(); got != "c:3" {
+	if got, _, _ := c.target(); got != "c:3" {
 		t.Fatalf("after hint addr = %q, want c:3", got)
 	}
 	// An unknown hint degrades to plain rotation (and wraps).
 	c.rotateAddr("unknown:9")
-	if got := c.pickAddr(); got != "a:1" {
+	if got, _, _ := c.target(); got != "a:1" {
 		t.Fatalf("after unknown hint addr = %q, want a:1", got)
 	}
 
 	single := &Client{cfg: Config{Addr: "only:1"}}
-	if got := single.pickAddr(); got != "only:1" {
+	if got, _, _ := single.target(); got != "only:1" {
 		t.Fatalf("single-addr fallback = %q, want only:1", got)
 	}
 	single.rotateAddr("")
-	if got := single.pickAddr(); got != "only:1" {
+	if got, _, _ := single.target(); got != "only:1" {
 		t.Fatalf("single-addr after rotation = %q, want only:1", got)
 	}
 }

@@ -50,12 +50,18 @@ import (
 	"jupiter/internal/client"
 	"jupiter/internal/metrics"
 	"jupiter/internal/opid"
+	"jupiter/internal/placement"
 )
 
 // Config configures one load run.
 type Config struct {
 	// Addrs are the server addresses (a replicated cluster's full list).
 	Addrs []string
+	// Placement, when non-empty, supersedes Addrs: the placement service's
+	// route address. Every pool connection routes its document through one
+	// shared routing cache, so the run drives a doc-sharded cluster and
+	// follows live migrations mid-run.
+	Placement string
 	// Docs is how many documents the workload spreads over (named
 	// DocPrefix + index).
 	Docs int
@@ -338,7 +344,7 @@ func (s *stats) noteDebt(late time.Duration, threshold time.Duration) {
 // cancellation); workload failures (SLO misses, spec violations, drain
 // timeouts) land in Result.Failures with the partial numbers preserved.
 func Run(ctx context.Context, cfg Config) (*Result, error) {
-	if len(cfg.Addrs) == 0 {
+	if len(cfg.Addrs) == 0 && cfg.Placement == "" {
 		return nil, errors.New("loadgen: no server addresses")
 	}
 	if cfg.Docs <= 0 {
@@ -460,6 +466,10 @@ func (g *gen) setup() error {
 	}
 
 	g.pool = make([]*poolConn, len(dials))
+	var pcache *placement.Cache
+	if cfg.Placement != "" {
+		pcache = placement.NewCache(cfg.Placement)
+	}
 	var wg sync.WaitGroup
 	errCh := make(chan error, len(dials))
 	for i, d := range dials {
@@ -474,16 +484,17 @@ func (g *gen) setup() error {
 		go func(pc *poolConn) {
 			defer wg.Done()
 			ccfg := client.Config{
-				Addrs:      cfg.Addrs,
-				Doc:        fmt.Sprintf("%s%03d", cfg.docPrefix(), pc.doc),
-				Seed:       cfg.seed()*10000 + int64(pc.doc) + 1,
-				MinBackoff: 10 * time.Millisecond,
-				MaxBackoff: 500 * time.Millisecond,
-				Codec:      cfg.Codec,
-				Window:     cfg.Window,
-				BatchOps:   cfg.BatchOps,
-				OnAck:      func(id opid.OpID, _ uint64) { pc.onAck(&g.st, id) },
-				Logf:       cfg.Logf,
+				Addrs:          cfg.Addrs,
+				PlacementCache: pcache,
+				Doc:            fmt.Sprintf("%s%03d", cfg.docPrefix(), pc.doc),
+				Seed:           cfg.seed()*10000 + int64(pc.doc) + 1,
+				MinBackoff:     10 * time.Millisecond,
+				MaxBackoff:     500 * time.Millisecond,
+				Codec:          cfg.Codec,
+				Window:         cfg.Window,
+				BatchOps:       cfg.BatchOps,
+				OnAck:          func(id opid.OpID, _ uint64) { pc.onAck(&g.st, id) },
+				Logf:           cfg.Logf,
 			}
 			if rec, ok := g.sampled[pc.doc]; ok {
 				ccfg.Recorder = rec

@@ -188,6 +188,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	topks    map[string]*TopK
 }
 
 // NewRegistry creates an empty registry.
@@ -196,6 +197,7 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		topks:    make(map[string]*TopK),
 	}
 }
 
@@ -235,13 +237,27 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// TopK returns the named top-K rate tracker (DefaultTopKWindow), creating
+// it on first use. Snapshots render it as the 10 highest-rate keys.
+func (r *Registry) TopK(name string) *TopK {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.topks[name]
+	if !ok {
+		t = NewTopK(0)
+		r.topks[name] = t
+	}
+	return t
+}
+
 // Snapshot renders every instrument into one sorted JSON-friendly map.
 func (r *Registry) Snapshot() map[string]any {
 	r.mu.Lock()
-	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists)+len(r.topks))
 	counters := make(map[string]*Counter, len(r.counters))
 	gauges := make(map[string]*Gauge, len(r.gauges))
 	hists := make(map[string]*Histogram, len(r.hists))
+	topks := make(map[string]*TopK, len(r.topks))
 	for n, c := range r.counters {
 		names = append(names, n)
 		counters[n] = c
@@ -254,6 +270,10 @@ func (r *Registry) Snapshot() map[string]any {
 		names = append(names, n)
 		hists[n] = h
 	}
+	for n, t := range r.topks {
+		names = append(names, n)
+		topks[n] = t
+	}
 	r.mu.Unlock()
 	sort.Strings(names)
 	out := make(map[string]any, len(names))
@@ -265,6 +285,8 @@ func (r *Registry) Snapshot() map[string]any {
 			out[n] = gauges[n].Value()
 		case hists[n] != nil:
 			out[n] = hists[n].Snapshot()
+		case topks[n] != nil:
+			out[n] = topks[n].Top(10)
 		}
 	}
 	return out

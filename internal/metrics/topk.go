@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// TopK tracks per-key event rates over rolling windows — the instrument
+// behind doc_ops_rate, which surfaces the hottest documents of a shard so
+// an operator (or a future rebalancer) can pick migration candidates
+// before a document melts its apply loop.
+//
+// Each key keeps a lifetime total plus two fixed windows (current and
+// previous); the rate reported for a key is events per second over the most
+// recently COMPLETED window, so a snapshot mid-window does not understate a
+// steady rate. Keys are tracked exactly — no sketch — which is fine at the
+// thousands-of-documents scale a shard hosts; a prune pass drops idle keys
+// when the map grows past a bound so a churning workload cannot grow it
+// without limit.
+type TopK struct {
+	mu     sync.Mutex
+	window time.Duration
+	keys   map[string]*topkEntry
+	now    func() time.Time // injectable for tests
+}
+
+type topkEntry struct {
+	total  int64
+	cur    int64
+	prev   int64
+	curWin int64 // window index of cur
+}
+
+// topkMaxKeys bounds the tracked-key map; beyond it, idle keys (no event in
+// the current or previous window) are pruned.
+const topkMaxKeys = 8192
+
+// DefaultTopKWindow is the rate window when the registry creates the
+// instrument.
+const DefaultTopKWindow = 10 * time.Second
+
+// NewTopK creates a tracker with the given rate window (<= 0 selects
+// DefaultTopKWindow).
+func NewTopK(window time.Duration) *TopK {
+	if window <= 0 {
+		window = DefaultTopKWindow
+	}
+	return &TopK{window: window, keys: make(map[string]*topkEntry), now: time.Now}
+}
+
+func (t *TopK) win() int64 { return t.now().UnixNano() / int64(t.window) }
+
+// roll advances an entry's windows to w.
+func roll(e *topkEntry, w int64) {
+	switch {
+	case w == e.curWin:
+	case w == e.curWin+1:
+		e.prev, e.cur, e.curWin = e.cur, 0, w
+	default:
+		e.prev, e.cur, e.curWin = 0, 0, w
+	}
+}
+
+// Inc records one event for key.
+func (t *TopK) Inc(key string) { t.Add(key, 1) }
+
+// Add records n events for key.
+func (t *TopK) Add(key string, n int64) {
+	w := t.win()
+	t.mu.Lock()
+	e, ok := t.keys[key]
+	if !ok {
+		if len(t.keys) >= topkMaxKeys {
+			t.pruneLocked(w)
+		}
+		e = &topkEntry{curWin: w}
+		t.keys[key] = e
+	}
+	roll(e, w)
+	e.cur += n
+	e.total += n
+	t.mu.Unlock()
+}
+
+// pruneLocked drops keys with no events in the current or previous window.
+func (t *TopK) pruneLocked(w int64) {
+	for k, e := range t.keys {
+		if e.curWin < w-1 {
+			delete(t.keys, k)
+		}
+	}
+}
+
+// TopKEntry is one key's snapshot row.
+type TopKEntry struct {
+	Key        string  `json:"key"`
+	Total      int64   `json:"total"`
+	RatePerSec float64 `json:"ratePerSec"`
+}
+
+// Top returns the k highest-rate keys (ties broken by total, then key, so
+// the order is deterministic). Rate is over the last completed window; keys
+// idle for two windows report zero and rank by total only.
+func (t *TopK) Top(k int) []TopKEntry {
+	w := t.win()
+	secs := t.window.Seconds()
+	t.mu.Lock()
+	all := make([]TopKEntry, 0, len(t.keys))
+	for key, e := range t.keys {
+		var done int64
+		switch {
+		case w == e.curWin:
+			done = e.prev
+		case w == e.curWin+1:
+			done = e.cur
+		}
+		all = append(all, TopKEntry{Key: key, Total: e.total, RatePerSec: float64(done) / secs})
+	}
+	t.mu.Unlock()
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].RatePerSec != all[b].RatePerSec {
+			return all[a].RatePerSec > all[b].RatePerSec
+		}
+		if all[a].Total != all[b].Total {
+			return all[a].Total > all[b].Total
+		}
+		return all[a].Key < all[b].Key
+	})
+	if k > 0 && len(all) > k {
+		all = all[:k]
+	}
+	return all
+}

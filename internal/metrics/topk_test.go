@@ -1,0 +1,155 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a TopK through window boundaries deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newFakeTopK(window time.Duration) (*TopK, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	tk := NewTopK(window)
+	tk.now = clk.now
+	return tk, clk
+}
+
+// TestTopKRates: rate comes from the last completed window, totals are
+// lifetime, and ordering is rate-first.
+func TestTopKRates(t *testing.T) {
+	tk, clk := newFakeTopK(10 * time.Second)
+	for i := 0; i < 100; i++ {
+		tk.Inc("hot")
+	}
+	for i := 0; i < 5; i++ {
+		tk.Inc("warm")
+	}
+	tk.Inc("cold")
+	// Mid-window: no completed window yet, every rate is zero; order falls
+	// back to totals.
+	top := tk.Top(3)
+	if len(top) != 3 || top[0].Key != "hot" || top[0].Total != 100 || top[0].RatePerSec != 0 {
+		t.Fatalf("mid-window top = %+v", top)
+	}
+	// Complete the window: rates appear.
+	clk.advance(10 * time.Second)
+	top = tk.Top(2)
+	if len(top) != 2 {
+		t.Fatalf("Top(2) returned %d entries", len(top))
+	}
+	if top[0].Key != "hot" || top[0].RatePerSec != 10.0 {
+		t.Errorf("hot rate = %+v, want 10/s", top[0])
+	}
+	if top[1].Key != "warm" || top[1].RatePerSec != 0.5 {
+		t.Errorf("warm rate = %+v, want 0.5/s", top[1])
+	}
+	// Two idle windows later the rate decays to zero, totals remain.
+	clk.advance(20 * time.Second)
+	top = tk.Top(1)
+	if top[0].RatePerSec != 0 || top[0].Total != 100 {
+		t.Errorf("idle top = %+v, want rate 0 total 100", top[0])
+	}
+}
+
+// TestTopKRolling: events in consecutive windows keep reporting the prior
+// window's rate, not a stale one.
+func TestTopKRolling(t *testing.T) {
+	tk, clk := newFakeTopK(time.Second)
+	tk.Add("d", 4)
+	clk.advance(time.Second)
+	tk.Add("d", 8)
+	if got := tk.Top(1)[0].RatePerSec; got != 4 {
+		t.Errorf("rate after first roll = %v, want 4", got)
+	}
+	clk.advance(time.Second)
+	if got := tk.Top(1)[0].RatePerSec; got != 8 {
+		t.Errorf("rate after second roll = %v, want 8", got)
+	}
+}
+
+// TestTopKPrune: the tracked-key map stays bounded under key churn.
+func TestTopKPrune(t *testing.T) {
+	tk, clk := newFakeTopK(time.Second)
+	for i := 0; i < topkMaxKeys+500; i++ {
+		tk.Inc(fmt.Sprintf("doc-%d", i))
+		if i%1000 == 999 {
+			clk.advance(3 * time.Second) // all earlier keys go idle
+		}
+	}
+	tk.mu.Lock()
+	n := len(tk.keys)
+	tk.mu.Unlock()
+	if n > topkMaxKeys+1000 {
+		t.Errorf("tracked keys grew to %d despite pruning", n)
+	}
+}
+
+// TestTopKConcurrent: concurrent Inc/Top under -race.
+func TestTopKConcurrent(t *testing.T) {
+	tk := NewTopK(time.Millisecond)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tk.Inc(fmt.Sprintf("doc-%d", i%7))
+				if i%100 == 0 {
+					tk.Top(3)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total int64
+	for _, e := range tk.Top(0) {
+		total += e.Total
+	}
+	if total != 4000 {
+		t.Errorf("totals sum to %d, want 4000", total)
+	}
+}
+
+// TestRegistryTopKSnapshot: the registry renders a top-k instrument as an
+// entry array in its JSON snapshot.
+func TestRegistryTopKSnapshot(t *testing.T) {
+	r := NewRegistry()
+	tk := r.TopK("doc_ops_rate")
+	if r.TopK("doc_ops_rate") != tk {
+		t.Fatal("TopK not idempotent")
+	}
+	tk.Inc("notes")
+	tk.Inc("notes")
+	tk.Inc("todo")
+	snap := r.Snapshot()
+	data, err := json.Marshal(snap["doc_ops_rate"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []TopKEntry
+	if err := json.Unmarshal(data, &rows); err != nil {
+		t.Fatalf("snapshot entry not an entry array: %v (%s)", err, data)
+	}
+	if len(rows) != 2 || rows[0].Key != "notes" || rows[0].Total != 2 {
+		t.Errorf("snapshot rows = %+v", rows)
+	}
+}

@@ -1,0 +1,151 @@
+package placement
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"jupiter/internal/wire"
+)
+
+// Cache is a client's view of the routing table: fetched from the placement
+// service on first lookup, then served locally until invalidated. A client
+// invalidates when a shard tells it the table is stale (a wrong-shard
+// reject) and applies Moved hints as local overrides without a refetch —
+// the hint carries the new home's addresses, so the client can reconnect
+// immediately even if the placement service is briefly unreachable.
+type Cache struct {
+	addr     string
+	maxFrame int
+	timeout  time.Duration
+
+	mu        sync.Mutex
+	ring      *Ring
+	overrides map[string]wire.Shard // Moved hints observed by this client
+}
+
+// NewCache creates a cache fetching from the placement service at addr.
+func NewCache(addr string) *Cache {
+	return &Cache{addr: addr, timeout: 5 * time.Second, overrides: make(map[string]wire.Shard)}
+}
+
+// Lookup routes a document, fetching the table on first use. Local Moved
+// overrides win over the fetched table (they are strictly newer: a shard
+// issued them after the table was built).
+func (c *Cache) Lookup(doc string) (wire.Shard, error) {
+	c.mu.Lock()
+	if sh, ok := c.overrides[doc]; ok {
+		c.mu.Unlock()
+		return sh, nil
+	}
+	ring := c.ring
+	c.mu.Unlock()
+	if ring == nil {
+		var err error
+		ring, err = c.fetch(doc)
+		if err != nil {
+			return wire.Shard{}, err
+		}
+	}
+	return ring.Lookup(doc), nil
+}
+
+// Invalidate drops the cached table (and any local overrides — a fresh
+// table subsumes them), forcing a refetch on the next lookup.
+func (c *Cache) Invalidate() {
+	c.mu.Lock()
+	c.ring = nil
+	c.overrides = make(map[string]wire.Shard)
+	c.mu.Unlock()
+}
+
+// ApplyMoved records a Moved hint as a local override. With addresses the
+// override is complete; without, it resolves against the cached table's
+// shard list (and is dropped if the shard is unknown — the next lookup
+// refetches).
+func (c *Cache) ApplyMoved(mv wire.Moved) {
+	sh := wire.Shard{ID: mv.Shard, Addrs: mv.Addrs}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(sh.Addrs) == 0 {
+		if c.ring == nil {
+			return
+		}
+		known, err := c.ring.Shard(mv.Shard)
+		if err != nil {
+			c.ring = nil // table too stale to resolve the hint
+			return
+		}
+		sh.Addrs = known.Addrs
+	}
+	c.overrides[mv.Doc] = sh
+}
+
+// Shard resolves a shard id against the table, fetching it on first use.
+func (c *Cache) Shard(id string) (wire.Shard, error) {
+	c.mu.Lock()
+	ring := c.ring
+	c.mu.Unlock()
+	if ring == nil {
+		var err error
+		if ring, err = c.fetch(""); err != nil {
+			return wire.Shard{}, err
+		}
+	}
+	return ring.Shard(id)
+}
+
+// Version reports the cached table version (0 when nothing is cached).
+func (c *Cache) Version() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ring == nil {
+		return 0
+	}
+	return c.ring.Version()
+}
+
+// fetch retrieves the table from the placement service and installs it.
+func (c *Cache) fetch(doc string) (*Ring, error) {
+	nc, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	if err != nil {
+		return nil, fmt.Errorf("placement: fetch table: %w", err)
+	}
+	defer nc.Close()
+	_ = nc.SetDeadline(time.Now().Add(c.timeout))
+	st := wire.NewStream(nc, c.maxFrame)
+	c.mu.Lock()
+	var ver uint64
+	if c.ring != nil {
+		ver = c.ring.Version()
+	}
+	c.mu.Unlock()
+	if err := st.Write(&wire.Frame{Type: wire.TRoute, Route: &wire.Route{Doc: doc, Version: ver}}); err != nil {
+		return nil, fmt.Errorf("placement: fetch table: %w", err)
+	}
+	f, err := st.Read()
+	if err != nil {
+		return nil, fmt.Errorf("placement: fetch table: %w", err)
+	}
+	if f.Type != wire.TRoutes {
+		return nil, fmt.Errorf("placement: fetch table: unexpected %s frame", f.Type)
+	}
+	ring, err := NewRing(f.Routes.Table)
+	if err != nil {
+		return nil, fmt.Errorf("placement: fetch table: %w", err)
+	}
+	c.mu.Lock()
+	// Keep the newest table; drop overrides the new table already records.
+	if c.ring == nil || ring.Version() > c.ring.Version() {
+		c.ring = ring
+		for d := range c.overrides {
+			if _, ok := ring.overrides[d]; ok {
+				delete(c.overrides, d)
+			}
+		}
+	}
+	ring = c.ring
+	c.mu.Unlock()
+	return ring, nil
+}

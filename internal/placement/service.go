@@ -1,0 +1,402 @@
+package placement
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"jupiter/internal/metrics"
+	"jupiter/internal/wire"
+)
+
+// Config configures a placement Service.
+type Config struct {
+	// Addr is the TCP listen address for the route protocol (route/routes
+	// frames over the ordinary wire layer).
+	Addr string
+	// HTTPAddr, when non-empty, serves the admin surface: "/" the metrics
+	// registry, "/table" the routing table with per-shard doc counts,
+	// "/migrate" (POST, doc= and to= params) a migration trigger.
+	HTTPAddr string
+	// Table is the initial routing table. Version 0 is bumped to 1 so a
+	// client can always treat version 0 as "no table yet".
+	Table wire.Table
+	// MaxFrame caps wire frame bodies (0 = wire.DefaultMaxFrame).
+	MaxFrame int
+	// DialTimeout bounds the dial to a source shard when driving a
+	// migration (0 = 5s).
+	DialTimeout time.Duration
+	// Listener, when non-nil, is used instead of listening on Addr.
+	Listener net.Listener
+	// Logf, when non-nil, receives one line per event.
+	Logf func(format string, args ...any)
+}
+
+// Service is the placement daemon (cmd/jupiterplace): it owns the routing
+// table, answers route queries from clients, and drives document migrations
+// against the shards. One instance per cluster; the table is in-memory —
+// restarting it loses overrides, which is safe (shards keep serving Moved
+// hints for documents they migrated away, so clients still converge).
+type Service struct {
+	cfg Config
+	reg *metrics.Registry
+
+	ln      net.Listener
+	httpLn  net.Listener
+	httpSrv *http.Server
+
+	mu        sync.Mutex
+	ring      *Ring
+	seen      map[string]struct{} // docs observed in route queries
+	migrating map[string]bool     // per-doc in-flight migration latch
+	closed    bool
+
+	wg sync.WaitGroup
+}
+
+// ErrClosed is returned for operations on a shut-down service.
+var ErrClosed = errors.New("placement: service closed")
+
+// NewService validates the table and creates a service; call Start to begin
+// serving.
+func NewService(cfg Config) (*Service, error) {
+	if cfg.Table.Version == 0 {
+		cfg.Table.Version = 1
+	}
+	ring, err := NewRing(cfg.Table)
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{
+		cfg:       cfg,
+		reg:       metrics.NewRegistry(),
+		ring:      ring,
+		seen:      make(map[string]struct{}),
+		migrating: make(map[string]bool),
+	}
+	s.reg.Gauge("table_version").Set(int64(ring.Version()))
+	s.reg.Gauge("shards").Set(int64(len(cfg.Table.Shards)))
+	return s, nil
+}
+
+// Metrics returns the service's metrics registry.
+func (s *Service) Metrics() *metrics.Registry { return s.reg }
+
+func (s *Service) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+func (s *Service) dialTimeout() time.Duration {
+	if s.cfg.DialTimeout <= 0 {
+		return 5 * time.Second
+	}
+	return s.cfg.DialTimeout
+}
+
+// Start binds the listeners and spawns the accept loops.
+func (s *Service) Start() error {
+	ln := s.cfg.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", s.cfg.Addr)
+		if err != nil {
+			return fmt.Errorf("placement: listen: %w", err)
+		}
+	}
+	s.ln = ln
+	if s.cfg.HTTPAddr != "" {
+		hln, err := net.Listen("tcp", s.cfg.HTTPAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("placement: http listen: %w", err)
+		}
+		s.httpLn = hln
+		mux := http.NewServeMux()
+		mux.Handle("/", s.reg.Handler())
+		mux.HandleFunc("/table", s.serveTable)
+		mux.HandleFunc("/migrate", s.serveMigrate)
+		s.httpSrv = &http.Server{Handler: mux}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			_ = s.httpSrv.Serve(hln)
+		}()
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the bound route-protocol address.
+func (s *Service) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// HTTPAddr returns the bound admin address ("" when disabled).
+func (s *Service) HTTPAddr() string {
+	if s.httpLn == nil {
+		return ""
+	}
+	return s.httpLn.Addr().String()
+}
+
+// Close stops the service and joins its goroutines.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.ln.Close()
+	if s.httpSrv != nil {
+		_ = s.httpSrv.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *Service) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return
+		}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(nc)
+	}
+}
+
+// serveConn answers route queries on one connection: every Route frame gets
+// a Routes frame carrying the full current table (tables are tiny — a
+// version, a shard list, and the overrides — so there is no delta protocol).
+func (s *Service) serveConn(nc net.Conn) {
+	defer s.wg.Done()
+	defer nc.Close()
+	st := wire.NewStream(nc, s.cfg.MaxFrame)
+	for {
+		_ = nc.SetReadDeadline(time.Now().Add(time.Minute))
+		f, err := st.Read()
+		if err != nil {
+			return
+		}
+		switch f.Type {
+		case wire.TRoute:
+			s.reg.Counter("route_requests_total").Inc()
+			s.mu.Lock()
+			ring := s.ring
+			if f.Route != nil && f.Route.Doc != "" {
+				s.seen[f.Route.Doc] = struct{}{}
+			}
+			s.mu.Unlock()
+			_ = nc.SetWriteDeadline(time.Now().Add(10 * time.Second))
+			if err := st.Write(&wire.Frame{Type: wire.TRoutes, Routes: &wire.Routes{Table: ring.Table()}}); err != nil {
+				return
+			}
+		case wire.TBye:
+			return
+		default:
+			s.reg.Counter("protocol_errors_total").Inc()
+			_ = st.Write(&wire.Frame{Type: wire.TError, Error: &wire.Error{
+				Code: wire.CodeProtocol, Msg: "unexpected frame type " + f.Type,
+			}})
+			return
+		}
+	}
+}
+
+// Lookup routes a document on the current table.
+func (s *Service) Lookup(doc string) wire.Shard {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ring.Lookup(doc)
+}
+
+// Table returns a copy of the current routing table.
+func (s *Service) Table() wire.Table {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ring.Table()
+}
+
+// DocCounts returns, per shard id, how many route-queried documents the
+// current table assigns to it. Observational (only docs some client asked
+// about), which is exactly what the operator wants to see balanced.
+func (s *Service) DocCounts() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	counts := make(map[string]int, len(s.ring.table.Shards))
+	for i := range s.ring.table.Shards {
+		counts[s.ring.table.Shards[i].ID] = 0
+	}
+	for doc := range s.seen {
+		counts[s.ring.Lookup(doc).ID]++
+	}
+	return counts
+}
+
+// MigrateTo moves a document to the given shard: it asks the document's
+// current shard to freeze and transfer it, and on success records an
+// override and bumps the table version. Concurrent calls for the same
+// document are serialized by an in-flight latch.
+func (s *Service) MigrateTo(doc, shardID string) error {
+	if doc == "" {
+		return errors.New("placement: migrate: empty doc")
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if s.migrating[doc] {
+		s.mu.Unlock()
+		return fmt.Errorf("placement: migration of %q already in flight", doc)
+	}
+	target, err := s.ring.Shard(shardID)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	source := s.ring.Lookup(doc)
+	if source.ID == target.ID {
+		s.mu.Unlock()
+		return nil // already there
+	}
+	s.migrating[doc] = true
+	s.seen[doc] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.migrating, doc)
+		s.mu.Unlock()
+	}()
+
+	s.logf("migrating %q: shard %s -> %s", doc, source.ID, target.ID)
+	if err := s.driveMigration(doc, source, target); err != nil {
+		s.reg.Counter("migration_failures_total").Inc()
+		s.logf("migrating %q: failed: %v", doc, err)
+		return err
+	}
+
+	s.mu.Lock()
+	t := s.ring.Table()
+	replaced := false
+	for i := range t.Overrides {
+		if t.Overrides[i].Doc == doc {
+			t.Overrides[i].Shard = target.ID
+			replaced = true
+		}
+	}
+	if !replaced {
+		t.Overrides = append(t.Overrides, wire.Override{Doc: doc, Shard: target.ID})
+	}
+	t.Version++
+	ring, err := NewRing(t)
+	if err != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("placement: rebuild after migration: %w", err)
+	}
+	s.ring = ring
+	s.mu.Unlock()
+	s.reg.Counter("migrations_total").Inc()
+	s.reg.Gauge("table_version").Set(int64(t.Version))
+	s.logf("migrating %q: done, table v%d", doc, t.Version)
+	return nil
+}
+
+// driveMigration sends the Migrate command to the source shard and waits
+// for its ack. Dial errors try the source's next address; a received
+// negative ack is authoritative.
+func (s *Service) driveMigration(doc string, source, target wire.Shard) error {
+	cmd := &wire.Frame{Type: wire.TMigrate, Migrate: &wire.Migrate{
+		Doc: doc, TargetShard: target.ID, TargetAddrs: target.Addrs,
+	}}
+	var lastErr error
+	for _, addr := range source.Addrs {
+		nc, err := net.DialTimeout("tcp", addr, s.dialTimeout())
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		ack, err := s.command(nc, cmd)
+		nc.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if !ack.OK {
+			return fmt.Errorf("placement: source %s: %s", source.ID, ack.Err)
+		}
+		return nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("placement: shard %s has no addresses", source.ID)
+	}
+	return lastErr
+}
+
+func (s *Service) command(nc net.Conn, cmd *wire.Frame) (*wire.MigAck, error) {
+	// Generous deadline: the source's side of the deadline covers freeze +
+	// transfer + install before it can ack.
+	_ = nc.SetDeadline(time.Now().Add(30 * time.Second))
+	st := wire.NewStream(nc, s.cfg.MaxFrame)
+	if err := st.Write(cmd); err != nil {
+		return nil, err
+	}
+	f, err := st.Read()
+	if err != nil {
+		return nil, err
+	}
+	if f.Type != wire.TMigAck {
+		return nil, fmt.Errorf("placement: unexpected %s frame from shard", f.Type)
+	}
+	return f.MigAck, nil
+}
+
+// tableView is the /table JSON document.
+type tableView struct {
+	Table wire.Table     `json:"table"`
+	Docs  map[string]int `json:"docs"`
+}
+
+func (s *Service) serveTable(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(tableView{Table: s.Table(), Docs: s.DocCounts()})
+}
+
+func (s *Service) serveMigrate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	doc, to := r.FormValue("doc"), r.FormValue("to")
+	if doc == "" || to == "" {
+		http.Error(w, "doc and to parameters required", http.StatusBadRequest)
+		return
+	}
+	if err := s.MigrateTo(doc, to); err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{"doc": doc, "shard": to, "version": s.Table().Version})
+}

@@ -1,0 +1,187 @@
+package placement
+
+import (
+	"context"
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"jupiter/internal/server"
+	"jupiter/internal/wire"
+)
+
+func startService(t *testing.T, tbl wire.Table) *Service {
+	t.Helper()
+	s, err := NewService(Config{Addr: "127.0.0.1:0", HTTPAddr: "127.0.0.1:0", Table: tbl, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// TestServiceRouteAndCache: a cache fetches the table over the wire, routes
+// locally, and agrees with the service's own lookup.
+func TestServiceRouteAndCache(t *testing.T) {
+	s := startService(t, testTable(3))
+	c := NewCache(s.Addr())
+	for _, doc := range []string{"alpha", "beta", "gamma"} {
+		sh, err := c.Lookup(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := s.Lookup(doc); sh.ID != want.ID {
+			t.Errorf("doc %q: cache says %s, service says %s", doc, sh.ID, want.ID)
+		}
+	}
+	if v := c.Version(); v != 1 {
+		t.Errorf("cached version = %d, want 1", v)
+	}
+	if n := s.Metrics().Counter("route_requests_total").Value(); n != 1 {
+		t.Errorf("route_requests_total = %d, want 1 (cache fetches once)", n)
+	}
+	counts := s.DocCounts()
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != 1 {
+		t.Errorf("DocCounts total = %d, want 1 (only the fetch-triggering doc observed)", total)
+	}
+}
+
+// TestCacheMovedOverride: a Moved hint wins over the fetched table, and
+// Invalidate clears it.
+func TestCacheMovedOverride(t *testing.T) {
+	s := startService(t, testTable(2))
+	c := NewCache(s.Addr())
+	if _, err := c.Lookup("notes"); err != nil {
+		t.Fatal(err)
+	}
+	c.ApplyMoved(wire.Moved{Doc: "notes", Shard: "s1", Addrs: []string{"127.0.0.1:9999"}})
+	sh, err := c.Lookup("notes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.ID != "s1" || sh.Addrs[0] != "127.0.0.1:9999" {
+		t.Errorf("override not applied: %+v", sh)
+	}
+	c.Invalidate()
+	sh, err = c.Lookup("notes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := s.Lookup("notes"); sh.ID != want.ID {
+		t.Errorf("after invalidate, cache says %s, service says %s", sh.ID, want.ID)
+	}
+}
+
+// startShard brings up a standalone engine posing as one shard.
+func startShard(t *testing.T, id string) *server.Engine {
+	t.Helper()
+	e := server.New(server.Config{Addr: "127.0.0.1:0", ShardID: id, Logf: t.Logf})
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = e.Shutdown(ctx)
+	})
+	return e
+}
+
+// TestMigrateUnhostedDoc: migrating a document the source never hosted
+// succeeds (the target creates it on first join) and records an override.
+func TestMigrateUnhostedDoc(t *testing.T) {
+	src, dst := startShard(t, "s0"), startShard(t, "s1")
+	tbl := wire.Table{Version: 1, VNodes: 64, Shards: []wire.Shard{
+		{ID: "s0", Addrs: []string{src.Addr()}},
+		{ID: "s1", Addrs: []string{dst.Addr()}},
+	}}
+	s := startService(t, tbl)
+
+	// Find a doc the ring places on s0, then move it to s1.
+	var doc string
+	for i := 0; ; i++ {
+		doc = "doc-" + strings.Repeat("x", i%3) + "-" + string(rune('a'+i%26))
+		if s.Lookup(doc).ID == "s0" {
+			break
+		}
+	}
+	if err := s.MigrateTo(doc, "s1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Lookup(doc).ID; got != "s1" {
+		t.Errorf("after migration, doc routes to %s, want s1", got)
+	}
+	if v := s.Table().Version; v != 2 {
+		t.Errorf("table version = %d, want 2", v)
+	}
+	if n := s.Metrics().Counter("migrations_total").Value(); n != 1 {
+		t.Errorf("migrations_total = %d, want 1", n)
+	}
+	// Migrating to where it already lives is a no-op.
+	if err := s.MigrateTo(doc, "s1"); err != nil {
+		t.Fatal(err)
+	}
+	if v := s.Table().Version; v != 2 {
+		t.Errorf("no-op migration bumped version to %d", v)
+	}
+	// Unknown target shard is an error.
+	if err := s.MigrateTo(doc, "ghost"); err == nil {
+		t.Error("MigrateTo accepted an unknown shard")
+	}
+}
+
+// TestServiceHTTP: /table reports the table and /migrate drives a move.
+func TestServiceHTTP(t *testing.T) {
+	src, dst := startShard(t, "s0"), startShard(t, "s1")
+	tbl := wire.Table{Version: 1, VNodes: 64, Shards: []wire.Shard{
+		{ID: "s0", Addrs: []string{src.Addr()}},
+		{ID: "s1", Addrs: []string{dst.Addr()}},
+	}}
+	s := startService(t, tbl)
+
+	resp, err := http.Get("http://" + s.HTTPAddr() + "/table")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/table status %d", resp.StatusCode)
+	}
+
+	var doc string
+	for i := 0; ; i++ {
+		doc = "http-doc-" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+		if s.Lookup(doc).ID == "s0" {
+			break
+		}
+	}
+	resp, err = http.PostForm("http://"+s.HTTPAddr()+"/migrate", url.Values{"doc": {doc}, "to": {"s1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/migrate status %d", resp.StatusCode)
+	}
+	if got := s.Lookup(doc).ID; got != "s1" {
+		t.Errorf("after HTTP migrate, doc routes to %s, want s1", got)
+	}
+	// GET on /migrate is refused.
+	resp, err = http.Get("http://" + s.HTTPAddr() + "/migrate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /migrate status %d, want 405", resp.StatusCode)
+	}
+}

@@ -1,0 +1,128 @@
+// Package placement is the cluster layer that maps documents onto jupiterd
+// shard processes: a consistent-hash routing table owned by a small
+// placement service (cmd/jupiterplace), served to clients over the wire
+// layer's route/routes frames, and a migration driver that moves a live
+// document between shards through the shards' freeze/transfer protocol.
+//
+// The table is deliberately tiny — a version, a shard list, a virtual-node
+// count, and per-document overrides recording completed migrations — so
+// every client can hold the whole thing and route locally. Lookup is
+// overrides first, then the ring, so a migrated document routes to its new
+// home without moving any other document (the point of consistent hashing).
+package placement
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+
+	"jupiter/internal/wire"
+)
+
+// Ring is an immutable consistent-hash lookup structure built from a
+// routing table. Each shard contributes VNodes points on a 64-bit ring
+// (FNV-1a of "id#k"); a document hashes to a point and routes to the next
+// shard point clockwise. Build a new Ring after any table change.
+type Ring struct {
+	table     wire.Table
+	points    []ringPoint // sorted by hash
+	byID      map[string]int
+	overrides map[string]string
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int // index into table.Shards
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer. Raw FNV-1a maps strings that differ
+// only in a trailing counter ("s0#1", "s0#2", ...) to near-identical
+// values, which clusters a shard's virtual nodes into one arc of the ring
+// and ruins the balance; the finalizer's avalanche spreads them uniformly.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// NewRing validates the table (same rules the wire decoder enforces) and
+// builds the lookup structure.
+func NewRing(t wire.Table) (*Ring, error) {
+	if err := wire.ValidateTable(&t); err != nil {
+		return nil, err
+	}
+	r := &Ring{
+		table:     t,
+		points:    make([]ringPoint, 0, len(t.Shards)*t.VNodes),
+		byID:      make(map[string]int, len(t.Shards)),
+		overrides: make(map[string]string, len(t.Overrides)),
+	}
+	for i := range t.Shards {
+		r.byID[t.Shards[i].ID] = i
+		for v := 0; v < t.VNodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:  hash64(t.Shards[i].ID + "#" + strconv.Itoa(v)),
+				shard: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Ties broken by shard id so the ring is deterministic across hosts.
+		return t.Shards[r.points[a].shard].ID < t.Shards[r.points[b].shard].ID
+	})
+	for _, o := range t.Overrides {
+		r.overrides[o.Doc] = o.Shard
+	}
+	return r, nil
+}
+
+// Lookup returns the shard owning doc: its override if migrated, otherwise
+// the first ring point at or after the document's hash.
+func (r *Ring) Lookup(doc string) wire.Shard {
+	if id, ok := r.overrides[doc]; ok {
+		return r.table.Shards[r.byID[id]]
+	}
+	h := hash64(doc)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.table.Shards[r.points[i].shard]
+}
+
+// Version returns the table version the ring was built from.
+func (r *Ring) Version() uint64 { return r.table.Version }
+
+// Table returns a deep copy of the underlying table, safe for the caller
+// to modify (the service bumps the version and adds overrides on it).
+func (r *Ring) Table() wire.Table {
+	t := r.table
+	t.Shards = append([]wire.Shard(nil), r.table.Shards...)
+	for i := range t.Shards {
+		t.Shards[i].Addrs = append([]string(nil), t.Shards[i].Addrs...)
+	}
+	t.Overrides = append([]wire.Override(nil), r.table.Overrides...)
+	return t
+}
+
+// Shard returns the shard with the given id.
+func (r *Ring) Shard(id string) (wire.Shard, error) {
+	i, ok := r.byID[id]
+	if !ok {
+		return wire.Shard{}, fmt.Errorf("placement: unknown shard %q", id)
+	}
+	return r.table.Shards[i], nil
+}

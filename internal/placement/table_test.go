@@ -1,0 +1,151 @@
+package placement
+
+import (
+	"fmt"
+	"testing"
+
+	"jupiter/internal/wire"
+)
+
+func testTable(n int) wire.Table {
+	t := wire.Table{Version: 1, VNodes: 64}
+	for i := 0; i < n; i++ {
+		t.Shards = append(t.Shards, wire.Shard{
+			ID:    fmt.Sprintf("s%d", i),
+			Addrs: []string{fmt.Sprintf("127.0.0.1:%d", 9100+i*100)},
+		})
+	}
+	return t
+}
+
+// TestRingDeterministic: the same table yields the same routing on every
+// build — clients and the service must agree without coordination.
+func TestRingDeterministic(t *testing.T) {
+	a, err := NewRing(testTable(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(testTable(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		doc := fmt.Sprintf("doc-%d", i)
+		if a.Lookup(doc).ID != b.Lookup(doc).ID {
+			t.Fatalf("doc %q routes differently across identical rings", doc)
+		}
+	}
+}
+
+// TestRingBalance: 4 shards x 64 vnodes spread documents within a loose
+// factor of fair share.
+func TestRingBalance(t *testing.T) {
+	r, err := NewRing(testTable(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const docs = 10000
+	for i := 0; i < docs; i++ {
+		counts[r.Lookup(fmt.Sprintf("doc-%d", i)).ID]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("only %d shards received documents: %v", len(counts), counts)
+	}
+	for id, n := range counts {
+		if n < docs/4/2 || n > docs/4*2 {
+			t.Errorf("shard %s holds %d of %d docs — outside [1/2, 2]x fair share", id, n, docs)
+		}
+	}
+}
+
+// TestRingStability: adding a shard moves only documents that now route to
+// it; no document shuffles between surviving shards.
+func TestRingStability(t *testing.T) {
+	before, err := NewRing(testTable(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRing(testTable(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved, total := 0, 5000
+	for i := 0; i < total; i++ {
+		doc := fmt.Sprintf("doc-%d", i)
+		a, b := before.Lookup(doc).ID, after.Lookup(doc).ID
+		if a == b {
+			continue
+		}
+		moved++
+		if b != "s3" {
+			t.Fatalf("doc %q moved %s -> %s, not to the new shard", doc, a, b)
+		}
+	}
+	if moved == 0 || moved > total/2 {
+		t.Errorf("adding 1 of 4 shards moved %d of %d docs", moved, total)
+	}
+}
+
+// TestRingOverride: overrides reroute exactly the named document.
+func TestRingOverride(t *testing.T) {
+	tbl := testTable(2)
+	base, err := NewRing(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a doc natively on s0 and pin it to s1.
+	var doc string
+	for i := 0; ; i++ {
+		doc = fmt.Sprintf("doc-%d", i)
+		if base.Lookup(doc).ID == "s0" {
+			break
+		}
+	}
+	tbl.Overrides = []wire.Override{{Doc: doc, Shard: "s1"}}
+	tbl.Version = 2
+	r, err := NewRing(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Lookup(doc).ID; got != "s1" {
+		t.Errorf("overridden doc routes to %s, want s1", got)
+	}
+	if got := r.Lookup(doc + "-sibling"); got.ID != base.Lookup(doc+"-sibling").ID {
+		t.Error("override moved an unrelated document")
+	}
+	if r.Version() != 2 {
+		t.Errorf("version = %d, want 2", r.Version())
+	}
+}
+
+// TestRingRejectsBadTables mirrors the wire-layer validation.
+func TestRingRejectsBadTables(t *testing.T) {
+	bad := []wire.Table{
+		{Version: 1, VNodes: 64},                                                             // no shards
+		{Version: 1, VNodes: 0, Shards: testTable(1).Shards},                                 // no vnodes
+		{Version: 1, VNodes: 4, Shards: append(testTable(1).Shards, testTable(1).Shards...)}, // dup id
+		{Version: 1, VNodes: 4, Shards: []wire.Shard{{ID: "s0"}}},                            // shard without addrs
+		{Version: 1, VNodes: 4, Shards: testTable(1).Shards,
+			Overrides: []wire.Override{{Doc: "d", Shard: "ghost"}}}, // override to unknown shard
+	}
+	for i, tbl := range bad {
+		if _, err := NewRing(tbl); err == nil {
+			t.Errorf("case %d: NewRing accepted invalid table", i)
+		}
+	}
+}
+
+// TestTableDeepCopy: mutating a returned table does not corrupt the ring.
+func TestTableDeepCopy(t *testing.T) {
+	r, err := NewRing(testTable(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := r.Table()
+	cp.Shards[0].ID = "mutated"
+	cp.Shards[0].Addrs[0] = "mutated"
+	if sh, err := r.Shard("s0"); err != nil || sh.Addrs[0] == "mutated" {
+		t.Error("Table() shares memory with the ring")
+	}
+}

@@ -29,6 +29,12 @@ type docHost struct {
 	nextID  int32
 	applied uint64
 
+	// migrating freezes the document while its state transfers to another
+	// shard: joins and ops are rejected with the retryable backpressure code,
+	// so clients back off, re-route, and resume on the new home. Set on the
+	// apply loop; cleared only if the transfer fails.
+	migrating bool
+
 	// pending holds, per log index, the outputs computed at APPLY time but
 	// not releasable to clients until the entry COMMITS (replicated engines
 	// only). Apply and release both run on this loop; the replicator's
@@ -192,6 +198,10 @@ func (h *docHost) join(c *conn, hello wire.Hello) (bool, int32) {
 }
 
 func (h *docHost) doJoin(c *conn, hello wire.Hello) (bool, int32) {
+	if h.migrating {
+		c.reject(wire.CodeBackpressed, "document migrating")
+		return false, 0
+	}
 	if hello.ClientID == 0 {
 		return h.doJoinNew(c)
 	}
@@ -310,6 +320,14 @@ func (h *docHost) doOp(c *conn, msg css.ClientMsg) bool {
 	if !ok || slot.conn != c {
 		return false // stale connection; the client has moved on
 	}
+	if h.migrating {
+		// The exported blob will not contain this op; reject retryably so the
+		// client resends it (its own ClientID + op seq, deduplicated) on the
+		// target shard after re-routing.
+		c.reject(wire.CodeBackpressed, "document migrating")
+		slot.conn = nil
+		return false
+	}
 	if msg.Op.ID.Seq <= slot.lastOpSeq {
 		h.eng.reg.Counter("dedup_dropped_total").Inc()
 		return true // duplicate resend after reconnect
@@ -339,6 +357,7 @@ func (h *docHost) doOp(c *conn, msg css.ClientMsg) bool {
 	}
 	h.eng.reg.Histogram("apply_latency").Observe(time.Since(t0))
 	h.eng.reg.Counter("ops_applied").Inc()
+	h.eng.docRate.Inc(h.name)
 	slot.lastOpSeq = msg.Op.ID.Seq
 	h.applied++
 	outs = h.foldFrontier(outs)
@@ -404,6 +423,7 @@ func (h *docHost) applyReplicated(e replog.Entry) {
 		}
 		h.applied++
 		h.eng.reg.Counter("ops_applied").Inc()
+		h.eng.docRate.Inc(h.name)
 		h.pending[e.Index] = &pendingRelease{outs: h.foldFrontier(outs)}
 	}
 }

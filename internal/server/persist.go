@@ -53,76 +53,55 @@ func (e *Engine) docFile(doc string) string {
 	return filepath.Join(e.cfg.PersistDir, url.PathEscape(doc)+".json")
 }
 
-// persistDocs saves every hosted document. Called from Shutdown after all
-// goroutines joined, so the doc hosts' state is quiescent and safe to read
-// directly.
-func (e *Engine) persistDocs(docs []*docHost) error {
-	if !e.persistEnabled() {
-		return nil
+// exportState serializes the document's full state — the css server plus
+// the session layer (outboxes, frame-seq counters, dedup watermarks) — as
+// one persistedDoc blob. It is both the persistence format and the
+// migration transfer format: a target shard that importStates the blob
+// resumes client sessions exactly as a restarted server would. Must run on
+// the apply loop (h.call) or after it has stopped.
+func (h *docHost) exportState() ([]byte, error) {
+	srvState, err := h.srv.Save()
+	if err != nil {
+		return nil, fmt.Errorf("server: export doc %q: %w", h.name, err)
 	}
-	if err := os.MkdirAll(e.cfg.PersistDir, 0o755); err != nil {
-		return fmt.Errorf("server: persist: %w", err)
+	pd := persistedDoc{Doc: h.name, Server: srvState, NextID: h.nextID, Applied: h.applied}
+	for _, id := range h.srv.Clients() {
+		slot, ok := h.clients[id]
+		if !ok {
+			continue
+		}
+		outbox := make([]wire.Server, len(slot.outbox))
+		for i := range slot.outbox {
+			outbox[i] = slot.outbox[i].fr
+		}
+		pd.Slots = append(pd.Slots, persistedSlot{
+			ID:        int32(slot.id),
+			Outbox:    outbox,
+			NextSeq:   slot.nextSeq,
+			AckedSeq:  slot.ackedSeq,
+			LastOpSeq: slot.lastOpSeq,
+		})
 	}
-	for _, h := range docs {
-		srvState, err := h.srv.Save()
-		if err != nil {
-			return fmt.Errorf("server: persist doc %q: %w", h.name, err)
-		}
-		pd := persistedDoc{Doc: h.name, Server: srvState, NextID: h.nextID, Applied: h.applied}
-		for _, id := range h.srv.Clients() {
-			slot, ok := h.clients[id]
-			if !ok {
-				continue
-			}
-			outbox := make([]wire.Server, len(slot.outbox))
-			for i := range slot.outbox {
-				outbox[i] = slot.outbox[i].fr
-			}
-			pd.Slots = append(pd.Slots, persistedSlot{
-				ID:        int32(slot.id),
-				Outbox:    outbox,
-				NextSeq:   slot.nextSeq,
-				AckedSeq:  slot.ackedSeq,
-				LastOpSeq: slot.lastOpSeq,
-			})
-		}
-		data, err := json.Marshal(pd)
-		if err != nil {
-			return fmt.Errorf("server: persist doc %q: %w", h.name, err)
-		}
-		tmp := e.docFile(h.name) + ".tmp"
-		if err := os.WriteFile(tmp, data, 0o644); err != nil {
-			return fmt.Errorf("server: persist doc %q: %w", h.name, err)
-		}
-		if err := os.Rename(tmp, e.docFile(h.name)); err != nil {
-			return fmt.Errorf("server: persist doc %q: %w", h.name, err)
-		}
-		e.logf("doc %q: persisted (%d bytes, %d sessions)", h.name, len(data), len(pd.Slots))
+	data, err := json.Marshal(pd)
+	if err != nil {
+		return nil, fmt.Errorf("server: export doc %q: %w", h.name, err)
 	}
-	return nil
+	return data, nil
 }
 
-// loadPersisted restores a doc host from PersistDir, if a save exists. Called
-// before the host's apply loop starts, so the fields are written directly.
-func (h *docHost) loadPersisted() error {
-	path := h.eng.docFile(h.name)
-	data, err := os.ReadFile(path)
-	if errors.Is(err, fs.ErrNotExist) {
-		return nil
-	}
-	if err != nil {
-		return fmt.Errorf("server: load doc %q: %w", h.name, err)
-	}
+// importState restores a doc host from an exportState blob. Called before
+// the host's apply loop starts, so the fields are written directly.
+func (h *docHost) importState(data []byte) error {
 	var pd persistedDoc
 	if err := json.Unmarshal(data, &pd); err != nil {
-		return fmt.Errorf("server: load doc %q: %w", h.name, err)
+		return fmt.Errorf("server: import doc %q: %w", h.name, err)
 	}
 	if pd.Doc != h.name {
-		return fmt.Errorf("server: load doc %q: file holds %q", h.name, pd.Doc)
+		return fmt.Errorf("server: import doc %q: blob holds %q", h.name, pd.Doc)
 	}
 	srv, err := css.RestoreServer(pd.Server, h.eng.cfg.Recorder)
 	if err != nil {
-		return fmt.Errorf("server: load doc %q: %w", h.name, err)
+		return fmt.Errorf("server: import doc %q: %w", h.name, err)
 	}
 	h.srv = srv
 	h.srv.UseCompactContexts()
@@ -142,6 +121,50 @@ func (h *docHost) loadPersisted() error {
 			lastOpSeq: ps.LastOpSeq,
 		}
 	}
-	h.eng.logf("doc %q: restored from %s (%d sessions, seq %d)", h.name, path, len(pd.Slots), srv.SeqOf())
+	return nil
+}
+
+// persistDocs saves every hosted document. Called from Shutdown after all
+// goroutines joined, so the doc hosts' state is quiescent and safe to read
+// directly.
+func (e *Engine) persistDocs(docs []*docHost) error {
+	if !e.persistEnabled() {
+		return nil
+	}
+	if err := os.MkdirAll(e.cfg.PersistDir, 0o755); err != nil {
+		return fmt.Errorf("server: persist: %w", err)
+	}
+	for _, h := range docs {
+		data, err := h.exportState()
+		if err != nil {
+			return fmt.Errorf("server: persist doc %q: %w", h.name, err)
+		}
+		tmp := e.docFile(h.name) + ".tmp"
+		if err := os.WriteFile(tmp, data, 0o644); err != nil {
+			return fmt.Errorf("server: persist doc %q: %w", h.name, err)
+		}
+		if err := os.Rename(tmp, e.docFile(h.name)); err != nil {
+			return fmt.Errorf("server: persist doc %q: %w", h.name, err)
+		}
+		e.logf("doc %q: persisted (%d bytes, %d sessions)", h.name, len(data), len(h.clients))
+	}
+	return nil
+}
+
+// loadPersisted restores a doc host from PersistDir, if a save exists. Called
+// before the host's apply loop starts, so the fields are written directly.
+func (h *docHost) loadPersisted() error {
+	path := h.eng.docFile(h.name)
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("server: load doc %q: %w", h.name, err)
+	}
+	if err := h.importState(data); err != nil {
+		return fmt.Errorf("server: load doc %q: %w", h.name, err)
+	}
+	h.eng.logf("doc %q: restored from %s (%d sessions, seq %d)", h.name, path, len(h.clients), h.srv.SeqOf())
 	return nil
 }

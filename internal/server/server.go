@@ -91,6 +91,12 @@ type Config struct {
 	// Listener, when non-nil, is used instead of listening on Addr — lets a
 	// test pre-bind every cluster node so peer addresses are known up front.
 	Listener net.Listener
+	// ShardID names this engine within a doc-sharded deployment. When set,
+	// hellos carrying a different shard id are rejected with
+	// wire.CodeWrongShard (the client's routing table is stale) and the id is
+	// echoed in migration logs. Sharding and replication are orthogonal
+	// deployments: a sharded engine must be standalone.
+	ShardID string
 	// PersistDir, when non-empty on a STANDALONE engine, saves every hosted
 	// document's full state there on graceful shutdown and reloads it on
 	// first use, so a restarted server resumes client sessions instead of
@@ -154,9 +160,14 @@ type Engine struct {
 	httpLn  net.Listener
 	httpSrv *http.Server
 
+	// docRate tracks per-document operation rates (the doc_ops_rate top-k
+	// instrument) so operators can spot migration candidates.
+	docRate *metrics.TopK
+
 	mu     sync.Mutex
 	docs   map[string]*docHost
 	conns  map[*conn]struct{}
+	moved  map[string]wire.Moved // docs migrated away: doc → new home hint
 	closed bool
 
 	wg sync.WaitGroup
@@ -167,11 +178,14 @@ var ErrClosed = errors.New("server: engine closed")
 
 // New creates an engine; call Start to begin serving.
 func New(cfg Config) *Engine {
+	reg := metrics.NewRegistry()
 	return &Engine{
-		cfg:   cfg,
-		reg:   metrics.NewRegistry(),
-		docs:  make(map[string]*docHost),
-		conns: make(map[*conn]struct{}),
+		cfg:     cfg,
+		reg:     reg,
+		docRate: reg.TopK("doc_ops_rate"),
+		docs:    make(map[string]*docHost),
+		conns:   make(map[*conn]struct{}),
+		moved:   make(map[string]wire.Moved),
 	}
 }
 
@@ -623,6 +637,13 @@ func (c *conn) readLoop() {
 		c.eng.repl.handlePeer(c, *f.ReplHello)
 		return
 	}
+	if f.Type == wire.TMigrate || f.Type == wire.TMigState {
+		// A placement-plane peer (jupiterplace driving a migration, or a
+		// source shard transferring a document), not a client.
+		_ = c.nc.SetReadDeadline(time.Time{})
+		c.adminLoop(f)
+		return
+	}
 	if f.Type != wire.THello {
 		c.reject(wire.CodeProtocol, "first frame must be hello")
 		return
@@ -644,6 +665,20 @@ func (c *conn) readLoop() {
 		c.wcodec, c.codecName = c.eng.negotiateCodec(f.Hello.Codecs)
 		c.codec.Use(c.wcodec)
 		c.eng.reg.Counter("conns_codec_" + c.codecName + "_total").Inc()
+	}
+	if sid := c.eng.cfg.ShardID; sid != "" && f.Hello.Shard != "" && f.Hello.Shard != sid {
+		// The client's routing table is stale: it thinks this address belongs
+		// to another shard. Terminal here; the client refetches the table.
+		c.eng.reg.Counter("wrong_shard_rejects_total").Inc()
+		c.reject(wire.CodeWrongShard, "this is shard "+sid+", not "+f.Hello.Shard)
+		return
+	}
+	if mv, ok := c.eng.movedHint(f.Hello.Doc); ok {
+		// The document migrated away; point the client at its new home.
+		c.eng.reg.Counter("moved_hints_total").Inc()
+		c.enqueue(&wire.Frame{Type: wire.TMoved, Moved: &mv})
+		c.close()
+		return
 	}
 	_ = c.nc.SetReadDeadline(time.Time{})
 	h, err := c.eng.host(f.Hello.Doc)

@@ -57,6 +57,12 @@ const (
 	btReplAppend
 	btReplAck
 	btReplCommit
+	btRoute
+	btRoutes
+	btMoved
+	btMigrate
+	btMigState
+	btMigAck
 )
 
 type binaryCodec struct{}
@@ -77,6 +83,12 @@ func (binaryCodec) AppendFrame(dst []byte, f *Frame) ([]byte, error) {
 		b = binary.AppendVarint(b, int64(h.ClientID))
 		b = binary.AppendUvarint(b, h.LastFrameSeq)
 		b = appendStrings(b, h.Codecs)
+		// Shard is a retrofitted optional trailing field: appended only when
+		// set, so pre-sharding hellos keep their pinned golden encoding and
+		// pre-sharding decoders keep accepting non-sharded clients.
+		if h.Shard != "" {
+			b = appendString(b, h.Shard)
+		}
 	case TWelcome:
 		w := f.Welcome
 		b = append(b, btWelcome)
@@ -159,6 +171,49 @@ func (binaryCodec) AppendFrame(dst []byte, f *Frame) ([]byte, error) {
 	case TReplCommit:
 		b = append(b, btReplCommit)
 		b = binary.AppendUvarint(b, f.ReplCommit.Commit)
+	case TRoute:
+		b = append(b, btRoute)
+		b = appendString(b, f.Route.Doc)
+		b = binary.AppendUvarint(b, f.Route.Version)
+	case TRoutes:
+		tb := &f.Routes.Table
+		b = append(b, btRoutes)
+		b = binary.AppendUvarint(b, tb.Version)
+		b = binary.AppendUvarint(b, uint64(tb.VNodes))
+		b = binary.AppendUvarint(b, uint64(len(tb.Shards)))
+		for i := range tb.Shards {
+			b = appendString(b, tb.Shards[i].ID)
+			b = appendStrings(b, tb.Shards[i].Addrs)
+		}
+		b = binary.AppendUvarint(b, uint64(len(tb.Overrides)))
+		for i := range tb.Overrides {
+			b = appendString(b, tb.Overrides[i].Doc)
+			b = appendString(b, tb.Overrides[i].Shard)
+		}
+	case TMoved:
+		m := f.Moved
+		b = append(b, btMoved)
+		b = appendString(b, m.Doc)
+		b = appendString(b, m.Shard)
+		b = appendStrings(b, m.Addrs)
+	case TMigrate:
+		m := f.Migrate
+		b = append(b, btMigrate)
+		b = appendString(b, m.Doc)
+		b = appendString(b, m.TargetShard)
+		b = appendStrings(b, m.TargetAddrs)
+	case TMigState:
+		m := f.MigState
+		b = append(b, btMigState)
+		b = appendString(b, m.Doc)
+		b = binary.AppendUvarint(b, uint64(len(m.State)))
+		b = append(b, m.State...)
+	case TMigAck:
+		m := f.MigAck
+		b = append(b, btMigAck)
+		b = appendString(b, m.Doc)
+		b = appendBool(b, m.OK)
+		b = appendString(b, m.Err)
 	default:
 		return nil, fmt.Errorf("%w: %q", ErrUnknownType, f.Type)
 	}
@@ -483,6 +538,23 @@ func (r *breader) str() string {
 	return s
 }
 
+// bytes reads a length-prefixed byte blob. The length is bounded by the
+// bytes remaining before any allocation — a hostile length cannot demand
+// more than the frame actually carries.
+func (r *breader) bytes() []byte {
+	n := r.u()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.b)) {
+		r.fail("bytes length %d exceeds %d remaining bytes", n, len(r.b))
+		return nil
+	}
+	out := append([]byte(nil), r.b[:n]...) // copies: bodies are pooled
+	r.b = r.b[n:]
+	return out
+}
+
 // count reads an element count and rejects counts a well-formed body could
 // not hold.
 func (r *breader) count() int {
@@ -691,6 +763,12 @@ func decodeBinary(data []byte) (*Frame, error) {
 			LastFrameSeq: r.u(),
 			Codecs:       r.strings(),
 		}
+		// Optional trailing shard field (see AppendFrame): present iff bytes
+		// remain. Junk that is not a well-formed string still fails here or
+		// at the trailing-bytes check below.
+		if r.err == nil && len(r.b) > 0 {
+			f.Hello.Shard = r.str()
+		}
 	case btWelcome:
 		f.Type = TWelcome
 		w := &Welcome{ClientID: r.i32(), Codec: r.str(), Resume: r.bool()}
@@ -780,6 +858,42 @@ func decodeBinary(data []byte) (*Frame, error) {
 	case btReplCommit:
 		f.Type = TReplCommit
 		f.ReplCommit = &ReplCommit{Commit: r.u()}
+	case btRoute:
+		f.Type = TRoute
+		f.Route = &Route{Doc: r.str(), Version: r.u()}
+	case btRoutes:
+		f.Type = TRoutes
+		t := Table{Version: r.u()}
+		vn := r.u()
+		if vn > 1<<31-1 {
+			r.fail("vnode count %d overflows int", vn)
+		}
+		t.VNodes = int(vn)
+		n := r.count()
+		t.Shards = make([]Shard, 0, capHint(n))
+		for i := 0; i < n && r.err == nil; i++ {
+			t.Shards = append(t.Shards, Shard{ID: r.str(), Addrs: r.strings()})
+		}
+		n = r.count()
+		if n > 0 {
+			t.Overrides = make([]Override, 0, capHint(n))
+			for i := 0; i < n && r.err == nil; i++ {
+				t.Overrides = append(t.Overrides, Override{Doc: r.str(), Shard: r.str()})
+			}
+		}
+		f.Routes = &Routes{Table: t}
+	case btMoved:
+		f.Type = TMoved
+		f.Moved = &Moved{Doc: r.str(), Shard: r.str(), Addrs: r.strings()}
+	case btMigrate:
+		f.Type = TMigrate
+		f.Migrate = &Migrate{Doc: r.str(), TargetShard: r.str(), TargetAddrs: r.strings()}
+	case btMigState:
+		f.Type = TMigState
+		f.MigState = &MigState{Doc: r.str(), State: r.bytes()}
+	case btMigAck:
+		f.Type = TMigAck
+		f.MigAck = &MigAck{Doc: r.str(), OK: r.bool(), Err: r.str()}
 	default:
 		return nil, fmt.Errorf("%w: binary type 0x%02x", ErrUnknownType, t)
 	}

@@ -77,6 +77,22 @@ func testFrames() []*Frame {
 		}},
 		{Type: TReplAck, ReplAck: &ReplAck{Index: 2}},
 		{Type: TReplCommit, ReplCommit: &ReplCommit{Commit: 9}},
+		{Type: THello, Hello: &Hello{Doc: "notes", ClientID: 3, LastFrameSeq: 12, Codecs: []string{"binary", "json"}, Shard: "s1"}},
+		{Type: TRoute, Route: &Route{Doc: "notes", Version: 7}},
+		{Type: TRoutes, Routes: &Routes{Table: Table{
+			Version: 3,
+			VNodes:  64,
+			Shards: []Shard{
+				{ID: "s0", Addrs: []string{"127.0.0.1:9100"}},
+				{ID: "s1", Addrs: []string{"127.0.0.1:9200", "127.0.0.1:9201"}},
+			},
+			Overrides: []Override{{Doc: "notes", Shard: "s1"}},
+		}}},
+		{Type: TMoved, Moved: &Moved{Doc: "notes", Shard: "s1", Addrs: []string{"127.0.0.1:9200"}}},
+		{Type: TMigrate, Migrate: &Migrate{Doc: "notes", TargetShard: "s1", TargetAddrs: []string{"127.0.0.1:9200"}}},
+		{Type: TMigState, MigState: &MigState{Doc: "notes", State: []byte{0x01, 0x02, 0x03}}},
+		{Type: TMigAck, MigAck: &MigAck{Doc: "notes", OK: true}},
+		{Type: TMigAck, MigAck: &MigAck{Doc: "notes", Err: "target refused: doc has attached clients"}},
 	}
 }
 
@@ -177,6 +193,15 @@ func TestBinaryDecodeAdversarial(t *testing.T) {
 		{"bad bool", []byte{binMagic, btWelcome, 0x02, 0x00, 0x07}, "bad bool"},
 		{"op batch empty", []byte{binMagic, btOpBatch, 0x00}, "without messages"},
 		{"srvb inner not srv", mustSrvbWithInner(t, []byte{binMagic, btBye}), "want srv"},
+		// Placement frames: the same hostile-length discipline.
+		{"hostile mig state blob", []byte{binMagic, btMigState, 0x01, 'd', 0xFF, 0xFF, 0xFF, 0xFF, 0x0F}, "exceeds"},
+		{"hostile routes shard count", []byte{binMagic, btRoutes, 0x01, 0x40, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F}, "exceeds"},
+		{"routes no shards", []byte{binMagic, btRoutes, 0x01, 0x40, 0x00, 0x00}, "without shards"},
+		{"moved no shard", []byte{binMagic, btMoved, 0x01, 'd', 0x00, 0x00}, "without shard id"},
+		{"migrate no addrs", []byte{binMagic, btMigrate, 0x01, 'd', 0x02, 's', '1', 0x00}, "without target addresses"},
+		{"mig state empty blob", []byte{binMagic, btMigState, 0x01, 'd', 0x00}, "without state blob"},
+		{"mig ack bad bool", []byte{binMagic, btMigAck, 0x01, 'd', 0x07, 0x00}, "bad bool"},
+		{"hello shard then junk", []byte{binMagic, btHello, 0x01, 'd', 0x00, 0x00, 0x00, 0x02, 's', '1', 0xFF}, "trailing"},
 	}
 	for _, tc := range cases {
 		_, err := Decode(tc.data)

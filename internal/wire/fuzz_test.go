@@ -56,6 +56,25 @@ func FuzzWireDecode(f *testing.F) {
 		[]byte(`{"type":"srvb","srvb":{"frames":[{"seq":2,"msg":{"kind":2,"ctx":null,"seq":1,"ackId":{"client":1,"seq":1},"origin":1}},{"seq":1,"msg":{"kind":2,"ctx":null,"seq":2,"ackId":{"client":1,"seq":2},"origin":1}}]}}`),
 		[]byte(`{"type":"repl_hello","replHello":{"nodeId":"n1","role":"follower","lastIndex":7,"commit":5,"codecs":["binary","json"],"codec":"binary"}}`),
 	)
+	// Placement / sharding frames: valid shapes plus the adversarial ones
+	// from the placement frame tests.
+	seeds = append(seeds,
+		[]byte(`{"type":"hello","hello":{"doc":"notes","codecs":["binary","json"],"shard":"s1"}}`),
+		[]byte(`{"type":"route","route":{}}`),
+		[]byte(`{"type":"route","route":{"doc":"notes","version":7}}`),
+		[]byte(`{"type":"routes","routes":{"table":{"version":3,"vnodes":64,"shards":[{"id":"s0","addrs":["127.0.0.1:9100"]},{"id":"s1","addrs":["127.0.0.1:9200","127.0.0.1:9201"]}],"overrides":[{"doc":"notes","shard":"s1"}]}}}`),
+		[]byte(`{"type":"routes","routes":{"table":{"version":1,"vnodes":0,"shards":[{"id":"s0","addrs":["a"]}]}}}`),
+		[]byte(`{"type":"routes","routes":{"table":{"version":1,"vnodes":8,"shards":[{"id":"s0","addrs":["a"]},{"id":"s0","addrs":["b"]}]}}}`),
+		[]byte(`{"type":"routes","routes":{"table":{"version":1,"vnodes":8,"shards":[{"id":"s0","addrs":["a"]}],"overrides":[{"doc":"d","shard":"ghost"}]}}}`),
+		[]byte(`{"type":"moved","moved":{"doc":"notes","shard":"s1","addrs":["127.0.0.1:9200"]}}`),
+		[]byte(`{"type":"moved","moved":{"doc":"notes"}}`),
+		[]byte(`{"type":"migrate","migrate":{"doc":"notes","targetShard":"s1","targetAddrs":["127.0.0.1:9200"]}}`),
+		[]byte(`{"type":"migrate","migrate":{"doc":"notes","targetShard":"s1"}}`),
+		[]byte(`{"type":"mig_state","migState":{"doc":"notes","state":"AQID"}}`),
+		[]byte(`{"type":"mig_state","migState":{"doc":"notes"}}`),
+		[]byte(`{"type":"mig_ack","migAck":{"doc":"notes","ok":true}}`),
+		[]byte(`{"type":"mig_ack","migAck":{"doc":"notes","err":"target refused"}}`),
+	)
 	// Binary-codec seeds: the binary rendering of every JSON seed the
 	// decoder accepts, so the fuzzer starts from valid binary bodies of
 	// every frame type, plus adversarial raw bytes.
@@ -73,6 +92,9 @@ func FuzzWireDecode(f *testing.F) {
 		[]byte{0xBF, 0x05, 0xFF},       // truncated uvarint
 		[]byte{0xBF, 0x07, 0x00},       // bye with trailing byte
 		[]byte{0xBF, 0x06, 0xFF, 0x61}, // error with hostile string length
+		[]byte{0xBF, 0x12, 0x01, 0x64, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F},       // mig_state with hostile blob length
+		[]byte{0xBF, 0x0F, 0x01, 0x40, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F},       // routes with hostile shard count
+		[]byte{0xBF, 0x01, 0x01, 0x64, 0x00, 0x00, 0x00, 0x02, 0x73, 0x31}, // hello with trailing shard field
 	)
 	for _, s := range seeds {
 		f.Add(s)

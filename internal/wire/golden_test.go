@@ -57,6 +57,22 @@ func TestBinaryGolden(t *testing.T) {
 			"bf0c02"},
 		{"repl_commit",
 			"bf0d09"},
+		{"hello",
+			"bf01056e6f746573060c020662696e617279046a736f6e027331"},
+		{"route",
+			"bf0e056e6f74657307"},
+		{"routes",
+			"bf0f034002027330010e3132372e302e302e313a39313030027331020e3132372e302e302e313a393230300e3132372e302e302e313a3932303101056e6f746573027331"},
+		{"moved",
+			"bf10056e6f746573027331010e3132372e302e302e313a39323030"},
+		{"migrate",
+			"bf11056e6f746573027331010e3132372e302e302e313a39323030"},
+		{"mig_state",
+			"bf12056e6f74657303010203"},
+		{"mig_ack",
+			"bf13056e6f7465730100"},
+		{"mig_ack",
+			"bf13056e6f746573002874617267657420726566757365643a20646f632068617320617474616368656420636c69656e7473"},
 	}
 	frames := testFrames()
 	if len(frames) != len(golden) {

@@ -1,0 +1,84 @@
+package wire
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestPlacementDecodeRejects: malformed placement/sharding frames are
+// rejected by the JSON decoder with the same semantic checks the binary
+// decoder applies (cross-codec parity of TestBinaryRoundTrip covers the
+// accept side).
+func TestPlacementDecodeRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want string
+	}{
+		{"routes no payload", `{"type":"routes"}`, "payload"},
+		{"routes no shards", `{"type":"routes","routes":{"table":{"version":1,"vnodes":8}}}`, "without shards"},
+		{"routes zero vnodes", `{"type":"routes","routes":{"table":{"version":1,"vnodes":0,"shards":[{"id":"s0","addrs":["a"]}]}}}`, "virtual nodes"},
+		{"routes negative vnodes", `{"type":"routes","routes":{"table":{"version":1,"vnodes":-3,"shards":[{"id":"s0","addrs":["a"]}]}}}`, "virtual nodes"},
+		{"routes empty shard id", `{"type":"routes","routes":{"table":{"version":1,"vnodes":8,"shards":[{"id":"","addrs":["a"]}]}}}`, "without id"},
+		{"routes duplicate shard", `{"type":"routes","routes":{"table":{"version":1,"vnodes":8,"shards":[{"id":"s0","addrs":["a"]},{"id":"s0","addrs":["b"]}]}}}`, "duplicate shard id"},
+		{"routes shard no addrs", `{"type":"routes","routes":{"table":{"version":1,"vnodes":8,"shards":[{"id":"s0"}]}}}`, "without addresses"},
+		{"routes ghost override", `{"type":"routes","routes":{"table":{"version":1,"vnodes":8,"shards":[{"id":"s0","addrs":["a"]}],"overrides":[{"doc":"d","shard":"ghost"}]}}}`, "unknown shard"},
+		{"routes override no doc", `{"type":"routes","routes":{"table":{"version":1,"vnodes":8,"shards":[{"id":"s0","addrs":["a"]}],"overrides":[{"shard":"s0"}]}}}`, "without document name"},
+		{"moved no doc", `{"type":"moved","moved":{"shard":"s1"}}`, "without document name"},
+		{"moved no shard", `{"type":"moved","moved":{"doc":"d"}}`, "without shard id"},
+		{"migrate no doc", `{"type":"migrate","migrate":{"targetShard":"s1","targetAddrs":["a"]}}`, "without document name"},
+		{"migrate no target", `{"type":"migrate","migrate":{"doc":"d","targetAddrs":["a"]}}`, "without target shard"},
+		{"migrate no addrs", `{"type":"migrate","migrate":{"doc":"d","targetShard":"s1"}}`, "without target addresses"},
+		{"mig state no doc", `{"type":"mig_state","migState":{"state":"AQID"}}`, "without document name"},
+		{"mig state no blob", `{"type":"mig_state","migState":{"doc":"d"}}`, "without state blob"},
+		{"mig ack no doc", `{"type":"mig_ack","migAck":{"ok":true}}`, "without document name"},
+		{"two payloads", `{"type":"route","route":{},"moved":{"doc":"d","shard":"s"}}`, "payload"},
+	}
+	for _, tc := range cases {
+		_, err := Decode([]byte(tc.body))
+		if err == nil {
+			t.Errorf("%s: accepted %s", tc.name, tc.body)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestHelloShardCompatibility: the shard field is a retrofitted optional
+// trailing field of the binary hello — a hello without it must encode to
+// exactly the pre-sharding bytes (pinned in golden_test.go), and a hello
+// with it must survive the round trip. This is what lets sharded and
+// unsharded peers keep interoperating without a codec rename.
+func TestHelloShardCompatibility(t *testing.T) {
+	plain := &Frame{Type: THello, Hello: &Hello{Doc: "notes", ClientID: 3, LastFrameSeq: 12, Codecs: []string{"binary", "json"}}}
+	sharded := &Frame{Type: THello, Hello: &Hello{Doc: "notes", ClientID: 3, LastFrameSeq: 12, Codecs: []string{"binary", "json"}, Shard: "s1"}}
+	pbody, err := EncodeWith(BinaryCodec, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sbody, err := EncodeWith(BinaryCodec, sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sharded hello is the plain hello plus the trailing shard string.
+	if !bytes.HasPrefix(sbody, pbody) {
+		t.Errorf("sharded hello does not extend the plain encoding:\n plain %x\nshard %x", pbody, sbody)
+	}
+	got, err := Decode(sbody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hello.Shard != "s1" {
+		t.Errorf("shard lost across round trip: %+v", got.Hello)
+	}
+	got, err = Decode(pbody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hello.Shard != "" {
+		t.Errorf("plain hello decoded with shard %q", got.Hello.Shard)
+	}
+}

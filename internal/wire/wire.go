@@ -29,6 +29,17 @@
 //	repl_ack     follower → leader highest contiguous log index held
 //	repl_commit  leader → follower commit index advance with no new entries
 //
+// Placement frames (client ↔ jupiterplace, jupiterplace ↔ shard,
+// shard ↔ shard — the internal/placement layer):
+//
+//	route        client → placement ask for the routing table (doc optional, version for conditional fetch)
+//	routes       placement → client the full consistent-hash routing table
+//	moved        shard → client     document now lives on another shard; reconnect there
+//	migrate      placement → shard  freeze a document and hand it to the named target shard
+//	mig_state    shard → shard      the frozen document state blob (snapshot + per-client resume outboxes)
+//	mig_ack      shard → shard,     transfer outcome (installed or refused, with reason)
+//	             shard → placement
+//
 // Hardening: the decoder rejects frames longer than the configured maximum
 // BEFORE reading the body (a hostile length prefix cannot make the reader
 // allocate), rejects empty and truncated frames, rejects unknown types,
@@ -73,6 +84,13 @@ const (
 	TReplAppend = "repl_append"
 	TReplAck    = "repl_ack"
 	TReplCommit = "repl_commit"
+
+	TRoute    = "route"
+	TRoutes   = "routes"
+	TMoved    = "moved"
+	TMigrate  = "migrate"
+	TMigState = "mig_state"
+	TMigAck   = "mig_ack"
 )
 
 // Hello opens a session. ClientID 0 asks the server to mint a new client
@@ -87,6 +105,12 @@ type Hello struct {
 	// order. Absent (a pre-codec-v2 client) means JSON only, and also tells
 	// the server the client cannot decode batch frames.
 	Codecs []string `json:"codecs,omitempty"`
+	// Shard, when set, names the shard the client resolved for Doc from the
+	// placement table. A shard whose own id differs rejects the hello with
+	// CodeWrongShard instead of silently creating the document in the wrong
+	// place — the stale-cache guard of the sharding layer. Absent means the
+	// client is not placement-aware and the server accepts unconditionally.
+	Shard string `json:"shard,omitempty"`
 }
 
 // Welcome answers a Hello. Snapshot is set for new clients (the css join
@@ -159,6 +183,9 @@ const (
 	// CodeNotLeader rejects a client hello on a node that is not the
 	// cluster's serving leader; Error.Leader may carry the leader's address.
 	CodeNotLeader = "not-leader"
+	// CodeWrongShard rejects a hello whose Shard does not match the serving
+	// shard's id: the client's placement cache is stale and must be refetched.
+	CodeWrongShard = "wrong-shard"
 )
 
 // Replication roles carried in ReplHello.
@@ -206,6 +233,83 @@ type ReplCommit struct {
 	Commit uint64 `json:"commit"`
 }
 
+// Route asks the placement service for the routing table. Doc, when set,
+// lets the service record which document the caller is resolving (per-shard
+// doc counts); Version, when non-zero, is the table version the caller
+// already holds — the service answers anyway (tables are small), the field
+// exists so a future conditional fetch needs no frame change.
+type Route struct {
+	Doc     string `json:"doc,omitempty"`
+	Version uint64 `json:"version,omitempty"`
+}
+
+// Shard describes one jupiterd shard process in the routing table: a
+// stable id (hashed onto the ring) and the addresses clients dial for it
+// (several for a replicated shard).
+type Shard struct {
+	ID    string   `json:"id"`
+	Addrs []string `json:"addrs"`
+}
+
+// Override pins one document to a shard regardless of the hash ring — the
+// table's record of completed migrations.
+type Override struct {
+	Doc   string `json:"doc"`
+	Shard string `json:"shard"`
+}
+
+// Table is the consistent-hash routing table: version (bumped on every
+// change, so clients can tell stale from fresh), the virtual-node count per
+// shard, the shard list, and migration overrides. Lookup is overrides
+// first, then the ring.
+type Table struct {
+	Version   uint64     `json:"version"`
+	VNodes    int        `json:"vnodes"`
+	Shards    []Shard    `json:"shards"`
+	Overrides []Override `json:"overrides,omitempty"`
+}
+
+// Routes answers a Route with the full routing table.
+type Routes struct {
+	Table Table `json:"table"`
+}
+
+// Moved tells a client the document now lives on another shard: sent in
+// place of a welcome when a hello reaches a shard that handed the document
+// off, and pushed to attached clients at the moment a migration completes.
+// The client reconnects to Addrs (falling back to a placement re-fetch when
+// absent) and resumes there — the target holds its outbox.
+type Moved struct {
+	Doc   string   `json:"doc"`
+	Shard string   `json:"shard"`
+	Addrs []string `json:"addrs,omitempty"`
+}
+
+// Migrate orders a shard to freeze Doc and transfer it to TargetShard at
+// TargetAddrs. Answered with a MigAck once the transfer succeeded or failed.
+type Migrate struct {
+	Doc         string   `json:"doc"`
+	TargetShard string   `json:"targetShard"`
+	TargetAddrs []string `json:"targetAddrs"`
+}
+
+// MigState carries the frozen document state from source to target shard:
+// the css server save plus every client session's resume outbox, in the
+// same encoding the disk persistence layer uses, so the target restores
+// sessions exactly as a restart would and resume works unchanged.
+type MigState struct {
+	Doc   string `json:"doc"`
+	State []byte `json:"state"`
+}
+
+// MigAck reports a transfer outcome: target → source after installing (or
+// refusing) the state, and source → placement after the whole migration.
+type MigAck struct {
+	Doc string `json:"doc"`
+	OK  bool   `json:"ok"`
+	Err string `json:"err,omitempty"`
+}
+
 // Frame is the tagged union carried on the wire. Exactly one payload field
 // matching Type must be set (Bye has none).
 type Frame struct {
@@ -222,6 +326,12 @@ type Frame struct {
 	ReplAppend  *ReplAppend  `json:"replAppend,omitempty"`
 	ReplAck     *ReplAck     `json:"replAck,omitempty"`
 	ReplCommit  *ReplCommit  `json:"replCommit,omitempty"`
+	Route       *Route       `json:"route,omitempty"`
+	Routes      *Routes      `json:"routes,omitempty"`
+	Moved       *Moved       `json:"moved,omitempty"`
+	Migrate     *Migrate     `json:"migrate,omitempty"`
+	MigState    *MigState    `json:"migState,omitempty"`
+	MigAck      *MigAck      `json:"migAck,omitempty"`
 }
 
 // Validation errors.
@@ -281,6 +391,24 @@ func (f *Frame) validate() error {
 	if f.ReplCommit != nil {
 		n++
 	}
+	if f.Route != nil {
+		n++
+	}
+	if f.Routes != nil {
+		n++
+	}
+	if f.Moved != nil {
+		n++
+	}
+	if f.Migrate != nil {
+		n++
+	}
+	if f.MigState != nil {
+		n++
+	}
+	if f.MigAck != nil {
+		n++
+	}
 	want := 1
 	var payload bool
 	switch f.Type {
@@ -308,6 +436,18 @@ func (f *Frame) validate() error {
 		payload = f.ReplAck != nil
 	case TReplCommit:
 		payload = f.ReplCommit != nil
+	case TRoute:
+		payload = f.Route != nil
+	case TRoutes:
+		payload = f.Routes != nil
+	case TMoved:
+		payload = f.Moved != nil
+	case TMigrate:
+		payload = f.Migrate != nil
+	case TMigState:
+		payload = f.MigState != nil
+	case TMigAck:
+		payload = f.MigAck != nil
 	case TBye:
 		payload, want = true, 0
 	default:
@@ -396,6 +536,79 @@ func (f *Frame) validatePayload() error {
 	case TReplAck:
 		if f.ReplAck.Index == 0 {
 			return fmt.Errorf("%w: repl ack of index 0", ErrBadPayload)
+		}
+	case TRoutes:
+		if err := ValidateTable(&f.Routes.Table); err != nil {
+			return err
+		}
+	case TMoved:
+		m := f.Moved
+		if m.Doc == "" {
+			return fmt.Errorf("%w: moved without document name", ErrBadPayload)
+		}
+		if m.Shard == "" {
+			return fmt.Errorf("%w: moved without shard id", ErrBadPayload)
+		}
+	case TMigrate:
+		m := f.Migrate
+		if m.Doc == "" {
+			return fmt.Errorf("%w: migrate without document name", ErrBadPayload)
+		}
+		if m.TargetShard == "" {
+			return fmt.Errorf("%w: migrate without target shard", ErrBadPayload)
+		}
+		if len(m.TargetAddrs) == 0 {
+			return fmt.Errorf("%w: migrate without target addresses", ErrBadPayload)
+		}
+	case TMigState:
+		m := f.MigState
+		if m.Doc == "" {
+			return fmt.Errorf("%w: mig state without document name", ErrBadPayload)
+		}
+		if len(m.State) == 0 {
+			return fmt.Errorf("%w: mig state without state blob", ErrBadPayload)
+		}
+	case TMigAck:
+		if f.MigAck.Doc == "" {
+			return fmt.Errorf("%w: mig ack without document name", ErrBadPayload)
+		}
+	}
+	return nil
+}
+
+// ValidateTable checks routing-table well-formedness: at least one shard,
+// unique non-empty shard ids each with at least one address, positive
+// virtual-node count, and overrides that name listed shards. Exported for
+// the placement service, which validates configured tables with the same
+// rules the decoder enforces on received ones.
+func ValidateTable(t *Table) error {
+	if len(t.Shards) == 0 {
+		return fmt.Errorf("%w: routing table without shards", ErrBadPayload)
+	}
+	if t.VNodes <= 0 {
+		return fmt.Errorf("%w: routing table with %d virtual nodes", ErrBadPayload, t.VNodes)
+	}
+	ids := make(map[string]bool, len(t.Shards))
+	for i := range t.Shards {
+		s := &t.Shards[i]
+		if s.ID == "" {
+			return fmt.Errorf("%w: shard %d without id", ErrBadPayload, i)
+		}
+		if ids[s.ID] {
+			return fmt.Errorf("%w: duplicate shard id %q", ErrBadPayload, s.ID)
+		}
+		ids[s.ID] = true
+		if len(s.Addrs) == 0 {
+			return fmt.Errorf("%w: shard %q without addresses", ErrBadPayload, s.ID)
+		}
+	}
+	for i := range t.Overrides {
+		o := &t.Overrides[i]
+		if o.Doc == "" {
+			return fmt.Errorf("%w: override %d without document name", ErrBadPayload, i)
+		}
+		if !ids[o.Shard] {
+			return fmt.Errorf("%w: override for %q names unknown shard %q", ErrBadPayload, o.Doc, o.Shard)
 		}
 	}
 	return nil

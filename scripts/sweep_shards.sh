@@ -1,0 +1,94 @@
+#!/usr/bin/env sh
+# sweep_shards.sh — the E16 shard-scaling sweep.
+#
+# For each shard count (default 1 and 4), starts that many standalone
+# jupiterd shards behind a jupiterplace routing table and runs the open-loop
+# harness in sweep mode with PLACEMENT ROUTING: thousands of zipf-popular
+# documents spread across the shards by the consistent-hash ring, every
+# client routing through a shared placement cache. Each shard count yields a
+# loadgen.SweepSummary; the 4-shard summary is the main artifact (the
+# nightly gate's baseline, compared with `jupiterload -gate`), the 1-shard
+# summary rides alongside for the scaling ratio the script prints.
+#
+# Read the numbers with the host in mind: on a single-core machine the
+# shards time-share one CPU and the ratio measures sharding overhead, not
+# speedup — see EXPERIMENTS.md, E16.
+#
+# Usage:
+#   scripts/sweep_shards.sh [output-file]
+# Env:
+#   E16_SHARD_COUNTS  shard counts to sweep       (default "1 4")
+#   E16_RATES         comma-separated target rates (default 500,1000,2000)
+#   E16_DOCS          documents (= pool conns)     (default 2000)
+#   E16_DURATION      measure phase per rate       (default 6s)
+#   BASE_PORT         first shard port             (default 19200)
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_e16.json}"
+BASE_PORT="${BASE_PORT:-19200}"
+DOCS="${E16_DOCS:-2000}"
+
+TMP="$(mktemp -d)"
+PIDS=""
+cleanup() {
+	for pid in $PIDS; do
+		kill -9 "$pid" 2>/dev/null || true
+		wait "$pid" 2>/dev/null || true
+	done
+	rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+stop_cluster() {
+	for pid in $PIDS; do
+		kill -TERM "$pid" 2>/dev/null || true
+		wait "$pid" 2>/dev/null || true
+	done
+	PIDS=""
+}
+
+echo "sweep-shards: building jupiterd, jupiterplace, and jupiterload"
+go build -o "$TMP/jupiterd" ./cmd/jupiterd
+go build -o "$TMP/jupiterplace" ./cmd/jupiterplace
+go build -o "$TMP/jupiterload" ./cmd/jupiterload
+
+ROUTE="127.0.0.1:$((BASE_PORT + 99))"
+
+for n in ${E16_SHARD_COUNTS:-1 4}; do
+	SHARDS=""
+	i=0
+	while [ "$i" -lt "$n" ]; do
+		port=$((BASE_PORT + i))
+		[ -z "$SHARDS" ] || SHARDS="$SHARDS,"
+		SHARDS="${SHARDS}s$i=127.0.0.1:$port"
+		"$TMP/jupiterd" -addr "127.0.0.1:$port" -metrics 127.0.0.1:0 -shard-id "s$i" -gc-every "${LOAD_GC_EVERY:-64}" 2>"$TMP/s$i.log" &
+		PIDS="$PIDS $!"
+		i=$((i + 1))
+	done
+	"$TMP/jupiterplace" -addr "$ROUTE" -shards "$SHARDS" 2>"$TMP/place.log" &
+	PIDS="$PIDS $!"
+	sleep 1
+
+	summary="$TMP/e16_${n}shard.json"
+	echo "sweep-shards: $n shard(s), $DOCS docs, rates ${E16_RATES:-500,1000,2000}"
+	"$TMP/jupiterload" \
+		-placement "$ROUTE" \
+		-sweep "${E16_RATES:-500,1000,2000}" \
+		-docs "$DOCS" -conns "$DOCS" -sessions $((DOCS * 2)) -zipf 1.2 \
+		-warmup 2s -duration "${E16_DURATION:-6s}" -seed 1 \
+		-progress-every 10s -o "$summary" ||
+		{ echo "sweep-shards: $n-shard sweep failed"; cat "$TMP/place.log"; exit 1; }
+	stop_cluster
+done
+
+one="$TMP/e16_1shard.json"
+four="$TMP/e16_4shard.json"
+[ -f "$four" ] && cp "$four" "$out" || cp "$TMP"/e16_*shard.json "$out"
+[ -f "$one" ] && cp "$one" "${out%.json}_1shard.json"
+
+for f in "$TMP"/e16_*shard.json; do
+	n="$(basename "$f" | sed 's/e16_\([0-9]*\)shard.json/\1/')"
+	sed -n "s/.*\"maxSustainableRate\": \([0-9.]*\).*/sweep-shards: $n shard(s): max sustainable \1 ops\/sec/p" "$f"
+done
+echo "sweep-shards: wrote $out"
