@@ -78,6 +78,7 @@ func run(args []string) error {
 		persistDir  = fs.String("persist-dir", "", "standalone only: save documents here on graceful shutdown and restore on restart")
 		shardID     = fs.String("shard-id", "", "this shard's id within a doc-sharded cluster (rejects hellos routed to other shards)")
 		placeAddr   = fs.String("placement", "", "placement service route address; on startup the daemon checks its -shard-id is in the served table")
+		migToken    = fs.String("mig-token", os.Getenv("JUPITER_MIG_TOKEN"), "shared secret required on migrate/mig_state frames (default $JUPITER_MIG_TOKEN; empty = unauthenticated)")
 		verbose     = fs.Bool("v", false, "log connection and session events")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -107,6 +108,8 @@ func run(args []string) error {
 		ReplRetry:   *replRetry,
 		PersistDir:  *persistDir,
 		ShardID:     *shardID,
+
+		MigrationToken: *migToken,
 	}
 	if *verbose {
 		cfg.Logf = log.Printf

@@ -62,6 +62,7 @@ func run(args []string) error {
 		shardsFlag = fs.String("shards", "", "shard roster, id=host:port comma-separated ('+' separates one shard's failover addresses)")
 		vnodes     = fs.Int("vnodes", 64, "virtual nodes per shard on the hash ring")
 		maxFrame   = fs.Int("max-frame", 0, "maximum wire frame size in bytes (0 = default)")
+		migToken   = fs.String("mig-token", os.Getenv("JUPITER_MIG_TOKEN"), "shared secret carried on migrate commands (default $JUPITER_MIG_TOKEN; must match the shards' -mig-token)")
 		verbose    = fs.Bool("v", false, "log route and migration events")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -73,10 +74,11 @@ func run(args []string) error {
 	}
 
 	cfg := placement.Config{
-		Addr:     *addr,
-		HTTPAddr: *httpAddr,
-		MaxFrame: *maxFrame,
-		Table:    wire.Table{Version: 1, VNodes: *vnodes, Shards: shards},
+		Addr:           *addr,
+		HTTPAddr:       *httpAddr,
+		MaxFrame:       *maxFrame,
+		MigrationToken: *migToken,
+		Table:          wire.Table{Version: 1, VNodes: *vnodes, Shards: shards},
 	}
 	if *verbose {
 		cfg.Logf = log.Printf

@@ -174,7 +174,8 @@ type Client struct {
 
 	replica      *css.Client     // the protocol replica; nil never after Dial
 	id           opid.ClientID   // assigned by the server at first join
-	addrIdx      int             // index into cfg.addrs() of the current target
+	addrIdx      int             // index into the current dial list
+	movedAddrs   []string        // Moved-hint addresses superseding cfg's list (no placement cache)
 	resend       []css.ClientMsg // generated, not yet protocol-acked, in order
 	sentN        int             // prefix of resend shipped on this connection
 	srvV2        bool            // server negotiated (understands opb frames)
@@ -261,10 +262,21 @@ func (c *Client) logf(format string, args ...any) {
 	}
 }
 
+// dialList returns the static dial candidates: the addresses adopted from a
+// Moved hint when the document migrated away (there is no placement cache to
+// resolve shard ids, so the hint IS the routing information), else the
+// configured list. Caller holds c.mu.
+func (c *Client) dialList() []string {
+	if len(c.movedAddrs) > 0 {
+		return c.movedAddrs
+	}
+	return c.cfg.addrs()
+}
+
 // target returns the address the next attempt should dial and the shard id
 // to present in the Hello. With placement routing the shard comes from the
 // routing cache (fetch-on-miss, local Moved overrides first); otherwise it
-// is the configured address list and no shard id.
+// is the current dial list and no shard id.
 func (c *Client) target() (addr, shard string, err error) {
 	if c.place != nil {
 		sh, err := c.place.Lookup(c.cfg.Doc)
@@ -277,7 +289,7 @@ func (c *Client) target() (addr, shard string, err error) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	addrs := c.cfg.addrs()
+	addrs := c.dialList()
 	return addrs[c.addrIdx%len(addrs)], "", nil
 }
 
@@ -294,7 +306,7 @@ func (c *Client) rotateAddr(hint string) {
 		c.addrIdx++ // reduced modulo the shard's address list at pick time
 		return
 	}
-	addrs := c.cfg.addrs()
+	addrs := c.dialList()
 	if hint != "" {
 		for i, a := range addrs {
 			if a == hint {
@@ -304,6 +316,31 @@ func (c *Client) rotateAddr(hint string) {
 		}
 	}
 	c.addrIdx = (c.addrIdx + 1) % len(addrs)
+}
+
+// applyMovedHint adopts a Moved frame: through the placement cache when one
+// is configured, else by taking the hint's addresses as the new dial list.
+// Without a cache AND without addresses the hint is unactionable — redialing
+// the retired shard would loop on the same hint forever, so that case is a
+// terminal failure instead.
+func (c *Client) applyMovedHint(mv wire.Moved) error {
+	if c.place != nil {
+		c.place.ApplyMoved(mv)
+		c.mu.Lock()
+		c.addrIdx = 0 // the hint's address list starts fresh
+		c.mu.Unlock()
+		return nil
+	}
+	if len(mv.Addrs) == 0 {
+		err := fmt.Errorf("client: document %q moved to shard %s, which the hint names no addresses for and no placement service is configured to resolve", mv.Doc, mv.Shard)
+		c.fail(err)
+		return err
+	}
+	c.mu.Lock()
+	c.movedAddrs = append([]string(nil), mv.Addrs...)
+	c.addrIdx = 0
+	c.mu.Unlock()
+	return nil
 }
 
 // connect dials and performs one handshake (new join or resume). On success
@@ -355,11 +392,8 @@ func (c *Client) connect() error {
 		// The document lives on another shard now; adopt the hint and let
 		// the retry dial the new home.
 		nc.Close()
-		if c.place != nil {
-			c.place.ApplyMoved(*f.Moved)
-			c.mu.Lock()
-			c.addrIdx = 0 // the hint's address list starts fresh
-			c.mu.Unlock()
+		if err := c.applyMovedHint(*f.Moved); err != nil {
+			return err
 		}
 		return fmt.Errorf("client: document moved to shard %s", f.Moved.Shard)
 	case wire.TError:
@@ -616,11 +650,8 @@ func (c *Client) readFrames(codec *wire.Stream, gen int) {
 			// the document's new home. Record it and let the manager redial;
 			// the resume handshake (and the blind resend of anything
 			// unacknowledged) runs against the target shard.
-			if c.place != nil {
-				c.place.ApplyMoved(*f.Moved)
-				c.mu.Lock()
-				c.addrIdx = 0
-				c.mu.Unlock()
+			if c.applyMovedHint(*f.Moved) != nil {
+				return // terminal: no route to the document's new home
 			}
 			c.logf("client c%d: document moved to shard %s", c.ID(), f.Moved.Shard)
 			return

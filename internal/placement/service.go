@@ -30,6 +30,10 @@ type Config struct {
 	// DialTimeout bounds the dial to a source shard when driving a
 	// migration (0 = 5s).
 	DialTimeout time.Duration
+	// MigrationToken is carried in every Migrate command. Shards configured
+	// with a matching token refuse placement-plane frames without it, so an
+	// ordinary client connection cannot freeze or exfiltrate a document.
+	MigrationToken string
 	// Listener, when non-nil, is used instead of listening on Addr.
 	Listener net.Listener
 	// Logf, when non-nil, receives one line per event.
@@ -327,6 +331,7 @@ func (s *Service) MigrateTo(doc, shardID string) error {
 func (s *Service) driveMigration(doc string, source, target wire.Shard) error {
 	cmd := &wire.Frame{Type: wire.TMigrate, Migrate: &wire.Migrate{
 		Doc: doc, TargetShard: target.ID, TargetAddrs: target.Addrs,
+		Token: s.cfg.MigrationToken,
 	}}
 	var lastErr error
 	for _, addr := range source.Addrs {

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"crypto/subtle"
 	"errors"
 	"fmt"
 	"net"
@@ -53,19 +54,39 @@ import (
 // from a peer shard (this shard is the target). Acks ride the normal write
 // loop; the loop keeps reading until the peer closes, so the ack is flushed
 // with the full write budget rather than the teardown best-effort budget.
+//
+// These frames arrive on the ordinary client port as a connection's first
+// frame, so with a MigrationToken configured every frame is authenticated
+// before it touches any document state: a peer that can merely reach the
+// shard cannot freeze documents, exfiltrate session state, or inject
+// replacement state.
 func (c *conn) adminLoop(first *wire.Frame) {
 	f := first
 	for {
+		var doc, token string
 		switch f.Type {
 		case wire.TMigrate:
-			c.eng.handleMigrate(c, *f.Migrate)
+			doc, token = f.Migrate.Doc, f.Migrate.Token
 		case wire.TMigState:
-			c.eng.handleMigInstall(c, f.MigState)
+			doc, token = f.MigState.Doc, f.MigState.Token
 		case wire.TBye:
 			return
 		default:
 			c.reject(wire.CodeProtocol, "unexpected frame type "+f.Type+" on admin connection")
 			return
+		}
+		if want := c.eng.cfg.MigrationToken; want != "" &&
+			subtle.ConstantTimeCompare([]byte(token), []byte(want)) != 1 {
+			c.eng.reg.Counter("migration_auth_rejects_total").Inc()
+			c.eng.logf("doc %q: refused unauthenticated %s frame from %s", doc, f.Type, c.nc.RemoteAddr())
+			c.enqueue(&wire.Frame{Type: wire.TMigAck, MigAck: &wire.MigAck{Doc: doc, Err: "migration token mismatch"}})
+			return // readLoop's deferred close flushes the nack and cuts the peer
+		}
+		switch f.Type {
+		case wire.TMigrate:
+			c.eng.handleMigrate(c, *f.Migrate)
+		case wire.TMigState:
+			c.eng.handleMigInstall(c, f.MigState)
 		}
 		var err error
 		f, err = c.codec.Read()
@@ -75,12 +96,12 @@ func (c *conn) adminLoop(first *wire.Frame) {
 	}
 }
 
-// movedHint reports the new home of a document this shard migrated away.
-func (e *Engine) movedHint(doc string) (wire.Moved, bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	mv, ok := e.moved[doc]
-	return mv, ok
+// movedError is how Engine.host refuses a migrated-away document: it carries
+// the hint the client needs to find the document's new home.
+type movedError struct{ hint wire.Moved }
+
+func (e *movedError) Error() string {
+	return "server: document " + e.hint.Doc + " moved to shard " + e.hint.Shard
 }
 
 // handleMigrate runs the source side of a migration.
@@ -100,9 +121,26 @@ func (e *Engine) handleMigrate(c *conn, m wire.Migrate) {
 		return
 	}
 	h, hosted := e.docs[m.Doc]
+	if !hosted && e.persistEnabled() && e.persistedStateExists(m.Doc) {
+		// Persisted but not yet lazily reloaded (restart, no client joined
+		// since): load it now and run the normal transfer path. Acking
+		// "nothing to transfer" here would strand the on-disk state forever —
+		// the moved hint recorded below stops loadPersisted from ever running.
+		var err error
+		if h, err = e.hostLocked(m.Doc); err != nil {
+			e.mu.Unlock()
+			ack(false, err.Error())
+			return
+		}
+		hosted = true
+	}
 	if !hosted {
 		// Nothing to transfer — the target creates the doc fresh on first
 		// join. Record the hint so stragglers who knew this shard re-route.
+		// Engine.host checks e.moved under this same lock, so a hello racing
+		// this handoff either created the host before we looked (the branch
+		// above runs the full transfer) or gets the hint — never a fresh
+		// forked copy on this shard.
 		e.moved[m.Doc] = hint
 		e.mu.Unlock()
 		ack(true, "")
@@ -178,7 +216,8 @@ func (e *Engine) transferState(m wire.Migrate, blob []byte) error {
 func (e *Engine) sendState(nc net.Conn, doc string, blob []byte) (*wire.MigAck, error) {
 	_ = nc.SetDeadline(time.Now().Add(10 * time.Second))
 	st := wire.NewStream(nc, e.cfg.MaxFrame)
-	if err := st.Write(&wire.Frame{Type: wire.TMigState, MigState: &wire.MigState{Doc: doc, State: blob}}); err != nil {
+	ms := &wire.MigState{Doc: doc, State: blob, Token: e.cfg.MigrationToken}
+	if err := st.Write(&wire.Frame{Type: wire.TMigState, MigState: ms}); err != nil {
 		return nil, err
 	}
 	f, err := st.Read()
@@ -193,7 +232,10 @@ func (e *Engine) sendState(nc net.Conn, doc string, blob []byte) (*wire.MigAck, 
 
 // finishMigration retires a transferred document: unhost it, record the
 // moved hint, cut attached clients with the hint, stop the apply loop. The
-// sessions live on in the transferred blob and resume on the target.
+// sessions live on in the transferred blob and resume on the target. Any
+// persisted save is deleted — the target owns the state now, and a restart
+// of this shard (which loses the in-memory moved map) must not resurrect a
+// stale copy from disk.
 func (e *Engine) finishMigration(h *docHost, hint wire.Moved) {
 	e.mu.Lock()
 	if _, ok := e.docs[hint.Doc]; ok {
@@ -202,6 +244,7 @@ func (e *Engine) finishMigration(h *docHost, hint wire.Moved) {
 	}
 	e.moved[hint.Doc] = hint
 	e.mu.Unlock()
+	e.removePersistedState(hint.Doc)
 	h.call(func() {
 		for _, slot := range h.clients {
 			if cc := slot.conn; cc != nil {
@@ -250,13 +293,20 @@ func (e *Engine) handleMigInstall(c *conn, ms *wire.MigState) {
 	}
 	e.mu.Unlock()
 	// A copy already runs here: a previous transfer whose ack was lost, or a
-	// doc the ring routed here before the explicit migration.
+	// doc the ring routed here before the explicit migration. Replace it only
+	// while idle — and freeze it in the SAME serialized apply-loop step that
+	// counts attached clients, so a join racing the swap is rejected with the
+	// retryable code instead of attaching to (and landing acked ops on) a
+	// host about to be discarded.
 	attached := 0
 	if !old.call(func() {
 		for _, slot := range old.clients {
 			if slot.conn != nil {
 				attached++
 			}
+		}
+		if attached == 0 {
+			old.migrating = true
 		}
 	}) {
 		ack(false, "existing document host stopping")
@@ -269,6 +319,10 @@ func (e *Engine) handleMigInstall(c *conn, ms *wire.MigState) {
 	e.mu.Lock()
 	if e.closed || e.docs[ms.Doc] != old {
 		e.mu.Unlock()
+		// Refused after freezing: unfreeze so the still-authoritative copy
+		// keeps serving. (If old was concurrently replaced, it is already
+		// retired and the unfreeze is harmless.)
+		old.call(func() { old.migrating = false })
 		ack(false, "document changed during install, retry")
 		return
 	}
@@ -277,9 +331,8 @@ func (e *Engine) handleMigInstall(c *conn, ms *wire.MigState) {
 	e.wg.Add(1)
 	e.mu.Unlock()
 	go h.run()
-	// Retire the replaced host: late joins racing the swap get retryable
-	// rejects instead of landing on a dead copy.
-	old.submit(func() { old.migrating = true })
+	// The replaced host stays frozen: late joins racing the swap get
+	// retryable rejects instead of landing on a dead copy.
 	old.stop()
 	e.installDone(ack, ms, h)
 }

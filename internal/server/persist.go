@@ -53,6 +53,24 @@ func (e *Engine) docFile(doc string) string {
 	return filepath.Join(e.cfg.PersistDir, url.PathEscape(doc)+".json")
 }
 
+// persistedStateExists reports whether a persisted save for doc is on disk.
+func (e *Engine) persistedStateExists(doc string) bool {
+	_, err := os.Stat(e.docFile(doc))
+	return err == nil
+}
+
+// removePersistedState deletes doc's persisted save, if any — called when a
+// migration hands the state to another shard, so a later restart of this
+// engine cannot resurrect the stale copy.
+func (e *Engine) removePersistedState(doc string) {
+	if !e.persistEnabled() {
+		return
+	}
+	if err := os.Remove(e.docFile(doc)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		e.logf("doc %q: remove persisted state after migration: %v", doc, err)
+	}
+}
+
 // exportState serializes the document's full state — the css server plus
 // the session layer (outboxes, frame-seq counters, dedup watermarks) — as
 // one persistedDoc blob. It is both the persistence format and the

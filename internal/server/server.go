@@ -97,6 +97,12 @@ type Config struct {
 	// echoed in migration logs. Sharding and replication are orthogonal
 	// deployments: a sharded engine must be standalone.
 	ShardID string
+	// MigrationToken, when non-empty, gates the placement plane: Migrate and
+	// MigState frames must carry the same token or they are refused before
+	// touching any document state. Every shard and the placement service of
+	// one cluster share the token. Empty leaves the plane open (trusted
+	// networks, tests).
+	MigrationToken string
 	// PersistDir, when non-empty on a STANDALONE engine, saves every hosted
 	// document's full state there on graceful shutdown and reloads it on
 	// first use, so a restarted server resumes client sessions instead of
@@ -300,13 +306,26 @@ func (e *Engine) acceptLoop() {
 	}
 }
 
-// host returns the apply loop for a document, creating it on first use.
+// host returns the apply loop for a document, creating it on first use. A
+// document this shard migrated away is never re-hosted: the lookup fails
+// with a *movedError carrying the new home, checked in the same critical
+// section that would create the host — so a hello racing the migration's
+// not-hosted handoff cannot fork the document by creating a live copy on
+// the source after the moved hint was recorded.
 func (e *Engine) host(doc string) (*docHost, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
 		return nil, ErrClosed
 	}
+	if mv, ok := e.moved[doc]; ok {
+		return nil, &movedError{hint: mv}
+	}
+	return e.hostLocked(doc)
+}
+
+// hostLocked is host without the closed/moved gate; the caller holds e.mu.
+func (e *Engine) hostLocked(doc string) (*docHost, error) {
 	h, ok := e.docs[doc]
 	if !ok {
 		h = newDocHost(e, doc)
@@ -673,16 +692,17 @@ func (c *conn) readLoop() {
 		c.reject(wire.CodeWrongShard, "this is shard "+sid+", not "+f.Hello.Shard)
 		return
 	}
-	if mv, ok := c.eng.movedHint(f.Hello.Doc); ok {
-		// The document migrated away; point the client at its new home.
-		c.eng.reg.Counter("moved_hints_total").Inc()
-		c.enqueue(&wire.Frame{Type: wire.TMoved, Moved: &mv})
-		c.close()
-		return
-	}
 	_ = c.nc.SetReadDeadline(time.Time{})
 	h, err := c.eng.host(f.Hello.Doc)
 	if err != nil {
+		var mv *movedError
+		if errors.As(err, &mv) {
+			// The document migrated away; point the client at its new home.
+			c.eng.reg.Counter("moved_hints_total").Inc()
+			c.enqueue(&wire.Frame{Type: wire.TMoved, Moved: &mv.hint})
+			c.close()
+			return
+		}
 		c.reject(wire.CodeShutdown, "server shutting down")
 		return
 	}

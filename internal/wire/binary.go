@@ -202,12 +202,14 @@ func (binaryCodec) AppendFrame(dst []byte, f *Frame) ([]byte, error) {
 		b = appendString(b, m.Doc)
 		b = appendString(b, m.TargetShard)
 		b = appendStrings(b, m.TargetAddrs)
+		b = appendString(b, m.Token)
 	case TMigState:
 		m := f.MigState
 		b = append(b, btMigState)
 		b = appendString(b, m.Doc)
 		b = binary.AppendUvarint(b, uint64(len(m.State)))
 		b = append(b, m.State...)
+		b = appendString(b, m.Token)
 	case TMigAck:
 		m := f.MigAck
 		b = append(b, btMigAck)
@@ -887,10 +889,10 @@ func decodeBinary(data []byte) (*Frame, error) {
 		f.Moved = &Moved{Doc: r.str(), Shard: r.str(), Addrs: r.strings()}
 	case btMigrate:
 		f.Type = TMigrate
-		f.Migrate = &Migrate{Doc: r.str(), TargetShard: r.str(), TargetAddrs: r.strings()}
+		f.Migrate = &Migrate{Doc: r.str(), TargetShard: r.str(), TargetAddrs: r.strings(), Token: r.str()}
 	case btMigState:
 		f.Type = TMigState
-		f.MigState = &MigState{Doc: r.str(), State: r.bytes()}
+		f.MigState = &MigState{Doc: r.str(), State: r.bytes(), Token: r.str()}
 	case btMigAck:
 		f.Type = TMigAck
 		f.MigAck = &MigAck{Doc: r.str(), OK: r.bool(), Err: r.str()}

@@ -89,8 +89,8 @@ func testFrames() []*Frame {
 			Overrides: []Override{{Doc: "notes", Shard: "s1"}},
 		}}},
 		{Type: TMoved, Moved: &Moved{Doc: "notes", Shard: "s1", Addrs: []string{"127.0.0.1:9200"}}},
-		{Type: TMigrate, Migrate: &Migrate{Doc: "notes", TargetShard: "s1", TargetAddrs: []string{"127.0.0.1:9200"}}},
-		{Type: TMigState, MigState: &MigState{Doc: "notes", State: []byte{0x01, 0x02, 0x03}}},
+		{Type: TMigrate, Migrate: &Migrate{Doc: "notes", TargetShard: "s1", TargetAddrs: []string{"127.0.0.1:9200"}, Token: "sesame"}},
+		{Type: TMigState, MigState: &MigState{Doc: "notes", State: []byte{0x01, 0x02, 0x03}, Token: "sesame"}},
 		{Type: TMigAck, MigAck: &MigAck{Doc: "notes", OK: true}},
 		{Type: TMigAck, MigAck: &MigAck{Doc: "notes", Err: "target refused: doc has attached clients"}},
 	}
@@ -198,8 +198,9 @@ func TestBinaryDecodeAdversarial(t *testing.T) {
 		{"hostile routes shard count", []byte{binMagic, btRoutes, 0x01, 0x40, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F}, "exceeds"},
 		{"routes no shards", []byte{binMagic, btRoutes, 0x01, 0x40, 0x00, 0x00}, "without shards"},
 		{"moved no shard", []byte{binMagic, btMoved, 0x01, 'd', 0x00, 0x00}, "without shard id"},
-		{"migrate no addrs", []byte{binMagic, btMigrate, 0x01, 'd', 0x02, 's', '1', 0x00}, "without target addresses"},
-		{"mig state empty blob", []byte{binMagic, btMigState, 0x01, 'd', 0x00}, "without state blob"},
+		{"migrate no addrs", []byte{binMagic, btMigrate, 0x01, 'd', 0x02, 's', '1', 0x00, 0x00}, "without target addresses"},
+		{"migrate truncated token", []byte{binMagic, btMigrate, 0x01, 'd', 0x02, 's', '1', 0x01, 0x01, 'a'}, "truncated"},
+		{"mig state empty blob", []byte{binMagic, btMigState, 0x01, 'd', 0x00, 0x00}, "without state blob"},
 		{"mig ack bad bool", []byte{binMagic, btMigAck, 0x01, 'd', 0x07, 0x00}, "bad bool"},
 		{"hello shard then junk", []byte{binMagic, btHello, 0x01, 'd', 0x00, 0x00, 0x00, 0x02, 's', '1', 0xFF}, "trailing"},
 	}

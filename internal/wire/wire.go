@@ -287,19 +287,26 @@ type Moved struct {
 
 // Migrate orders a shard to freeze Doc and transfer it to TargetShard at
 // TargetAddrs. Answered with a MigAck once the transfer succeeded or failed.
+// Token is the shared placement-plane secret: a shard configured with one
+// refuses Migrate frames that do not carry it, so reaching the client port
+// is not enough to command a state transfer.
 type Migrate struct {
 	Doc         string   `json:"doc"`
 	TargetShard string   `json:"targetShard"`
 	TargetAddrs []string `json:"targetAddrs"`
+	Token       string   `json:"token,omitempty"`
 }
 
 // MigState carries the frozen document state from source to target shard:
 // the css server save plus every client session's resume outbox, in the
 // same encoding the disk persistence layer uses, so the target restores
-// sessions exactly as a restart would and resume works unchanged.
+// sessions exactly as a restart would and resume works unchanged. Token is
+// the same shared secret as on Migrate, checked by the target before it
+// installs anything.
 type MigState struct {
 	Doc   string `json:"doc"`
 	State []byte `json:"state"`
+	Token string `json:"token,omitempty"`
 }
 
 // MigAck reports a transfer outcome: target → source after installing (or

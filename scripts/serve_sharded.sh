@@ -36,13 +36,17 @@ go build -o "$TMP/jupiterd" ./cmd/jupiterd
 go build -o "$TMP/jupiterplace" ./cmd/jupiterplace
 go build -o "$TMP/jupiterctl" ./cmd/jupiterctl
 
+# The placement plane runs authenticated: every migrate/mig_state frame must
+# carry this token, so a plain client connection cannot drive migrations.
+MIG_TOKEN="shard-smoke-$$"
+
 echo "shard-smoke: starting placement service and 2 shards"
 "$TMP/jupiterplace" -addr "127.0.0.1:$ROUTE" -http "127.0.0.1:$HTTP" \
-	-shards "s0=127.0.0.1:$S0,s1=127.0.0.1:$S1" -v 2>"$TMP/place.log" &
+	-shards "s0=127.0.0.1:$S0,s1=127.0.0.1:$S1" -mig-token "$MIG_TOKEN" -v 2>"$TMP/place.log" &
 PIDS="$PIDS $!"
-"$TMP/jupiterd" -addr "127.0.0.1:$S0" -metrics "127.0.0.1:$M0" -shard-id s0 -placement "127.0.0.1:$ROUTE" -v 2>"$TMP/s0.log" &
+"$TMP/jupiterd" -addr "127.0.0.1:$S0" -metrics "127.0.0.1:$M0" -shard-id s0 -placement "127.0.0.1:$ROUTE" -mig-token "$MIG_TOKEN" -v 2>"$TMP/s0.log" &
 PIDS="$PIDS $!"
-"$TMP/jupiterd" -addr "127.0.0.1:$S1" -metrics "127.0.0.1:$M1" -shard-id s1 -placement "127.0.0.1:$ROUTE" -v 2>"$TMP/s1.log" &
+"$TMP/jupiterd" -addr "127.0.0.1:$S1" -metrics "127.0.0.1:$M1" -shard-id s1 -placement "127.0.0.1:$ROUTE" -mig-token "$MIG_TOKEN" -v 2>"$TMP/s1.log" &
 PIDS="$PIDS $!"
 
 for log in place s0 s1; do
